@@ -1,0 +1,30 @@
+//! Benchmarks the cluster simulator itself on a small configuration, one per
+//! machine model (useful for spotting regressions in simulator performance).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdq_hurricane::{simulate, ClusterConfig, MachineSpec};
+use pdq_workloads::{AppKind, Topology, WorkloadScale};
+
+fn bench_cluster(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_sim_fft_2x4");
+    group.sample_size(10);
+    let machines = [
+        ("scoma", MachineSpec::scoma()),
+        ("hurricane_2pp", MachineSpec::hurricane(2)),
+        ("hurricane1_2pp", MachineSpec::hurricane1(2)),
+        ("hurricane1_mult", MachineSpec::hurricane1_mult()),
+    ];
+    for (name, machine) in machines {
+        group.bench_function(BenchmarkId::new("machine", name), |b| {
+            b.iter(|| {
+                let cfg =
+                    ClusterConfig::baseline(machine).with_topology(Topology::new(2, 4));
+                simulate(cfg, AppKind::Fft, WorkloadScale(0.2))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cluster);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Micro-benchmark of the bare dispatch queue: enqueue/dispatch/complete
+//! throughput and the effect of the associative search window (Section 3.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdq_core::{DispatchQueue, QueueConfig, SyncKey};
+
+const OPS: u64 = 10_000;
+
+/// Pushes `OPS` entries with a rotating set of keys through the queue, always
+/// keeping a few handlers in flight, and drains it.
+fn churn(window: usize, distinct_keys: u64) {
+    let mut q: DispatchQueue<u64> =
+        DispatchQueue::with_config(QueueConfig::new().search_window(window));
+    let mut in_flight = Vec::new();
+    for i in 0..OPS {
+        q.enqueue(SyncKey::key(i % distinct_keys), i).unwrap();
+        if let Some(d) = q.try_dispatch() {
+            in_flight.push(d.ticket);
+        }
+        if in_flight.len() > 8 {
+            q.complete(in_flight.remove(0)).unwrap();
+        }
+    }
+    loop {
+        while let Some(d) = q.try_dispatch() {
+            in_flight.push(d.ticket);
+        }
+        match in_flight.pop() {
+            Some(t) => q.complete(t).unwrap(),
+            None => break,
+        }
+    }
+    assert!(q.is_idle());
+}
+
+fn bench_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispatch_queue_churn");
+    group.sample_size(20);
+    for window in [1usize, 4, 16, 64] {
+        group.bench_with_input(BenchmarkId::new("window", window), &window, |b, &w| {
+            b.iter(|| churn(w, 64))
+        });
+    }
+    for keys in [1u64, 8, 1024] {
+        group.bench_with_input(BenchmarkId::new("distinct_keys", keys), &keys, |b, &k| {
+            b.iter(|| churn(16, k))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queue);
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! Reproduces Figure 10: block-size impact on Hurricane.
+use pdq_bench::experiments::{fig10, workload_scale};
+
+fn main() {
+    let (top, bottom) = fig10(workload_scale());
+    println!("{}", top.render());
+    println!("{}", bottom.render());
+}

@@ -1,0 +1,8 @@
+//! Reproduces Figure 11: block-size impact on Hurricane-1.
+use pdq_bench::experiments::{fig11, workload_scale};
+
+fn main() {
+    let (top, bottom) = fig11(workload_scale());
+    println!("{}", top.render());
+    println!("{}", bottom.render());
+}

@@ -1,0 +1,8 @@
+//! Reproduces Figure 7: baseline comparison on a cluster of 8 8-way SMPs.
+use pdq_bench::experiments::{fig7, workload_scale};
+
+fn main() {
+    let (top, bottom) = fig7(workload_scale());
+    println!("{}", top.render());
+    println!("{}", bottom.render());
+}

@@ -1,0 +1,8 @@
+//! Reproduces Figure 8: clustering-degree impact on Hurricane.
+use pdq_bench::experiments::{fig8, workload_scale};
+
+fn main() {
+    let (top, bottom) = fig8(workload_scale());
+    println!("{}", top.render());
+    println!("{}", bottom.render());
+}

@@ -1,0 +1,8 @@
+//! Reproduces Figure 9: clustering-degree impact on Hurricane-1.
+use pdq_bench::experiments::{fig9, workload_scale};
+
+fn main() {
+    let (top, bottom) = fig9(workload_scale());
+    println!("{}", top.render());
+    println!("{}", bottom.render());
+}

@@ -1,0 +1,7 @@
+//! Reproduces Table 1: remote read miss latency breakdown.
+use pdq_dsm::BlockSize;
+
+fn main() {
+    println!("{}", pdq_hurricane::latency::render_table1(BlockSize::B64));
+    println!("Paper totals: S-COMA 440, Hurricane 584, Hurricane-1 1164 (400-MHz cycles).");
+}

@@ -1,0 +1,360 @@
+//! Shared experiment drivers for the table/figure binaries.
+
+use pdq_dsm::BlockSize;
+use pdq_hurricane::{simulate, ClusterConfig, MachineSpec, SimReport};
+use pdq_workloads::{AppKind, Topology, WorkloadScale};
+
+/// Reads the workload scale from the `PDQ_SCALE` environment variable
+/// (default 1.0). Values are clamped to `[0.05, 4.0]`.
+pub fn workload_scale() -> WorkloadScale {
+    let scale = std::env::var("PDQ_SCALE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(1.0)
+        .clamp(0.05, 4.0);
+    WorkloadScale(scale)
+}
+
+/// One machine's series in a figure: its normalized speedup per application.
+#[derive(Debug, Clone)]
+pub struct FigureSeries {
+    /// The machine.
+    pub machine: MachineSpec,
+    /// Speedup normalized to the figure's S-COMA reference, one entry per
+    /// application (same order as [`FigureResult::apps`]).
+    pub normalized: Vec<f64>,
+}
+
+/// A reproduced figure: per-application speedups of several machines
+/// normalized to S-COMA on the same topology and block size.
+#[derive(Debug, Clone)]
+pub struct FigureResult {
+    /// Figure title.
+    pub title: String,
+    /// The applications, in column order.
+    pub apps: Vec<AppKind>,
+    /// One series per machine.
+    pub series: Vec<FigureSeries>,
+    /// The absolute S-COMA speedup per application (the normalization base).
+    pub scoma_speedup: Vec<f64>,
+}
+
+impl FigureResult {
+    /// Renders the figure as a text table (applications as rows, machines as
+    /// columns), mirroring the bar charts of the paper.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{}\n", self.title));
+        out.push_str(&format!("{:<10}", "app"));
+        for s in &self.series {
+            out.push_str(&format!(" {:>16}", s.machine.label()));
+        }
+        out.push_str(&format!(" {:>14}\n", "S-COMA speedup"));
+        for (i, app) in self.apps.iter().enumerate() {
+            out.push_str(&format!("{:<10}", app.name()));
+            for s in &self.series {
+                out.push_str(&format!(" {:>16.2}", s.normalized[i]));
+            }
+            out.push_str(&format!(" {:>14.1}\n", self.scoma_speedup[i]));
+        }
+        out.push_str(&format!("{:<10}", "geo-mean"));
+        for s in &self.series {
+            out.push_str(&format!(" {:>16.2}", geo_mean(&s.normalized)));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+fn geo_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().filter(|v| **v > 0.0).map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Runs every application on the S-COMA reference plus the given machines and
+/// collects a figure.
+pub fn run_figure(
+    title: &str,
+    machines: &[MachineSpec],
+    topology: Topology,
+    block_size: BlockSize,
+    scale: WorkloadScale,
+) -> FigureResult {
+    let apps: Vec<AppKind> = AppKind::all().to_vec();
+    let reference: Vec<SimReport> = apps
+        .iter()
+        .map(|app| {
+            simulate(
+                ClusterConfig::baseline(MachineSpec::scoma())
+                    .with_topology(topology)
+                    .with_block_size(block_size),
+                *app,
+                scale,
+            )
+        })
+        .collect();
+    let series = machines
+        .iter()
+        .map(|machine| {
+            let normalized = apps
+                .iter()
+                .zip(&reference)
+                .map(|(app, scoma)| {
+                    let report = simulate(
+                        ClusterConfig::baseline(*machine)
+                            .with_topology(topology)
+                            .with_block_size(block_size),
+                        *app,
+                        scale,
+                    );
+                    report.normalized_speedup(scoma)
+                })
+                .collect();
+            FigureSeries { machine: *machine, normalized }
+        })
+        .collect();
+    FigureResult {
+        title: title.to_string(),
+        apps,
+        series,
+        scoma_speedup: reference.iter().map(SimReport::speedup).collect(),
+    }
+}
+
+/// The Hurricane machines of Figures 7, 8, and 10.
+pub fn hurricane_machines() -> Vec<MachineSpec> {
+    vec![MachineSpec::hurricane(1), MachineSpec::hurricane(2), MachineSpec::hurricane(4)]
+}
+
+/// The Hurricane-1 machines (plus Mult) of Figures 7, 9, and 11.
+pub fn hurricane1_machines() -> Vec<MachineSpec> {
+    vec![
+        MachineSpec::hurricane1(1),
+        MachineSpec::hurricane1(2),
+        MachineSpec::hurricane1(4),
+        MachineSpec::hurricane1_mult(),
+    ]
+}
+
+/// Figure 7: baseline comparison on a cluster of 8 8-way SMPs, 64-byte blocks.
+/// Returns the Hurricane panel (top) and the Hurricane-1 panel (bottom).
+pub fn fig7(scale: WorkloadScale) -> (FigureResult, FigureResult) {
+    let topo = Topology::baseline();
+    (
+        run_figure(
+            "Figure 7 (top): Hurricane vs. S-COMA, 8 x 8-way SMPs, 64-byte blocks",
+            &hurricane_machines(),
+            topo,
+            BlockSize::B64,
+            scale,
+        ),
+        run_figure(
+            "Figure 7 (bottom): Hurricane-1 vs. S-COMA, 8 x 8-way SMPs, 64-byte blocks",
+            &hurricane1_machines(),
+            topo,
+            BlockSize::B64,
+            scale,
+        ),
+    )
+}
+
+/// Figure 8: clustering-degree impact on Hurricane (16 4-way and 4 16-way).
+pub fn fig8(scale: WorkloadScale) -> (FigureResult, FigureResult) {
+    (
+        run_figure(
+            "Figure 8 (top): Hurricane, 16 x 4-way SMPs",
+            &hurricane_machines(),
+            Topology::new(16, 4),
+            BlockSize::B64,
+            scale,
+        ),
+        run_figure(
+            "Figure 8 (bottom): Hurricane, 4 x 16-way SMPs",
+            &hurricane_machines(),
+            Topology::new(4, 16),
+            BlockSize::B64,
+            scale,
+        ),
+    )
+}
+
+/// Figure 9: clustering-degree impact on Hurricane-1 (16 4-way and 4 16-way).
+pub fn fig9(scale: WorkloadScale) -> (FigureResult, FigureResult) {
+    (
+        run_figure(
+            "Figure 9 (top): Hurricane-1, 16 x 4-way SMPs",
+            &hurricane1_machines(),
+            Topology::new(16, 4),
+            BlockSize::B64,
+            scale,
+        ),
+        run_figure(
+            "Figure 9 (bottom): Hurricane-1, 4 x 16-way SMPs",
+            &hurricane1_machines(),
+            Topology::new(4, 16),
+            BlockSize::B64,
+            scale,
+        ),
+    )
+}
+
+/// Figure 10: block-size impact on Hurricane (32-byte and 128-byte protocols).
+pub fn fig10(scale: WorkloadScale) -> (FigureResult, FigureResult) {
+    let topo = Topology::baseline();
+    (
+        run_figure(
+            "Figure 10 (top): Hurricane, 32-byte blocks",
+            &hurricane_machines(),
+            topo,
+            BlockSize::B32,
+            scale,
+        ),
+        run_figure(
+            "Figure 10 (bottom): Hurricane, 128-byte blocks",
+            &hurricane_machines(),
+            topo,
+            BlockSize::B128,
+            scale,
+        ),
+    )
+}
+
+/// Figure 11: block-size impact on Hurricane-1 (32-byte and 128-byte
+/// protocols).
+pub fn fig11(scale: WorkloadScale) -> (FigureResult, FigureResult) {
+    let topo = Topology::baseline();
+    (
+        run_figure(
+            "Figure 11 (top): Hurricane-1, 32-byte blocks",
+            &hurricane1_machines(),
+            topo,
+            BlockSize::B32,
+            scale,
+        ),
+        run_figure(
+            "Figure 11 (bottom): Hurricane-1, 128-byte blocks",
+            &hurricane1_machines(),
+            topo,
+            BlockSize::B128,
+            scale,
+        ),
+    )
+}
+
+/// One row of Table 2: application, paper input, paper speedup, and the
+/// speedup measured by this reproduction on 8 8-way SMPs under S-COMA.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// The application.
+    pub app: AppKind,
+    /// The measured S-COMA speedup (64 processors over 1).
+    pub measured_speedup: f64,
+}
+
+/// Table 2: S-COMA speedups on a cluster of 8 8-way SMPs.
+pub fn table2(scale: WorkloadScale) -> Vec<Table2Row> {
+    AppKind::all()
+        .into_iter()
+        .map(|app| {
+            let report = simulate(ClusterConfig::baseline(MachineSpec::scoma()), app, scale);
+            Table2Row { app, measured_speedup: report.speedup() }
+        })
+        .collect()
+}
+
+/// Renders Table 2 as text.
+pub fn render_table2(rows: &[Table2Row]) -> String {
+    let mut out = String::new();
+    out.push_str("Table 2: applications, input sets, and S-COMA speedups (8 x 8-way SMPs)\n");
+    out.push_str(&format!(
+        "{:<10} {:<26} {:>14} {:>16}\n",
+        "app", "paper input", "paper speedup", "measured speedup"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:<10} {:<26} {:>14.0} {:>16.1}\n",
+            row.app.name(),
+            row.app.paper_input(),
+            row.app.paper_scoma_speedup(),
+            row.measured_speedup
+        ));
+    }
+    out
+}
+
+/// The paper's headline claim: on a cluster of 4 16-way SMPs, Hurricane-1 Mult
+/// improves application performance by a factor of ~2.6 on average over a
+/// system with a single dedicated protocol processor per node.
+/// Returns `(per-app improvement factors, geometric mean)`.
+pub fn headline(scale: WorkloadScale) -> (Vec<(AppKind, f64)>, f64) {
+    let topo = Topology::new(4, 16);
+    let factors: Vec<(AppKind, f64)> = AppKind::all()
+        .into_iter()
+        .map(|app| {
+            let single = simulate(
+                ClusterConfig::baseline(MachineSpec::hurricane1(1)).with_topology(topo),
+                app,
+                scale,
+            );
+            let mult = simulate(
+                ClusterConfig::baseline(MachineSpec::hurricane1_mult()).with_topology(topo),
+                app,
+                scale,
+            );
+            (app, mult.speedup() / single.speedup())
+        })
+        .collect();
+    let mean = geo_mean(&factors.iter().map(|(_, f)| *f).collect::<Vec<_>>());
+    (factors, mean)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_scale_defaults_to_full() {
+        // The environment variable is normally unset during tests.
+        let scale = workload_scale();
+        assert!(scale.0 > 0.0 && scale.0 <= 4.0);
+    }
+
+    #[test]
+    fn geo_mean_of_identical_values_is_that_value() {
+        assert!((geo_mean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geo_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn figure_render_contains_all_apps_and_machines() {
+        let result = run_figure(
+            "test figure",
+            &[MachineSpec::hurricane(2)],
+            Topology::new(2, 2),
+            BlockSize::B64,
+            WorkloadScale(0.05),
+        );
+        let text = result.render();
+        assert!(text.contains("test figure"));
+        assert!(text.contains("water-sp"));
+        assert!(text.contains("Hurricane 2pp"));
+        assert!(text.contains("geo-mean"));
+        assert_eq!(result.apps.len(), 7);
+        assert_eq!(result.series[0].normalized.len(), 7);
+    }
+
+    #[test]
+    fn table2_has_a_row_per_application() {
+        // Use a tiny topology indirectly by scaling the work down hard; the
+        // table still runs the full 8x8 cluster so keep the scale minimal.
+        let rows = table2(WorkloadScale(0.05));
+        assert_eq!(rows.len(), 7);
+        assert!(rows.iter().all(|r| r.measured_speedup > 1.0));
+        let text = render_table2(&rows);
+        assert!(text.contains("cholesky"));
+        assert!(text.contains("tk29.O"));
+    }
+}

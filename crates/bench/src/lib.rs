@@ -1,0 +1,30 @@
+//! # pdq-bench: experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation:
+//!
+//! | Experiment | Binary |
+//! |---|---|
+//! | Table 1 (miss latency breakdown) | `table1` |
+//! | Table 2 (S-COMA speedups, 8×8-way) | `table2` |
+//! | Figure 7 (baseline comparison) | `fig7` |
+//! | Figure 8 (clustering degree, Hurricane) | `fig8` |
+//! | Figure 9 (clustering degree, Hurricane-1) | `fig9` |
+//! | Figure 10 (block size, Hurricane) | `fig10` |
+//! | Figure 11 (block size, Hurricane-1) | `fig11` |
+//! | Headline 2.6× claim | `headline` |
+//! | Search-window ablation | `ablation_search_window` |
+//! | Everything, written to a report | `all_experiments` |
+//!
+//! The amount of simulated work is controlled by the `PDQ_SCALE` environment
+//! variable (default 1.0); smaller values run faster with noisier results.
+//! Criterion micro-benchmarks of the PDQ runtime against its baselines live
+//! under `benches/`.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+pub use experiments::{
+    fig10, fig11, fig7, fig8, fig9, headline, table2, workload_scale, FigureResult, FigureSeries,
+    Table2Row,
+};

@@ -1,0 +1,219 @@
+//! Global addresses, blocks, pages, and home-node mapping.
+
+use std::fmt;
+
+use pdq_core::SyncKey;
+use pdq_sim::NodeId;
+
+/// Number of bytes in a shared-memory page (4 KB, the allocation granularity
+/// of Stache).
+pub const PAGE_BYTES: u64 = 4096;
+
+/// Protocol block (coherence unit) sizes evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BlockSize {
+    /// 32-byte blocks (Figure 10/11, top).
+    B32,
+    /// 64-byte blocks (the default configuration).
+    B64,
+    /// 128-byte blocks (Figure 10/11, bottom).
+    B128,
+}
+
+impl BlockSize {
+    /// Size in bytes.
+    pub const fn bytes(&self) -> u64 {
+        match self {
+            BlockSize::B32 => 32,
+            BlockSize::B64 => 64,
+            BlockSize::B128 => 128,
+        }
+    }
+
+    /// Number of blocks in one page.
+    pub const fn blocks_per_page(&self) -> u64 {
+        PAGE_BYTES / self.bytes()
+    }
+
+    /// All evaluated block sizes.
+    pub const fn all() -> [BlockSize; 3] {
+        [BlockSize::B32, BlockSize::B64, BlockSize::B128]
+    }
+}
+
+impl Default for BlockSize {
+    fn default() -> Self {
+        BlockSize::B64
+    }
+}
+
+impl fmt::Display for BlockSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}B", self.bytes())
+    }
+}
+
+/// A global shared-memory byte address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GlobalAddr(pub u64);
+
+impl GlobalAddr {
+    /// The block containing this address under the given block size.
+    pub fn block(&self, size: BlockSize) -> BlockAddr {
+        BlockAddr(self.0 / size.bytes())
+    }
+
+    /// The page containing this address.
+    pub fn page(&self) -> PageAddr {
+        PageAddr(self.0 / PAGE_BYTES)
+    }
+}
+
+impl fmt::Display for GlobalAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "addr {:#x}", self.0)
+    }
+}
+
+/// A block index (global byte address divided by the block size).
+///
+/// The block address is the PDQ synchronization key of every coherence
+/// handler, so handlers manipulating distinct blocks run in parallel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockAddr(pub u64);
+
+impl BlockAddr {
+    /// The page this block belongs to under the given block size.
+    pub fn page(&self, size: BlockSize) -> PageAddr {
+        PageAddr(self.0 / size.blocks_per_page())
+    }
+
+    /// First byte address of this block.
+    pub fn base(&self, size: BlockSize) -> GlobalAddr {
+        GlobalAddr(self.0 * size.bytes())
+    }
+
+    /// The PDQ synchronization key for handlers touching this block.
+    pub fn sync_key(&self) -> SyncKey {
+        SyncKey::key(self.0)
+    }
+}
+
+impl fmt::Display for BlockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "block {:#x}", self.0)
+    }
+}
+
+/// A page index (global byte address divided by [`PAGE_BYTES`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageAddr(pub u64);
+
+impl PageAddr {
+    /// The blocks making up this page under the given block size.
+    pub fn blocks(&self, size: BlockSize) -> impl Iterator<Item = BlockAddr> {
+        let start = self.0 * size.blocks_per_page();
+        (start..start + size.blocks_per_page()).map(BlockAddr)
+    }
+}
+
+impl fmt::Display for PageAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "page {:#x}", self.0)
+    }
+}
+
+/// Maps blocks and pages to their home node.
+///
+/// Pages are distributed round-robin across the nodes of the cluster, the
+/// usual first-touch-free placement used when no better information exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HomeMap {
+    nodes: usize,
+    block_size: BlockSize,
+}
+
+impl HomeMap {
+    /// Creates a map for a cluster of `nodes` nodes (at least one).
+    pub fn new(nodes: usize, block_size: BlockSize) -> Self {
+        Self { nodes: nodes.max(1), block_size }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Block size in use.
+    pub fn block_size(&self) -> BlockSize {
+        self.block_size
+    }
+
+    /// Home node of a page.
+    pub fn home_of_page(&self, page: PageAddr) -> NodeId {
+        (page.0 % self.nodes as u64) as NodeId
+    }
+
+    /// Home node of a block.
+    pub fn home_of_block(&self, block: BlockAddr) -> NodeId {
+        self.home_of_page(block.page(self.block_size))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_size_properties() {
+        assert_eq!(BlockSize::B32.bytes(), 32);
+        assert_eq!(BlockSize::B64.blocks_per_page(), 64);
+        assert_eq!(BlockSize::B128.blocks_per_page(), 32);
+        assert_eq!(BlockSize::default(), BlockSize::B64);
+        assert_eq!(BlockSize::all().len(), 3);
+        assert_eq!(BlockSize::B64.to_string(), "64B");
+    }
+
+    #[test]
+    fn address_decomposition() {
+        let addr = GlobalAddr(0x1234);
+        assert_eq!(addr.block(BlockSize::B64), BlockAddr(0x1234 / 64));
+        assert_eq!(addr.page(), PageAddr(1));
+        let block = addr.block(BlockSize::B64);
+        assert_eq!(block.page(BlockSize::B64), PageAddr(1));
+        assert_eq!(block.base(BlockSize::B64).0 % 64, 0);
+    }
+
+    #[test]
+    fn sync_key_is_the_block_index() {
+        assert_eq!(BlockAddr(0x100).sync_key(), SyncKey::key(0x100));
+    }
+
+    #[test]
+    fn page_blocks_enumerates_every_block_once() {
+        let page = PageAddr(3);
+        let blocks: Vec<BlockAddr> = page.blocks(BlockSize::B64).collect();
+        assert_eq!(blocks.len(), 64);
+        assert!(blocks.iter().all(|b| b.page(BlockSize::B64) == page));
+    }
+
+    #[test]
+    fn home_assignment_is_round_robin_by_page() {
+        let map = HomeMap::new(4, BlockSize::B64);
+        assert_eq!(map.home_of_page(PageAddr(0)), 0);
+        assert_eq!(map.home_of_page(PageAddr(1)), 1);
+        assert_eq!(map.home_of_page(PageAddr(5)), 1);
+        // All blocks of one page share a home.
+        let page = PageAddr(2);
+        for block in page.blocks(BlockSize::B64) {
+            assert_eq!(map.home_of_block(block), 2);
+        }
+    }
+
+    #[test]
+    fn home_map_clamps_nodes_to_one() {
+        let map = HomeMap::new(0, BlockSize::B64);
+        assert_eq!(map.nodes(), 1);
+        assert_eq!(map.home_of_block(BlockAddr(12345)), 0);
+    }
+}

@@ -1,0 +1,266 @@
+//! Full-map directory state.
+//!
+//! Stache (and S-COMA) are full-map invalidation-based protocols: the home
+//! node of each block records exactly which nodes hold copies. The directory
+//! entry also carries the transient ("busy") states used while a request is
+//! waiting for recalls or invalidation acknowledgements, plus a queue of
+//! deferred requests for the block.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use pdq_sim::NodeId;
+
+use crate::addr::BlockAddr;
+use crate::msg::Request;
+
+/// A set of nodes, stored as a bitmap (full-map directories of the era held
+/// one presence bit per node; 64 bits comfortably covers the paper's largest
+/// 16-node cluster).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct NodeSet(u64);
+
+impl NodeSet {
+    /// The empty set.
+    pub const fn empty() -> Self {
+        NodeSet(0)
+    }
+
+    /// A set containing only `node`.
+    pub fn singleton(node: NodeId) -> Self {
+        let mut s = NodeSet::empty();
+        s.insert(node);
+        s
+    }
+
+    /// Adds a node.
+    pub fn insert(&mut self, node: NodeId) {
+        assert!(node < 64, "NodeSet supports at most 64 nodes");
+        self.0 |= 1 << node;
+    }
+
+    /// Removes a node; returns whether it was present.
+    pub fn remove(&mut self, node: NodeId) -> bool {
+        let bit = 1 << node;
+        let present = self.0 & bit != 0;
+        self.0 &= !bit;
+        present
+    }
+
+    /// Whether the set contains `node`.
+    pub fn contains(&self, node: NodeId) -> bool {
+        node < 64 && self.0 & (1 << node) != 0
+    }
+
+    /// Number of nodes in the set.
+    pub fn len(&self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over the members in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..64usize).filter(|n| self.contains(*n))
+    }
+}
+
+impl fmt::Display for NodeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, n) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{n}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<NodeId> for NodeSet {
+    fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> Self {
+        let mut s = NodeSet::empty();
+        for n in iter {
+            s.insert(n);
+        }
+        s
+    }
+}
+
+/// The coherence state of one block at its home directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DirState {
+    /// No remote copies; home memory is the only valid copy.
+    Uncached,
+    /// The listed nodes (possibly including the home itself) hold read-only
+    /// copies; home memory is valid.
+    Shared(NodeSet),
+    /// One node holds the only, writable copy; home memory may be stale.
+    Exclusive(NodeId),
+    /// A read request is waiting for the current owner to write back a shared
+    /// copy.
+    BusyShared {
+        /// The node whose read triggered the recall.
+        requester: NodeId,
+        /// The owner being recalled.
+        owner: NodeId,
+    },
+    /// A write request is waiting for invalidation acknowledgements.
+    BusyInvalidating {
+        /// The node whose write triggered the invalidations.
+        requester: NodeId,
+        /// Acknowledgements still outstanding.
+        pending_acks: usize,
+    },
+    /// A write request is waiting for the current owner to write back and
+    /// relinquish its copy.
+    BusyRecall {
+        /// The node whose write triggered the recall.
+        requester: NodeId,
+        /// The owner being recalled.
+        owner: NodeId,
+    },
+}
+
+impl DirState {
+    /// Whether the entry is in a transient state (a request is in progress).
+    pub fn is_busy(&self) -> bool {
+        matches!(
+            self,
+            DirState::BusyShared { .. }
+                | DirState::BusyInvalidating { .. }
+                | DirState::BusyRecall { .. }
+        )
+    }
+}
+
+/// One block's directory entry: its state plus requests deferred while the
+/// entry was busy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirEntry {
+    /// Current coherence state.
+    pub state: DirState,
+    /// Requests that arrived while the entry was busy, in arrival order.
+    pub deferred: Vec<(NodeId, Request)>,
+}
+
+impl DirEntry {
+    /// A fresh entry: uncached, nothing deferred.
+    pub fn new() -> Self {
+        Self { state: DirState::Uncached, deferred: Vec::new() }
+    }
+}
+
+impl Default for DirEntry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The directory of one home node: a map from block to [`DirEntry`].
+///
+/// Entries are created lazily; absent entries are `Uncached`.
+#[derive(Debug, Clone, Default)]
+pub struct Directory {
+    entries: HashMap<BlockAddr, DirEntry>,
+}
+
+impl Directory {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        Self { entries: HashMap::new() }
+    }
+
+    /// Read-only view of a block's entry (an implicit `Uncached` entry is
+    /// materialized for absent blocks).
+    pub fn entry(&self, block: BlockAddr) -> DirEntry {
+        self.entries.get(&block).cloned().unwrap_or_default()
+    }
+
+    /// Mutable access to a block's entry, creating it if absent.
+    pub fn entry_mut(&mut self, block: BlockAddr) -> &mut DirEntry {
+        self.entries.entry(block).or_default()
+    }
+
+    /// Number of blocks with a materialized entry.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no entries have been materialized.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of entries currently in a busy (transient) state.
+    pub fn busy_entries(&self) -> usize {
+        self.entries.values().filter(|e| e.state.is_busy()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nodeset_basic_operations() {
+        let mut s = NodeSet::empty();
+        assert!(s.is_empty());
+        s.insert(3);
+        s.insert(7);
+        assert!(s.contains(3));
+        assert!(!s.contains(4));
+        assert_eq!(s.len(), 2);
+        assert!(s.remove(3));
+        assert!(!s.remove(3));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![7]);
+        assert_eq!(NodeSet::singleton(5).len(), 1);
+        assert_eq!(s.to_string(), "{7}");
+    }
+
+    #[test]
+    fn nodeset_from_iterator() {
+        let s: NodeSet = [1usize, 2, 2, 5].into_iter().collect();
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64 nodes")]
+    fn nodeset_rejects_large_ids() {
+        let mut s = NodeSet::empty();
+        s.insert(64);
+    }
+
+    #[test]
+    fn dirstate_busy_detection() {
+        assert!(!DirState::Uncached.is_busy());
+        assert!(!DirState::Shared(NodeSet::empty()).is_busy());
+        assert!(!DirState::Exclusive(1).is_busy());
+        assert!(DirState::BusyShared { requester: 0, owner: 1 }.is_busy());
+        assert!(DirState::BusyInvalidating { requester: 0, pending_acks: 2 }.is_busy());
+        assert!(DirState::BusyRecall { requester: 0, owner: 1 }.is_busy());
+    }
+
+    #[test]
+    fn directory_entries_default_to_uncached() {
+        let dir = Directory::new();
+        assert!(dir.is_empty());
+        assert_eq!(dir.entry(BlockAddr(9)).state, DirState::Uncached);
+    }
+
+    #[test]
+    fn directory_entry_mut_materializes() {
+        let mut dir = Directory::new();
+        dir.entry_mut(BlockAddr(1)).state = DirState::Exclusive(2);
+        assert_eq!(dir.len(), 1);
+        assert_eq!(dir.entry(BlockAddr(1)).state, DirState::Exclusive(2));
+        assert_eq!(dir.busy_entries(), 0);
+        dir.entry_mut(BlockAddr(2)).state = DirState::BusyRecall { requester: 0, owner: 2 };
+        assert_eq!(dir.busy_entries(), 1);
+    }
+}

@@ -1,0 +1,136 @@
+//! # pdq-dsm: fine-grain distributed shared memory substrate
+//!
+//! The DSM substrate the paper evaluates PDQ on: a Stache-like full-map
+//! invalidation protocol ([`DsmProtocol`]) written against the PDQ interface
+//! (every handler is keyed by the block it manipulates), the fine-grain
+//! access-control tags ([`TagStore`]), the full-map [`Directory`], and the
+//! per-machine protocol [`OccupancyModel`] that reproduces Table 1.
+//!
+//! The protocol here is *functional*: it tracks tags, directory state, and a
+//! verification word per copy so coherence can be tested end-to-end. Timing
+//! (occupancy, queueing, network latency) is layered on top by the machine
+//! models in `pdq-hurricane`.
+//!
+//! ```
+//! use pdq_dsm::{AccessCheck, BlockAddr, BlockSize, DsmConfig, DsmProtocol, ProtocolEvent};
+//!
+//! let mut dsm = DsmProtocol::new(DsmConfig::new(2, BlockSize::B64));
+//! let block = BlockAddr(0);
+//! assert_eq!(dsm.home_of(block), 0);
+//! // Node 1 reading node 0's memory faults...
+//! assert_eq!(dsm.check_access(1, block, false), AccessCheck::FaultNeedsPage);
+//! // ...and the fault handler produces a request message for the home node.
+//! dsm.handle(1, ProtocolEvent::PageOp { page: block.page(BlockSize::B64) });
+//! let outcome = dsm.handle(1, ProtocolEvent::AccessFault { block, write: false, token: 0 });
+//! assert_eq!(outcome.outgoing.len(), 1);
+//! assert_eq!(outcome.outgoing[0].dst, 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod addr;
+mod directory;
+mod msg;
+mod occupancy;
+mod protocol;
+mod tags;
+
+pub use addr::{BlockAddr, BlockSize, GlobalAddr, HomeMap, PageAddr, PAGE_BYTES};
+pub use directory::{DirEntry, DirState, Directory, NodeSet};
+pub use msg::{Message, Outgoing, ProtocolEvent, Request};
+pub use occupancy::{MissBreakdown, OccupancyModel, ProtocolEngine, MULT_SCHEDULING_OVERHEAD};
+pub use protocol::{
+    AccessCheck, Completion, DsmConfig, DsmProtocol, HandlerClass, HandlerOutcome, ProtocolStats,
+    Refault,
+};
+pub use tags::{Access, TagStore};
+
+#[cfg(test)]
+mod property_tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::VecDeque;
+
+    /// Drive the protocol to quiescence with an instantaneous network.
+    fn quiesce(p: &mut DsmProtocol, mut queue: VecDeque<(usize, ProtocolEvent)>) {
+        let mut steps = 0;
+        while let Some((node, event)) = queue.pop_front() {
+            steps += 1;
+            assert!(steps < 100_000, "protocol failed to quiesce");
+            let out = p.handle(node, event);
+            for o in out.outgoing {
+                queue.push_back((o.dst, ProtocolEvent::Incoming { src: node, msg: o.msg }));
+            }
+            for r in out.refaults {
+                queue.push_back((
+                    node,
+                    ProtocolEvent::AccessFault { block: r.block, write: r.write, token: r.token },
+                ));
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Single-writer / multiple-reader invariant: after any sequence of
+        /// read/write faults has been fully processed, at most one node holds
+        /// write access to a block, and if any node holds write access then no
+        /// other node holds any access.
+        #[test]
+        fn coherence_invariant_holds(ops in proptest::collection::vec((0usize..4, 0u64..6, any::<bool>()), 1..60)) {
+            let mut p = DsmProtocol::new(DsmConfig::new(4, BlockSize::B64));
+            for (i, (node, block_idx, write)) in ops.iter().enumerate() {
+                let block = BlockAddr(*block_idx * 97 + 130);
+                let page = block.page(BlockSize::B64);
+                if !p.page_allocated(*node, page) {
+                    quiesce(&mut p, VecDeque::from(vec![(*node, ProtocolEvent::PageOp { page })]));
+                }
+                quiesce(&mut p, VecDeque::from(vec![(
+                    *node,
+                    ProtocolEvent::AccessFault { block, write: *write, token: i as u64 },
+                )]));
+            }
+            // Check the invariant for every touched block.
+            for (_, block_idx, _) in &ops {
+                let block = BlockAddr(*block_idx * 97 + 130);
+                let writers = (0..4).filter(|n| p.tag(*n, block) == Access::ReadWrite).count();
+                let readers = (0..4).filter(|n| p.tag(*n, block) == Access::ReadOnly).count();
+                prop_assert!(writers <= 1, "more than one writer for {}", block);
+                if writers == 1 {
+                    prop_assert_eq!(readers, 0, "readers coexist with a writer for {}", block);
+                }
+            }
+        }
+
+        /// Value propagation: a value written by whichever node last obtained
+        /// write access is the value any other node subsequently reads.
+        #[test]
+        fn last_write_is_visible(writes in proptest::collection::vec(0usize..4, 1..20), reader in 0usize..4) {
+            let mut p = DsmProtocol::new(DsmConfig::new(4, BlockSize::B64));
+            let block = BlockAddr(777);
+            let page = block.page(BlockSize::B64);
+            let mut expected = 0u64;
+            for (i, writer) in writes.iter().enumerate() {
+                if !p.page_allocated(*writer, page) {
+                    quiesce(&mut p, VecDeque::from(vec![(*writer, ProtocolEvent::PageOp { page })]));
+                }
+                quiesce(&mut p, VecDeque::from(vec![(
+                    *writer,
+                    ProtocolEvent::AccessFault { block, write: true, token: i as u64 },
+                )]));
+                expected = (i as u64 + 1) * 10;
+                prop_assert!(p.cpu_write(*writer, block, expected));
+            }
+            if !p.page_allocated(reader, page) {
+                quiesce(&mut p, VecDeque::from(vec![(reader, ProtocolEvent::PageOp { page })]));
+            }
+            quiesce(&mut p, VecDeque::from(vec![(
+                reader,
+                ProtocolEvent::AccessFault { block, write: false, token: 999 },
+            )]));
+            prop_assert_eq!(p.cpu_read(reader, block), Some(expected));
+        }
+    }
+}

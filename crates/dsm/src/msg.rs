@@ -1,0 +1,243 @@
+//! Protocol messages and events.
+
+use std::fmt;
+
+use pdq_core::SyncKey;
+use pdq_sim::NodeId;
+
+use crate::addr::{BlockAddr, PageAddr};
+
+/// A coherence request sent to a block's home node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Request {
+    /// Requester wants a read-only copy.
+    GetShared,
+    /// Requester wants a writable copy (invalidating all others).
+    GetExclusive,
+}
+
+/// A protocol message travelling between nodes (or from a node to itself when
+/// the requester is the home node).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Message {
+    /// A coherence request from `requester` for `block`.
+    Req {
+        /// The request kind.
+        request: Request,
+        /// The faulting node.
+        requester: NodeId,
+        /// The block being requested.
+        block: BlockAddr,
+    },
+    /// Home asks a sharer to drop its read-only copy.
+    Invalidate {
+        /// The block to invalidate.
+        block: BlockAddr,
+        /// The home node expecting the acknowledgement.
+        home: NodeId,
+    },
+    /// A sharer acknowledges an invalidation.
+    InvalAck {
+        /// The block that was invalidated.
+        block: BlockAddr,
+        /// The node acknowledging.
+        from: NodeId,
+    },
+    /// Home asks the exclusive owner to downgrade to read-only and send the
+    /// current data back.
+    RecallShared {
+        /// The block being recalled.
+        block: BlockAddr,
+        /// The home node expecting the writeback.
+        home: NodeId,
+    },
+    /// Home asks the exclusive owner to give up its copy entirely.
+    RecallExclusive {
+        /// The block being recalled.
+        block: BlockAddr,
+        /// The home node expecting the writeback.
+        home: NodeId,
+    },
+    /// The (former) owner returns the current data, keeping a read-only copy.
+    WritebackShared {
+        /// The block written back.
+        block: BlockAddr,
+        /// The node writing back.
+        from: NodeId,
+        /// The current value of the block's verification word.
+        value: u64,
+    },
+    /// The (former) owner returns the current data and drops its copy.
+    WritebackExclusive {
+        /// The block written back.
+        block: BlockAddr,
+        /// The node writing back.
+        from: NodeId,
+        /// The current value of the block's verification word.
+        value: u64,
+    },
+    /// Home grants a read-only copy carrying the data.
+    DataShared {
+        /// The block granted.
+        block: BlockAddr,
+        /// The value of the block's verification word.
+        value: u64,
+    },
+    /// Home grants a writable copy carrying the data.
+    DataExclusive {
+        /// The block granted.
+        block: BlockAddr,
+        /// The value of the block's verification word.
+        value: u64,
+    },
+}
+
+impl Message {
+    /// The block the message concerns.
+    pub fn block(&self) -> BlockAddr {
+        match *self {
+            Message::Req { block, .. }
+            | Message::Invalidate { block, .. }
+            | Message::InvalAck { block, .. }
+            | Message::RecallShared { block, .. }
+            | Message::RecallExclusive { block, .. }
+            | Message::WritebackShared { block, .. }
+            | Message::WritebackExclusive { block, .. }
+            | Message::DataShared { block, .. }
+            | Message::DataExclusive { block, .. } => block,
+        }
+    }
+
+    /// The PDQ synchronization key of the handler for this message: the block
+    /// address.
+    pub fn sync_key(&self) -> SyncKey {
+        self.block().sync_key()
+    }
+
+    /// Whether the message carries a data block (and therefore occupies the
+    /// network and the handlers for longer).
+    pub fn carries_data(&self) -> bool {
+        matches!(
+            self,
+            Message::WritebackShared { .. }
+                | Message::WritebackExclusive { .. }
+                | Message::DataShared { .. }
+                | Message::DataExclusive { .. }
+        )
+    }
+}
+
+impl fmt::Display for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Message::Req { request: Request::GetShared, requester, block } => {
+                write!(f, "GETS({block}) from node {requester}")
+            }
+            Message::Req { request: Request::GetExclusive, requester, block } => {
+                write!(f, "GETX({block}) from node {requester}")
+            }
+            Message::Invalidate { block, .. } => write!(f, "INVAL({block})"),
+            Message::InvalAck { block, from } => write!(f, "INVAL_ACK({block}) from node {from}"),
+            Message::RecallShared { block, .. } => write!(f, "RECALL_S({block})"),
+            Message::RecallExclusive { block, .. } => write!(f, "RECALL_X({block})"),
+            Message::WritebackShared { block, .. } => write!(f, "WB_S({block})"),
+            Message::WritebackExclusive { block, .. } => write!(f, "WB_X({block})"),
+            Message::DataShared { block, .. } => write!(f, "DATA_S({block})"),
+            Message::DataExclusive { block, .. } => write!(f, "DATA_X({block})"),
+        }
+    }
+}
+
+/// A protocol event delivered to a node's PDQ: either a local block access
+/// fault or an incoming network message (Figure 5/6: both event types flow
+/// into the same queue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolEvent {
+    /// A compute processor on this node accessed a block without sufficient
+    /// access rights.
+    AccessFault {
+        /// The block that faulted.
+        block: BlockAddr,
+        /// Whether the faulting access was a store.
+        write: bool,
+        /// Caller-chosen token identifying the stalled computation; returned
+        /// in [`HandlerOutcome::completions`](crate::HandlerOutcome) when the
+        /// miss is satisfied.
+        token: u64,
+    },
+    /// A message arrived from `src` (possibly this node itself).
+    Incoming {
+        /// The sending node.
+        src: NodeId,
+        /// The message.
+        msg: Message,
+    },
+    /// Allocate (or deallocate) the Stache page frame for `page`; handlers for
+    /// this event manipulate the tags of every block in the page and therefore
+    /// use the `Sequential` synchronization key.
+    PageOp {
+        /// The page being allocated.
+        page: PageAddr,
+    },
+}
+
+impl ProtocolEvent {
+    /// The PDQ synchronization key of this event.
+    pub fn sync_key(&self) -> SyncKey {
+        match self {
+            ProtocolEvent::AccessFault { block, .. } => block.sync_key(),
+            ProtocolEvent::Incoming { msg, .. } => msg.sync_key(),
+            ProtocolEvent::PageOp { .. } => SyncKey::Sequential,
+        }
+    }
+}
+
+/// An outgoing message produced by a handler, to be delivered to `dst`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Outgoing {
+    /// The destination node (may equal the sending node).
+    pub dst: NodeId,
+    /// The message to deliver.
+    pub msg: Message,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_block_and_key() {
+        let m = Message::DataShared { block: BlockAddr(0x42), value: 7 };
+        assert_eq!(m.block(), BlockAddr(0x42));
+        assert_eq!(m.sync_key(), SyncKey::key(0x42));
+        assert!(m.carries_data());
+    }
+
+    #[test]
+    fn control_messages_do_not_carry_data() {
+        let m = Message::Invalidate { block: BlockAddr(1), home: 0 };
+        assert!(!m.carries_data());
+        let m = Message::Req { request: Request::GetShared, requester: 1, block: BlockAddr(1) };
+        assert!(!m.carries_data());
+    }
+
+    #[test]
+    fn event_sync_keys() {
+        let fault = ProtocolEvent::AccessFault { block: BlockAddr(9), write: true, token: 0 };
+        assert_eq!(fault.sync_key(), SyncKey::key(9));
+        let page = ProtocolEvent::PageOp { page: PageAddr(1) };
+        assert_eq!(page.sync_key(), SyncKey::Sequential);
+        let incoming = ProtocolEvent::Incoming {
+            src: 0,
+            msg: Message::InvalAck { block: BlockAddr(3), from: 0 },
+        };
+        assert_eq!(incoming.sync_key(), SyncKey::key(3));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let m = Message::Req { request: Request::GetExclusive, requester: 2, block: BlockAddr(5) };
+        assert!(m.to_string().contains("GETX"));
+        assert!(m.to_string().contains("node 2"));
+    }
+}

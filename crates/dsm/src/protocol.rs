@@ -1,0 +1,858 @@
+//! The Stache coherence protocol, written against the PDQ interface.
+//!
+//! [`DsmProtocol`] holds the *functional* state of the whole cluster: per-node
+//! fine-grain tags, per-home full-map directories, the pending-fault table,
+//! and a verification word per cached copy so tests can check that the
+//! protocol really keeps memory coherent. It knows nothing about time; the
+//! machine models in `pdq-hurricane` drive it event by event, charge each
+//! handler's occupancy from [`OccupancyModel`](crate::OccupancyModel), and
+//! route the [`Outgoing`] messages through the simulated network.
+//!
+//! Every handler is keyed by the block address it manipulates
+//! ([`ProtocolEvent::sync_key`]), which is exactly how the paper's modified
+//! Stache protocol uses the PDQ: handlers for distinct blocks are free to run
+//! in parallel, handlers for the same block are serialized by the queue, and
+//! page-level operations use the `Sequential` key.
+
+use std::collections::{HashMap, HashSet};
+
+use pdq_sim::NodeId;
+
+use crate::addr::{BlockAddr, BlockSize, HomeMap, PageAddr};
+use crate::directory::{DirState, Directory, NodeSet};
+use crate::msg::{Message, Outgoing, ProtocolEvent, Request};
+use crate::tags::{Access, TagStore};
+
+/// Configuration of the DSM protocol instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DsmConfig {
+    /// Number of nodes in the cluster.
+    pub nodes: usize,
+    /// Coherence block size.
+    pub block_size: BlockSize,
+}
+
+impl DsmConfig {
+    /// Creates a configuration (nodes clamped to at least one).
+    pub fn new(nodes: usize, block_size: BlockSize) -> Self {
+        Self { nodes: nodes.max(1), block_size }
+    }
+}
+
+/// Classification of a handler execution, used by the occupancy model to
+/// charge the right cost (the rows of Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HandlerClass {
+    /// A block-access-fault handler: read fault state, send a request.
+    Request,
+    /// A home handler that reads or writes a memory block and sends a data
+    /// message (the "reply" row of Table 1).
+    ReplyData,
+    /// A home handler that only updates directory state and sends control
+    /// messages (invalidations, recalls) or defers the request.
+    ReplyControl,
+    /// A handler at a third node that only changes a tag and sends a control
+    /// message (invalidation acknowledgements and similar).
+    Control,
+    /// A handler at the requester that installs arriving data and resumes the
+    /// computation (the "response" row of Table 1).
+    Response,
+    /// A page allocation/deallocation handler (`Sequential` key).
+    PageOp,
+}
+
+/// A stalled computation whose miss has been satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// The token passed in the originating [`ProtocolEvent::AccessFault`].
+    pub token: u64,
+    /// The block whose miss completed.
+    pub block: BlockAddr,
+    /// Whether the satisfied access was a store.
+    pub write: bool,
+}
+
+/// A stalled computation that must fault again (it needed write access but the
+/// outstanding request only obtained a read-only copy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Refault {
+    /// The token of the stalled computation.
+    pub token: u64,
+    /// The block to fault on again.
+    pub block: BlockAddr,
+    /// Whether the access is a store (always `true` in practice).
+    pub write: bool,
+}
+
+/// Everything a handler produced: messages to send, computations to wake,
+/// faults to re-issue, and the number of block-sized memory accesses it made
+/// (for the cost model).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HandlerOutcome {
+    /// How the handler should be charged by the occupancy model.
+    pub class: Option<HandlerClass>,
+    /// Messages to deliver (possibly to the sending node itself).
+    pub outgoing: Vec<Outgoing>,
+    /// Stalled computations whose miss is now satisfied.
+    pub completions: Vec<Completion>,
+    /// Stalled computations that must re-issue their fault.
+    pub refaults: Vec<Refault>,
+    /// Number of block-sized memory accesses the handler performed.
+    pub memory_blocks: u32,
+}
+
+impl HandlerOutcome {
+    fn with_class(class: HandlerClass) -> Self {
+        Self { class: Some(class), ..Self::default() }
+    }
+
+    /// The handler class; defaults to [`HandlerClass::Control`] when the
+    /// handler did nothing noteworthy.
+    pub fn class(&self) -> HandlerClass {
+        self.class.unwrap_or(HandlerClass::Control)
+    }
+
+    /// Whether any of the outgoing messages carries a data block.
+    pub fn sends_data(&self) -> bool {
+        self.outgoing.iter().any(|o| o.msg.carries_data())
+    }
+}
+
+/// The result of checking whether a processor access hits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessCheck {
+    /// The access is permitted by the node's current tag.
+    Hit,
+    /// The access faults and a [`ProtocolEvent::AccessFault`] must be raised.
+    Fault,
+    /// The access faults and additionally the page has no frame allocated on
+    /// this node yet, so a [`ProtocolEvent::PageOp`] must run first.
+    FaultNeedsPage,
+}
+
+/// Aggregate protocol statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProtocolStats {
+    /// Access faults handled.
+    pub faults: u64,
+    /// Requests deferred because the directory entry was busy.
+    pub deferred: u64,
+    /// Messages produced by handlers.
+    pub messages: u64,
+    /// Data-carrying messages produced.
+    pub data_messages: u64,
+    /// Invalidations sent.
+    pub invalidations: u64,
+    /// Handlers executed, by class.
+    pub handlers: HashMap<HandlerClass, u64>,
+}
+
+#[derive(Debug, Clone)]
+struct PendingFault {
+    tokens: Vec<(u64, bool)>,
+}
+
+/// Functional state of the Stache protocol for a whole cluster.
+#[derive(Debug, Clone)]
+pub struct DsmProtocol {
+    config: DsmConfig,
+    home: HomeMap,
+    tags: Vec<TagStore>,
+    dirs: Vec<Directory>,
+    copies: Vec<HashMap<BlockAddr, u64>>,
+    pending: Vec<HashMap<BlockAddr, PendingFault>>,
+    pages: Vec<HashSet<PageAddr>>,
+    stats: ProtocolStats,
+}
+
+impl DsmProtocol {
+    /// Creates the protocol state for a cluster.
+    pub fn new(config: DsmConfig) -> Self {
+        let nodes = config.nodes;
+        Self {
+            config,
+            home: HomeMap::new(nodes, config.block_size),
+            tags: (0..nodes).map(TagStore::new).collect(),
+            dirs: (0..nodes).map(|_| Directory::new()).collect(),
+            copies: (0..nodes).map(|_| HashMap::new()).collect(),
+            pending: (0..nodes).map(|_| HashMap::new()).collect(),
+            pages: (0..nodes).map(|_| HashSet::new()).collect(),
+            stats: ProtocolStats::default(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> DsmConfig {
+        self.config
+    }
+
+    /// The home-node map.
+    pub fn home_map(&self) -> HomeMap {
+        self.home
+    }
+
+    /// The home node of `block`.
+    pub fn home_of(&self, block: BlockAddr) -> NodeId {
+        self.home.home_of_block(block)
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &ProtocolStats {
+        &self.stats
+    }
+
+    /// The current access tag `node` holds for `block`.
+    pub fn tag(&self, node: NodeId, block: BlockAddr) -> Access {
+        self.tags[node].tag(block, self.home_of(block))
+    }
+
+    /// Whether `node` has a Stache page frame for `page` (home pages are
+    /// always backed by home memory).
+    pub fn page_allocated(&self, node: NodeId, page: PageAddr) -> bool {
+        self.home.home_of_page(page) == node || self.pages[node].contains(&page)
+    }
+
+    /// Checks whether an access by `node` to `block` (a store if `write`)
+    /// hits, faults, or additionally needs a page frame.
+    pub fn check_access(&self, node: NodeId, block: BlockAddr, write: bool) -> AccessCheck {
+        let home = self.home_of(block);
+        if self.tags[node].access_hits(block, home, write) {
+            AccessCheck::Hit
+        } else if self.page_allocated(node, block.page(self.config.block_size)) {
+            AccessCheck::Fault
+        } else {
+            AccessCheck::FaultNeedsPage
+        }
+    }
+
+    /// Reads the verification word of `block` on `node`.
+    ///
+    /// Returns `None` if the node's tag does not permit reads (the model's
+    /// equivalent of the hardware raising an access fault).
+    pub fn cpu_read(&self, node: NodeId, block: BlockAddr) -> Option<u64> {
+        let home = self.home_of(block);
+        if !self.tags[node].access_hits(block, home, false) {
+            return None;
+        }
+        Some(self.copies[node].get(&block).copied().unwrap_or(0))
+    }
+
+    /// Writes the verification word of `block` on `node`.
+    ///
+    /// Returns `false` (and writes nothing) if the node's tag does not permit
+    /// stores.
+    pub fn cpu_write(&mut self, node: NodeId, block: BlockAddr, value: u64) -> bool {
+        let home = self.home_of(block);
+        if !self.tags[node].access_hits(block, home, true) {
+            return false;
+        }
+        self.copies[node].insert(block, value);
+        true
+    }
+
+    /// Executes the protocol handler for `event` on `node`.
+    pub fn handle(&mut self, node: NodeId, event: ProtocolEvent) -> HandlerOutcome {
+        let outcome = match event {
+            ProtocolEvent::AccessFault { block, write, token } => {
+                self.handle_fault(node, block, write, token)
+            }
+            ProtocolEvent::Incoming { src, msg } => self.handle_message(node, src, msg),
+            ProtocolEvent::PageOp { page } => self.handle_page_op(node, page),
+        };
+        *self.stats.handlers.entry(outcome.class()).or_insert(0) += 1;
+        self.stats.messages += outcome.outgoing.len() as u64;
+        self.stats.data_messages +=
+            outcome.outgoing.iter().filter(|o| o.msg.carries_data()).count() as u64;
+        outcome
+    }
+
+    fn handle_fault(
+        &mut self,
+        node: NodeId,
+        block: BlockAddr,
+        write: bool,
+        token: u64,
+    ) -> HandlerOutcome {
+        self.stats.faults += 1;
+        let mut outcome = HandlerOutcome::with_class(HandlerClass::Request);
+        let home = self.home_of(block);
+
+        // The fault may already be stale (an earlier handler granted access
+        // between the fault being raised and being dispatched).
+        if self.tags[node].access_hits(block, home, write) {
+            outcome.completions.push(Completion { token, block, write });
+            return outcome;
+        }
+
+        match self.pending[node].get_mut(&block) {
+            Some(pending) => {
+                // Merge with the outstanding request for this block.
+                pending.tokens.push((token, write));
+            }
+            None => {
+                self.pending[node].insert(block, PendingFault { tokens: vec![(token, write)] });
+                let request = if write { Request::GetExclusive } else { Request::GetShared };
+                outcome
+                    .outgoing
+                    .push(Outgoing { dst: home, msg: Message::Req { request, requester: node, block } });
+            }
+        }
+        outcome
+    }
+
+    fn handle_page_op(&mut self, node: NodeId, page: PageAddr) -> HandlerOutcome {
+        self.pages[node].insert(page);
+        HandlerOutcome::with_class(HandlerClass::PageOp)
+    }
+
+    fn handle_message(&mut self, node: NodeId, _src: NodeId, msg: Message) -> HandlerOutcome {
+        match msg {
+            Message::Req { request, requester, block } => {
+                let mut outcome = HandlerOutcome::default();
+                self.handle_request(node, requester, request, block, &mut outcome);
+                outcome
+            }
+            Message::Invalidate { block, home } => {
+                let mut outcome = HandlerOutcome::with_class(HandlerClass::Control);
+                self.tags[node].set(block, Access::None);
+                self.copies[node].remove(&block);
+                outcome
+                    .outgoing
+                    .push(Outgoing { dst: home, msg: Message::InvalAck { block, from: node } });
+                outcome
+            }
+            Message::InvalAck { block, from: _ } => {
+                let mut outcome = HandlerOutcome::with_class(HandlerClass::Control);
+                let entry = self.dirs[node].entry_mut(block);
+                let DirState::BusyInvalidating { requester, pending_acks } = entry.state.clone()
+                else {
+                    debug_assert!(false, "InvalAck for a block not being invalidated");
+                    return outcome;
+                };
+                if pending_acks > 1 {
+                    entry.state = DirState::BusyInvalidating { requester, pending_acks: pending_acks - 1 };
+                    return outcome;
+                }
+                // Last acknowledgement: grant the writable copy from home memory.
+                entry.state = DirState::Exclusive(requester);
+                let value = self.copies[node].get(&block).copied().unwrap_or(0);
+                outcome.class = Some(HandlerClass::ReplyData);
+                outcome.memory_blocks += 1;
+                outcome
+                    .outgoing
+                    .push(Outgoing { dst: requester, msg: Message::DataExclusive { block, value } });
+                if requester != node {
+                    self.tags[node].set(block, Access::None);
+                }
+                self.process_deferred(node, block, &mut outcome);
+                outcome
+            }
+            Message::RecallShared { block, home } => {
+                let mut outcome = HandlerOutcome::with_class(HandlerClass::ReplyData);
+                self.tags[node].set(block, Access::ReadOnly);
+                let value = self.copies[node].get(&block).copied().unwrap_or(0);
+                outcome.memory_blocks += 1;
+                outcome.outgoing.push(Outgoing {
+                    dst: home,
+                    msg: Message::WritebackShared { block, from: node, value },
+                });
+                outcome
+            }
+            Message::RecallExclusive { block, home } => {
+                let mut outcome = HandlerOutcome::with_class(HandlerClass::ReplyData);
+                self.tags[node].set(block, Access::None);
+                let value = self.copies[node].remove(&block).unwrap_or(0);
+                outcome.memory_blocks += 1;
+                outcome.outgoing.push(Outgoing {
+                    dst: home,
+                    msg: Message::WritebackExclusive { block, from: node, value },
+                });
+                outcome
+            }
+            Message::WritebackShared { block, from, value } => {
+                let mut outcome = HandlerOutcome::with_class(HandlerClass::ReplyData);
+                self.copies[node].insert(block, value);
+                outcome.memory_blocks += 1;
+                let entry = self.dirs[node].entry_mut(block);
+                let DirState::BusyShared { requester, owner } = entry.state.clone() else {
+                    debug_assert!(false, "WritebackShared for a block not being recalled");
+                    return outcome;
+                };
+                debug_assert_eq!(owner, from);
+                let mut sharers = NodeSet::empty();
+                if owner != node {
+                    sharers.insert(owner);
+                }
+                if requester != node {
+                    sharers.insert(requester);
+                }
+                entry.state = DirState::Shared(sharers);
+                if node != requester && node != owner {
+                    self.tags[node].set(block, Access::ReadOnly);
+                }
+                outcome
+                    .outgoing
+                    .push(Outgoing { dst: requester, msg: Message::DataShared { block, value } });
+                self.process_deferred(node, block, &mut outcome);
+                outcome
+            }
+            Message::WritebackExclusive { block, from, value } => {
+                let mut outcome = HandlerOutcome::with_class(HandlerClass::ReplyData);
+                self.copies[node].insert(block, value);
+                outcome.memory_blocks += 1;
+                let entry = self.dirs[node].entry_mut(block);
+                let DirState::BusyRecall { requester, owner } = entry.state.clone() else {
+                    debug_assert!(false, "WritebackExclusive for a block not being recalled");
+                    return outcome;
+                };
+                debug_assert_eq!(owner, from);
+                entry.state = DirState::Exclusive(requester);
+                if requester != node {
+                    self.tags[node].set(block, Access::None);
+                }
+                outcome
+                    .outgoing
+                    .push(Outgoing { dst: requester, msg: Message::DataExclusive { block, value } });
+                self.process_deferred(node, block, &mut outcome);
+                outcome
+            }
+            Message::DataShared { block, value } => {
+                let mut outcome = HandlerOutcome::with_class(HandlerClass::Response);
+                self.tags[node].set(block, Access::ReadOnly);
+                self.copies[node].insert(block, value);
+                outcome.memory_blocks += 1;
+                self.complete_pending(node, block, false, &mut outcome);
+                outcome
+            }
+            Message::DataExclusive { block, value } => {
+                let mut outcome = HandlerOutcome::with_class(HandlerClass::Response);
+                self.tags[node].set(block, Access::ReadWrite);
+                self.copies[node].insert(block, value);
+                outcome.memory_blocks += 1;
+                self.complete_pending(node, block, true, &mut outcome);
+                outcome
+            }
+        }
+    }
+
+    /// Completes (or re-faults) the pending tokens of `node` for `block`,
+    /// given that the node now holds access sufficient for `got_write`.
+    fn complete_pending(
+        &mut self,
+        node: NodeId,
+        block: BlockAddr,
+        got_write: bool,
+        outcome: &mut HandlerOutcome,
+    ) {
+        let Some(pending) = self.pending[node].remove(&block) else {
+            return;
+        };
+        for (token, needs_write) in pending.tokens {
+            if needs_write && !got_write {
+                outcome.refaults.push(Refault { token, block, write: true });
+            } else {
+                outcome.completions.push(Completion { token, block, write: needs_write });
+            }
+        }
+    }
+
+    /// Serves a coherence request at the home node, possibly deferring it.
+    fn handle_request(
+        &mut self,
+        home: NodeId,
+        requester: NodeId,
+        request: Request,
+        block: BlockAddr,
+        outcome: &mut HandlerOutcome,
+    ) {
+        let state = self.dirs[home].entry(block).state;
+        if state.is_busy() {
+            self.dirs[home].entry_mut(block).deferred.push((requester, request));
+            self.stats.deferred += 1;
+            if outcome.class.is_none() {
+                outcome.class = Some(HandlerClass::ReplyControl);
+            }
+            return;
+        }
+
+        match (request, state) {
+            (Request::GetShared, DirState::Uncached) => {
+                let value = self.copies[home].get(&block).copied().unwrap_or(0);
+                self.dirs[home].entry_mut(block).state = if requester == home {
+                    DirState::Uncached
+                } else {
+                    DirState::Shared(NodeSet::singleton(requester))
+                };
+                if requester != home {
+                    self.tags[home].set(block, Access::ReadOnly);
+                }
+                outcome.memory_blocks += 1;
+                outcome.class = Some(HandlerClass::ReplyData);
+                outcome
+                    .outgoing
+                    .push(Outgoing { dst: requester, msg: Message::DataShared { block, value } });
+            }
+            (Request::GetShared, DirState::Shared(mut sharers)) => {
+                let value = self.copies[home].get(&block).copied().unwrap_or(0);
+                if requester != home {
+                    sharers.insert(requester);
+                }
+                self.dirs[home].entry_mut(block).state = DirState::Shared(sharers);
+                outcome.memory_blocks += 1;
+                outcome.class = Some(HandlerClass::ReplyData);
+                outcome
+                    .outgoing
+                    .push(Outgoing { dst: requester, msg: Message::DataShared { block, value } });
+            }
+            (Request::GetShared, DirState::Exclusive(owner)) => {
+                if owner == requester {
+                    // The requester already owns the block; re-grant.
+                    let value = self.copies[home].get(&block).copied().unwrap_or(0);
+                    outcome.memory_blocks += 1;
+                    outcome.class = Some(HandlerClass::ReplyData);
+                    outcome
+                        .outgoing
+                        .push(Outgoing { dst: requester, msg: Message::DataExclusive { block, value } });
+                } else {
+                    self.dirs[home].entry_mut(block).state =
+                        DirState::BusyShared { requester, owner };
+                    outcome.class = Some(HandlerClass::ReplyControl);
+                    outcome
+                        .outgoing
+                        .push(Outgoing { dst: owner, msg: Message::RecallShared { block, home } });
+                }
+            }
+            (Request::GetExclusive, DirState::Uncached) => {
+                let value = self.copies[home].get(&block).copied().unwrap_or(0);
+                self.dirs[home].entry_mut(block).state = DirState::Exclusive(requester);
+                if requester != home {
+                    self.tags[home].set(block, Access::None);
+                }
+                outcome.memory_blocks += 1;
+                outcome.class = Some(HandlerClass::ReplyData);
+                outcome
+                    .outgoing
+                    .push(Outgoing { dst: requester, msg: Message::DataExclusive { block, value } });
+            }
+            (Request::GetExclusive, DirState::Shared(sharers)) => {
+                let mut targets = sharers;
+                targets.remove(requester);
+                if requester != home {
+                    self.tags[home].set(block, Access::None);
+                }
+                if targets.is_empty() {
+                    let value = self.copies[home].get(&block).copied().unwrap_or(0);
+                    self.dirs[home].entry_mut(block).state = DirState::Exclusive(requester);
+                    outcome.memory_blocks += 1;
+                    outcome.class = Some(HandlerClass::ReplyData);
+                    outcome
+                        .outgoing
+                        .push(Outgoing { dst: requester, msg: Message::DataExclusive { block, value } });
+                } else {
+                    self.dirs[home].entry_mut(block).state = DirState::BusyInvalidating {
+                        requester,
+                        pending_acks: targets.len(),
+                    };
+                    outcome.class = Some(HandlerClass::ReplyControl);
+                    for target in targets.iter() {
+                        self.stats.invalidations += 1;
+                        outcome
+                            .outgoing
+                            .push(Outgoing { dst: target, msg: Message::Invalidate { block, home } });
+                    }
+                }
+            }
+            (Request::GetExclusive, DirState::Exclusive(owner)) => {
+                if owner == requester {
+                    let value = self.copies[home].get(&block).copied().unwrap_or(0);
+                    outcome.memory_blocks += 1;
+                    outcome.class = Some(HandlerClass::ReplyData);
+                    outcome
+                        .outgoing
+                        .push(Outgoing { dst: requester, msg: Message::DataExclusive { block, value } });
+                } else {
+                    self.dirs[home].entry_mut(block).state = DirState::BusyRecall { requester, owner };
+                    outcome.class = Some(HandlerClass::ReplyControl);
+                    outcome
+                        .outgoing
+                        .push(Outgoing { dst: owner, msg: Message::RecallExclusive { block, home } });
+                }
+            }
+            // `is_busy` states were handled above.
+            (_, state) => {
+                debug_assert!(!state.is_busy(), "busy states handled before the match");
+            }
+        }
+    }
+
+    /// If the block's entry returned to a stable state and requests were
+    /// deferred, serve the oldest one now.
+    fn process_deferred(&mut self, home: NodeId, block: BlockAddr, outcome: &mut HandlerOutcome) {
+        loop {
+            let entry = self.dirs[home].entry_mut(block);
+            if entry.state.is_busy() || entry.deferred.is_empty() {
+                return;
+            }
+            let (requester, request) = entry.deferred.remove(0);
+            self.handle_request(home, requester, request, block, outcome);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::VecDeque;
+
+    const B: BlockAddr = BlockAddr(130); // page 2 under 64-byte blocks -> home 2 % nodes
+
+    fn protocol(nodes: usize) -> DsmProtocol {
+        DsmProtocol::new(DsmConfig::new(nodes, BlockSize::B64))
+    }
+
+    /// Drives the protocol with an instantaneous network until no messages or
+    /// refaults remain. Returns the total number of handlers executed.
+    fn run_to_quiescence(p: &mut DsmProtocol, initial: Vec<(NodeId, ProtocolEvent)>) -> u64 {
+        let mut queue: VecDeque<(NodeId, ProtocolEvent)> = initial.into();
+        let mut handlers = 0;
+        while let Some((node, event)) = queue.pop_front() {
+            handlers += 1;
+            assert!(handlers < 10_000, "protocol did not quiesce");
+            let outcome = p.handle(node, event);
+            for out in outcome.outgoing {
+                queue.push_back((out.dst, ProtocolEvent::Incoming { src: node, msg: out.msg }));
+            }
+            for refault in outcome.refaults {
+                queue.push_back((
+                    node,
+                    ProtocolEvent::AccessFault {
+                        block: refault.block,
+                        write: refault.write,
+                        token: refault.token,
+                    },
+                ));
+            }
+        }
+        handlers
+    }
+
+    fn fault(node: NodeId, block: BlockAddr, write: bool, token: u64) -> (NodeId, ProtocolEvent) {
+        (node, ProtocolEvent::AccessFault { block, write, token })
+    }
+
+    #[test]
+    fn home_node_hits_its_own_memory() {
+        let p = protocol(4);
+        let home = p.home_of(B);
+        assert_eq!(p.check_access(home, B, true), AccessCheck::Hit);
+        assert_eq!(p.cpu_read(home, B), Some(0));
+    }
+
+    #[test]
+    fn remote_access_faults_and_needs_a_page_frame() {
+        let p = protocol(4);
+        let home = p.home_of(B);
+        let remote = (home + 1) % 4;
+        assert_eq!(p.check_access(remote, B, false), AccessCheck::FaultNeedsPage);
+    }
+
+    #[test]
+    fn remote_read_miss_grants_a_read_only_copy() {
+        let mut p = protocol(4);
+        let home = p.home_of(B);
+        let remote = (home + 1) % 4;
+        // Home writes 99 into the block, then the remote node reads it.
+        assert!(p.cpu_write(home, B, 99));
+        run_to_quiescence(&mut p, vec![fault(remote, B, false, 7)]);
+        assert_eq!(p.tag(remote, B), Access::ReadOnly);
+        assert_eq!(p.cpu_read(remote, B), Some(99));
+        // Home was downgraded to read-only (a later home write must fault).
+        assert_eq!(p.tag(home, B), Access::ReadOnly);
+        assert_eq!(p.check_access(home, B, true), AccessCheck::Fault);
+    }
+
+    #[test]
+    fn remote_write_miss_takes_ownership_away_from_home() {
+        let mut p = protocol(4);
+        let home = p.home_of(B);
+        let remote = (home + 1) % 4;
+        run_to_quiescence(&mut p, vec![fault(remote, B, true, 1)]);
+        assert_eq!(p.tag(remote, B), Access::ReadWrite);
+        assert_eq!(p.tag(home, B), Access::None);
+        assert!(p.cpu_write(remote, B, 1234));
+        assert_eq!(p.cpu_read(home, B), None, "home lost read access");
+    }
+
+    #[test]
+    fn three_hop_read_returns_the_writers_value() {
+        let mut p = protocol(4);
+        let home = p.home_of(B);
+        let writer = (home + 1) % 4;
+        let reader = (home + 2) % 4;
+        run_to_quiescence(&mut p, vec![fault(writer, B, true, 1)]);
+        assert!(p.cpu_write(writer, B, 42));
+        // Reader misses; home recalls the block from the writer.
+        run_to_quiescence(&mut p, vec![fault(reader, B, false, 2)]);
+        assert_eq!(p.cpu_read(reader, B), Some(42));
+        assert_eq!(p.tag(writer, B), Access::ReadOnly, "writer was downgraded");
+        assert_eq!(p.cpu_read(home, B), Some(42), "home memory was updated by the writeback");
+    }
+
+    #[test]
+    fn write_invalidates_all_sharers() {
+        let mut p = protocol(4);
+        let home = p.home_of(B);
+        let a = (home + 1) % 4;
+        let b = (home + 2) % 4;
+        run_to_quiescence(&mut p, vec![fault(a, B, false, 1), fault(b, B, false, 2)]);
+        assert_eq!(p.tag(a, B), Access::ReadOnly);
+        assert_eq!(p.tag(b, B), Access::ReadOnly);
+        // Home itself now writes: needs exclusive access, invalidating a and b.
+        run_to_quiescence(&mut p, vec![fault(home, B, true, 3)]);
+        assert_eq!(p.tag(home, B), Access::ReadWrite);
+        assert_eq!(p.tag(a, B), Access::None);
+        assert_eq!(p.tag(b, B), Access::None);
+        assert!(p.stats().invalidations >= 2);
+    }
+
+    #[test]
+    fn read_then_write_by_same_node_refaults_for_ownership() {
+        let mut p = protocol(4);
+        let home = p.home_of(B);
+        let remote = (home + 1) % 4;
+        run_to_quiescence(&mut p, vec![fault(remote, B, false, 1)]);
+        assert_eq!(p.tag(remote, B), Access::ReadOnly);
+        // Now a store: must upgrade to read-write.
+        run_to_quiescence(&mut p, vec![fault(remote, B, true, 2)]);
+        assert_eq!(p.tag(remote, B), Access::ReadWrite);
+    }
+
+    #[test]
+    fn concurrent_faults_on_one_block_both_complete() {
+        let mut p = protocol(4);
+        let home = p.home_of(B);
+        let a = (home + 1) % 4;
+        let b = (home + 2) % 4;
+        // Both nodes want to write the same block "at the same time".
+        run_to_quiescence(&mut p, vec![fault(a, B, true, 1), fault(b, B, true, 2)]);
+        // Exactly one of them can end with write access; the protocol must not
+        // leave both writable.
+        let writable = [a, b]
+            .iter()
+            .filter(|n| p.tag(**n, B) == Access::ReadWrite)
+            .count();
+        assert_eq!(writable, 1, "exactly one node may hold a writable copy");
+    }
+
+    #[test]
+    fn requests_arriving_at_a_busy_entry_are_deferred_and_eventually_served() {
+        let mut p = protocol(4);
+        let home = p.home_of(B);
+        let a = (home + 1) % 4;
+        let b = (home + 2) % 4;
+        let c = (home + 3) % 4;
+        // Three nodes race to write the same block. With three requests in
+        // flight, at least one arrives while the entry is busy recalling the
+        // block and must be deferred; all of them must eventually be served.
+        run_to_quiescence(&mut p, vec![fault(a, B, true, 1), fault(b, B, true, 2), fault(c, B, true, 3)]);
+        let writable = [a, b, c].iter().filter(|n| p.tag(**n, B) == Access::ReadWrite).count();
+        assert_eq!(writable, 1, "exactly one node may hold a writable copy");
+        assert!(p.stats().deferred >= 1, "at least one request must have been deferred");
+        // Every node can still obtain the block afterwards.
+        run_to_quiescence(&mut p, vec![fault(a, B, false, 9)]);
+        assert!(p.cpu_read(a, B).is_some());
+    }
+
+    #[test]
+    fn pending_faults_on_one_node_are_merged() {
+        let mut p = protocol(4);
+        let home = p.home_of(B);
+        let remote = (home + 1) % 4;
+        // Two CPUs of the same node fault on the same block before the first
+        // request completes: only one request message may be sent.
+        let f1 = p.handle(remote, ProtocolEvent::AccessFault { block: B, write: false, token: 1 });
+        let f2 = p.handle(remote, ProtocolEvent::AccessFault { block: B, write: false, token: 2 });
+        assert_eq!(f1.outgoing.len(), 1);
+        assert!(f2.outgoing.is_empty(), "second fault must piggyback on the first request");
+        // Deliver the request and the reply; both tokens complete.
+        let mut completions = Vec::new();
+        let mut queue: VecDeque<(NodeId, Message)> =
+            f1.outgoing.iter().map(|o| (o.dst, o.msg)).collect();
+        while let Some((dst, msg)) = queue.pop_front() {
+            let out = p.handle(dst, ProtocolEvent::Incoming { src: remote, msg });
+            completions.extend(out.completions.iter().map(|c| c.token));
+            queue.extend(out.outgoing.iter().map(|o| (o.dst, o.msg)));
+        }
+        completions.sort_unstable();
+        assert_eq!(completions, vec![1, 2]);
+    }
+
+    #[test]
+    fn stale_fault_completes_immediately() {
+        let mut p = protocol(4);
+        let home = p.home_of(B);
+        let remote = (home + 1) % 4;
+        run_to_quiescence(&mut p, vec![fault(remote, B, false, 1)]);
+        // A second read fault raised before the tag change became visible is
+        // dispatched afterwards: it completes without sending anything.
+        let out = p.handle(remote, ProtocolEvent::AccessFault { block: B, write: false, token: 9 });
+        assert!(out.outgoing.is_empty());
+        assert_eq!(out.completions, vec![Completion { token: 9, block: B, write: false }]);
+    }
+
+    #[test]
+    fn page_op_allocates_a_frame() {
+        let mut p = protocol(4);
+        let home = p.home_of(B);
+        let remote = (home + 1) % 4;
+        let page = B.page(BlockSize::B64);
+        assert!(!p.page_allocated(remote, page));
+        let out = p.handle(remote, ProtocolEvent::PageOp { page });
+        assert_eq!(out.class(), HandlerClass::PageOp);
+        assert!(p.page_allocated(remote, page));
+        assert_eq!(p.check_access(remote, B, false), AccessCheck::Fault);
+    }
+
+    #[test]
+    fn handler_classes_are_recorded_in_stats() {
+        let mut p = protocol(4);
+        let home = p.home_of(B);
+        let remote = (home + 1) % 4;
+        run_to_quiescence(&mut p, vec![fault(remote, B, false, 1)]);
+        let stats = p.stats();
+        assert_eq!(stats.faults, 1);
+        assert!(stats.handlers.get(&HandlerClass::Request).copied().unwrap_or(0) >= 1);
+        assert!(stats.handlers.get(&HandlerClass::ReplyData).copied().unwrap_or(0) >= 1);
+        assert!(stats.handlers.get(&HandlerClass::Response).copied().unwrap_or(0) >= 1);
+        assert!(stats.messages >= 2);
+        assert!(stats.data_messages >= 1);
+    }
+
+    #[test]
+    fn outcome_sends_data_detects_data_messages() {
+        let mut outcome = HandlerOutcome::with_class(HandlerClass::ReplyData);
+        assert!(!outcome.sends_data());
+        outcome.outgoing.push(Outgoing { dst: 0, msg: Message::DataShared { block: B, value: 0 } });
+        assert!(outcome.sends_data());
+    }
+
+    #[test]
+    fn sequential_writers_from_every_node_stay_coherent() {
+        // A randomized-ish churn test: nodes take turns acquiring write access
+        // and incrementing the block's value; the final value must equal the
+        // number of increments (no lost updates).
+        let mut p = protocol(4);
+        let mut expected = 0u64;
+        for round in 0..20u64 {
+            let node = (round % 4) as NodeId;
+            run_to_quiescence(&mut p, vec![fault(node, B, true, round)]);
+            let v = p.cpu_read(node, B).expect("writer must have read access");
+            assert!(p.cpu_write(node, B, v + 1));
+            expected += 1;
+        }
+        // Read back from the home node.
+        let home = p.home_of(B);
+        run_to_quiescence(&mut p, vec![fault(home, B, false, 999)]);
+        assert_eq!(p.cpu_read(home, B), Some(expected));
+    }
+}

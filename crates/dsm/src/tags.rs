@@ -1,0 +1,133 @@
+//! Fine-grain access-control tags.
+//!
+//! Every node keeps a per-block access tag; loads and stores that lack the
+//! required access right raise a *block access fault*, which is one of the two
+//! protocol event types the PDQ collects (the other being network messages).
+//! In the Hurricane hardware these tags live in the custom device ("Fine-Grain
+//! Tags" in Figures 5 and 6).
+
+use std::collections::HashMap;
+
+use pdq_sim::NodeId;
+
+use crate::addr::BlockAddr;
+
+/// The access right a node currently holds for one block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Access {
+    /// No access: any load or store faults.
+    None,
+    /// Read-only access: stores fault.
+    ReadOnly,
+    /// Read-write access.
+    ReadWrite,
+}
+
+impl Access {
+    /// Whether this right permits the given operation.
+    pub fn permits(&self, write: bool) -> bool {
+        match self {
+            Access::None => false,
+            Access::ReadOnly => !write,
+            Access::ReadWrite => true,
+        }
+    }
+}
+
+/// The fine-grain tag store of one node.
+///
+/// A node's tag for a block defaults to [`Access::ReadWrite`] for blocks whose
+/// home is that node (home memory starts out exclusively owned by the home)
+/// and [`Access::None`] for remote blocks.
+#[derive(Debug, Clone, Default)]
+pub struct TagStore {
+    node: NodeId,
+    overrides: HashMap<BlockAddr, Access>,
+}
+
+impl TagStore {
+    /// Creates the tag store of `node`.
+    pub fn new(node: NodeId) -> Self {
+        Self { node, overrides: HashMap::new() }
+    }
+
+    /// The node this store belongs to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Current tag of `block`, given the block's home node.
+    pub fn tag(&self, block: BlockAddr, home: NodeId) -> Access {
+        self.overrides.get(&block).copied().unwrap_or(if home == self.node {
+            Access::ReadWrite
+        } else {
+            Access::None
+        })
+    }
+
+    /// Sets the tag of `block`.
+    pub fn set(&mut self, block: BlockAddr, access: Access) {
+        self.overrides.insert(block, access);
+    }
+
+    /// Whether an access (`write` selects store vs. load) hits, i.e. needs no
+    /// protocol action.
+    pub fn access_hits(&self, block: BlockAddr, home: NodeId, write: bool) -> bool {
+        self.tag(block, home).permits(write)
+    }
+
+    /// Number of blocks whose tag differs from the default.
+    pub fn modified_blocks(&self) -> usize {
+        self.overrides.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_permissions() {
+        assert!(!Access::None.permits(false));
+        assert!(!Access::None.permits(true));
+        assert!(Access::ReadOnly.permits(false));
+        assert!(!Access::ReadOnly.permits(true));
+        assert!(Access::ReadWrite.permits(true));
+    }
+
+    #[test]
+    fn home_blocks_default_to_read_write() {
+        let tags = TagStore::new(2);
+        let block = BlockAddr(10);
+        assert_eq!(tags.tag(block, 2), Access::ReadWrite);
+        assert!(tags.access_hits(block, 2, true));
+    }
+
+    #[test]
+    fn remote_blocks_default_to_none() {
+        let tags = TagStore::new(1);
+        let block = BlockAddr(10);
+        assert_eq!(tags.tag(block, 2), Access::None);
+        assert!(!tags.access_hits(block, 2, false));
+    }
+
+    #[test]
+    fn set_overrides_the_default() {
+        let mut tags = TagStore::new(1);
+        let block = BlockAddr(10);
+        tags.set(block, Access::ReadOnly);
+        assert!(tags.access_hits(block, 2, false));
+        assert!(!tags.access_hits(block, 2, true));
+        tags.set(block, Access::ReadWrite);
+        assert!(tags.access_hits(block, 2, true));
+        assert_eq!(tags.modified_blocks(), 1);
+    }
+
+    #[test]
+    fn home_can_lose_access() {
+        let mut tags = TagStore::new(0);
+        let block = BlockAddr(5);
+        tags.set(block, Access::None);
+        assert!(!tags.access_hits(block, 0, false));
+    }
+}

@@ -1,0 +1,181 @@
+//! Machine and cluster configuration.
+
+use std::fmt;
+
+use pdq_dsm::{BlockSize, ProtocolEngine};
+use pdq_sim::SystemParams;
+use pdq_workloads::Topology;
+
+/// How protocol handlers are scheduled onto processors (Section 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProtocolScheduling {
+    /// S-COMA: a hardware finite-state machine services events one at a time.
+    HardwareFsm,
+    /// Hurricane: embedded protocol processors on the custom device.
+    Embedded,
+    /// Hurricane-1: dedicated commodity SMP processors (in addition to the
+    /// compute processors).
+    Dedicated,
+    /// Hurricane-1 Mult: handlers are multiplexed onto idle compute
+    /// processors, with a memory-bus interrupt as the fallback when every
+    /// processor is busy computing.
+    Multiplexed,
+}
+
+/// The machine being simulated: which protocol engine runs the handlers, how
+/// many protocol processors each node has, and how they are scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MachineSpec {
+    /// The protocol engine (determines occupancies; Table 1).
+    pub engine: ProtocolEngine,
+    /// Protocol processors per node (ignored for `Multiplexed`, where every
+    /// compute processor can execute handlers).
+    pub protocol_processors: usize,
+    /// How handlers are scheduled.
+    pub scheduling: ProtocolScheduling,
+}
+
+impl MachineSpec {
+    /// The all-hardware S-COMA baseline.
+    pub fn scoma() -> Self {
+        Self {
+            engine: ProtocolEngine::SComa,
+            protocol_processors: 1,
+            scheduling: ProtocolScheduling::HardwareFsm,
+        }
+    }
+
+    /// Hurricane with `pp` embedded protocol processors per node.
+    pub fn hurricane(pp: usize) -> Self {
+        Self {
+            engine: ProtocolEngine::Hurricane,
+            protocol_processors: pp.max(1),
+            scheduling: ProtocolScheduling::Embedded,
+        }
+    }
+
+    /// Hurricane-1 with `pp` dedicated SMP protocol processors per node.
+    pub fn hurricane1(pp: usize) -> Self {
+        Self {
+            engine: ProtocolEngine::Hurricane1,
+            protocol_processors: pp.max(1),
+            scheduling: ProtocolScheduling::Dedicated,
+        }
+    }
+
+    /// Hurricane-1 Mult: protocol handlers run on idle compute processors.
+    pub fn hurricane1_mult() -> Self {
+        Self {
+            engine: ProtocolEngine::Hurricane1Mult,
+            protocol_processors: 0,
+            scheduling: ProtocolScheduling::Multiplexed,
+        }
+    }
+
+    /// A short label used in reports (e.g. `"Hurricane 2pp"`).
+    pub fn label(&self) -> String {
+        match self.scheduling {
+            ProtocolScheduling::HardwareFsm => "S-COMA".to_string(),
+            ProtocolScheduling::Embedded => {
+                format!("Hurricane {}pp", self.protocol_processors)
+            }
+            ProtocolScheduling::Dedicated => {
+                format!("Hurricane-1 {}pp", self.protocol_processors)
+            }
+            ProtocolScheduling::Multiplexed => "Hurricane-1 Mult".to_string(),
+        }
+    }
+}
+
+impl fmt::Display for MachineSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// A complete cluster configuration: machine, topology, block size, timing
+/// parameters, PDQ search window, and workload seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterConfig {
+    /// The machine being simulated.
+    pub machine: MachineSpec,
+    /// Cluster shape (nodes × compute processors per node).
+    pub topology: Topology,
+    /// Coherence block size.
+    pub block_size: BlockSize,
+    /// Timing parameters (bus, memory, network, interrupt cost).
+    pub params: SystemParams,
+    /// Associative search window of each node's PDQ.
+    pub search_window: usize,
+    /// Seed for workload generation.
+    pub seed: u64,
+}
+
+impl ClusterConfig {
+    /// The paper's baseline configuration for the given machine: a cluster of
+    /// 8 8-way SMPs with 64-byte blocks.
+    pub fn baseline(machine: MachineSpec) -> Self {
+        Self {
+            machine,
+            topology: Topology::baseline(),
+            block_size: BlockSize::B64,
+            params: SystemParams::new(),
+            search_window: 16,
+            seed: 0x5eed,
+        }
+    }
+
+    /// Replaces the topology, keeping everything else.
+    #[must_use]
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Replaces the block size, keeping everything else.
+    #[must_use]
+    pub fn with_block_size(mut self, block_size: BlockSize) -> Self {
+        self.block_size = block_size;
+        self
+    }
+
+    /// Replaces the workload seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machine_constructors_set_the_right_engines() {
+        assert_eq!(MachineSpec::scoma().engine, ProtocolEngine::SComa);
+        assert_eq!(MachineSpec::hurricane(2).engine, ProtocolEngine::Hurricane);
+        assert_eq!(MachineSpec::hurricane1(4).engine, ProtocolEngine::Hurricane1);
+        assert_eq!(MachineSpec::hurricane1_mult().engine, ProtocolEngine::Hurricane1Mult);
+        assert_eq!(MachineSpec::hurricane(0).protocol_processors, 1);
+    }
+
+    #[test]
+    fn labels_match_the_papers_naming() {
+        assert_eq!(MachineSpec::scoma().label(), "S-COMA");
+        assert_eq!(MachineSpec::hurricane(4).label(), "Hurricane 4pp");
+        assert_eq!(MachineSpec::hurricane1(2).label(), "Hurricane-1 2pp");
+        assert_eq!(MachineSpec::hurricane1_mult().to_string(), "Hurricane-1 Mult");
+    }
+
+    #[test]
+    fn baseline_config_matches_the_paper() {
+        let cfg = ClusterConfig::baseline(MachineSpec::scoma());
+        assert_eq!(cfg.topology.nodes, 8);
+        assert_eq!(cfg.topology.cpus_per_node, 8);
+        assert_eq!(cfg.block_size, BlockSize::B64);
+        let wide = cfg.with_topology(Topology::new(4, 16)).with_block_size(BlockSize::B128);
+        assert_eq!(wide.topology.nodes, 4);
+        assert_eq!(wide.block_size, BlockSize::B128);
+    }
+}

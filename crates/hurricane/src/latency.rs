@@ -1,0 +1,116 @@
+//! The Table-1 remote-read-miss microbenchmark.
+//!
+//! Reproduces the latency breakdown of a simple remote read miss (request /
+//! reply / response categories) for S-COMA, Hurricane, and Hurricane-1, in
+//! 400 MHz processor cycles.
+
+use pdq_dsm::{BlockSize, MissBreakdown, OccupancyModel, ProtocolEngine};
+use pdq_sim::Cycles;
+
+/// One machine's row group in Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyRow {
+    /// The machine.
+    pub engine: ProtocolEngine,
+    /// The per-action breakdown.
+    pub breakdown: MissBreakdown,
+}
+
+impl LatencyRow {
+    /// Total round-trip latency (the "Total" row).
+    pub fn total(&self) -> Cycles {
+        self.breakdown.total()
+    }
+}
+
+/// Computes Table 1 for the given block size (the paper reports 64 bytes).
+pub fn table1(block_size: BlockSize) -> Vec<LatencyRow> {
+    [ProtocolEngine::SComa, ProtocolEngine::Hurricane, ProtocolEngine::Hurricane1]
+        .into_iter()
+        .map(|engine| LatencyRow {
+            engine,
+            breakdown: OccupancyModel::new(engine, block_size).miss_breakdown(),
+        })
+        .collect()
+}
+
+/// Renders Table 1 as text, mirroring the paper's action rows.
+pub fn render_table1(block_size: BlockSize) -> String {
+    let rows = table1(block_size);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Remote read miss latency breakdown ({} block, 400-MHz cycles)\n",
+        block_size
+    ));
+    out.push_str(&format!(
+        "{:<40} {:>8} {:>10} {:>12}\n",
+        "Action", "S-COMA", "Hurricane", "Hurricane-1"
+    ));
+    let field = |f: fn(&MissBreakdown) -> Cycles| -> Vec<u64> {
+        rows.iter().map(|r| f(&r.breakdown).as_u64()).collect()
+    };
+    let lines: Vec<(&str, Vec<u64>)> = vec![
+        ("detect miss, issue bus transaction", field(|b| b.detect_miss)),
+        ("dispatch handler (request)", field(|b| b.request_dispatch)),
+        ("get fault state, send", field(|b| b.request_body)),
+        ("network latency", field(|b| b.network)),
+        ("dispatch handler (reply)", field(|b| b.reply_dispatch)),
+        ("directory lookup", field(|b| b.reply_directory)),
+        ("fetch data, change tag, send", field(|b| b.reply_data)),
+        ("network latency", field(|b| b.network)),
+        ("dispatch handler (response)", field(|b| b.response_dispatch)),
+        ("place data, change tag", field(|b| b.response_body)),
+        ("resume, reissue bus transaction", field(|b| b.resume)),
+        ("fetch data, complete load", field(|b| b.complete_load)),
+    ];
+    for (name, values) in lines {
+        out.push_str(&format!(
+            "{:<40} {:>8} {:>10} {:>12}\n",
+            name, values[0], values[1], values[2]
+        ));
+    }
+    let totals: Vec<u64> = rows.iter().map(|r| r.total().as_u64()).collect();
+    out.push_str(&format!(
+        "{:<40} {:>8} {:>10} {:>12}\n",
+        "Total", totals[0], totals[1], totals[2]
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_totals_match_the_paper_at_64_bytes() {
+        let rows = table1(BlockSize::B64);
+        let totals: Vec<u64> = rows.iter().map(|r| r.total().as_u64()).collect();
+        assert_eq!(totals, vec![440, 584, 1164]);
+    }
+
+    #[test]
+    fn rows_are_ordered_scoma_hurricane_hurricane1() {
+        let rows = table1(BlockSize::B64);
+        assert_eq!(rows[0].engine, ProtocolEngine::SComa);
+        assert_eq!(rows[1].engine, ProtocolEngine::Hurricane);
+        assert_eq!(rows[2].engine, ProtocolEngine::Hurricane1);
+    }
+
+    #[test]
+    fn rendered_table_contains_the_totals() {
+        let text = render_table1(BlockSize::B64);
+        assert!(text.contains("440"));
+        assert!(text.contains("584"));
+        assert!(text.contains("1164"));
+        assert!(text.contains("directory lookup"));
+    }
+
+    #[test]
+    fn larger_blocks_increase_every_total() {
+        let small = table1(BlockSize::B32);
+        let large = table1(BlockSize::B128);
+        for (s, l) in small.iter().zip(&large) {
+            assert!(l.total() > s.total());
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # pdq-hurricane: machine models and cluster simulator
+//!
+//! The Hurricane family of fine-grain DSM machines from the paper, plus the
+//! all-hardware S-COMA baseline, and the discrete-event cluster simulator
+//! that executes the synthetic workloads on them:
+//!
+//! * [`MachineSpec::scoma`] — all-hardware protocol, minimum occupancy;
+//! * [`MachineSpec::hurricane`] — PDQ + embedded protocol processors on a
+//!   custom device;
+//! * [`MachineSpec::hurricane1`] — PDQ + fine-grain tags on the device,
+//!   dedicated SMP protocol processors;
+//! * [`MachineSpec::hurricane1_mult`] — protocol handlers multiplexed onto
+//!   idle compute processors with an interrupt fallback.
+//!
+//! [`simulate`] runs one workload on one configuration and returns a
+//! [`SimReport`] with execution time, speedups, queueing, and protocol
+//! statistics; [`latency::table1`] reproduces the Table-1 miss-latency
+//! breakdown.
+//!
+//! ```
+//! use pdq_hurricane::{simulate, ClusterConfig, MachineSpec};
+//! use pdq_workloads::{AppKind, Topology, WorkloadScale};
+//!
+//! let config = ClusterConfig::baseline(MachineSpec::hurricane(2))
+//!     .with_topology(Topology::new(2, 2));
+//! let report = simulate(config, AppKind::Fft, WorkloadScale::quick());
+//! assert!(report.speedup() > 1.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cluster;
+mod config;
+pub mod latency;
+mod metrics;
+
+pub use cluster::{simulate, ClusterSim};
+pub use config::{ClusterConfig, MachineSpec, ProtocolScheduling};
+pub use metrics::SimReport;

@@ -1,0 +1,135 @@
+//! Simulation results and derived metrics.
+
+use std::fmt;
+
+use pdq_core::QueueStats;
+use pdq_sim::Cycles;
+
+use crate::config::ClusterConfig;
+
+/// The result of one cluster simulation run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// The configuration that was simulated.
+    pub config: ClusterConfig,
+    /// Simulated execution time (when the last processor finished).
+    pub execution_cycles: Cycles,
+    /// Execution time of the same workload on an ideal uniprocessor.
+    pub uniprocessor_cycles: Cycles,
+    /// Block access faults taken.
+    pub faults: u64,
+    /// Protocol messages delivered over the network (excludes node-local
+    /// deliveries).
+    pub network_messages: u64,
+    /// Protocol handlers executed.
+    pub handlers: u64,
+    /// Total protocol-processor busy time across the cluster.
+    pub protocol_busy: Cycles,
+    /// Mean time a dispatched handler waited in the PDQ behind its
+    /// synchronization key or for a free protocol processor.
+    pub mean_dispatch_wait: f64,
+    /// Interrupts delivered to compute processors (Hurricane-1 Mult only).
+    pub interrupts: u64,
+    /// Merged statistics of every node's PDQ.
+    pub queue_stats: QueueStats,
+    /// Mean remote-miss latency observed by compute processors.
+    pub mean_miss_latency: f64,
+    /// Remote misses observed by compute processors.
+    pub misses: u64,
+}
+
+impl SimReport {
+    /// Application speedup over the ideal uniprocessor.
+    pub fn speedup(&self) -> f64 {
+        if self.execution_cycles == Cycles::ZERO {
+            return 0.0;
+        }
+        self.uniprocessor_cycles.as_f64() / self.execution_cycles.as_f64()
+    }
+
+    /// Speedup normalized to a reference run (the figures normalize to
+    /// S-COMA; values below 1.0 mean the reference performs better).
+    pub fn normalized_speedup(&self, reference: &SimReport) -> f64 {
+        let reference_speedup = reference.speedup();
+        if reference_speedup == 0.0 {
+            return 0.0;
+        }
+        self.speedup() / reference_speedup
+    }
+
+    /// Average protocol-processor utilization: busy time divided by execution
+    /// time and by the number of protocol engines in the cluster.
+    pub fn protocol_utilization(&self, engines: usize) -> f64 {
+        if self.execution_cycles == Cycles::ZERO || engines == 0 {
+            return 0.0;
+        }
+        self.protocol_busy.as_f64() / (self.execution_cycles.as_f64() * engines as f64)
+    }
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} cycles, speedup {:.1}, {} faults, {} msgs, {} handlers, miss latency {:.0}",
+            self.config.machine,
+            self.execution_cycles.as_u64(),
+            self.speedup(),
+            self.faults,
+            self.network_messages,
+            self.handlers,
+            self.mean_miss_latency,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineSpec;
+
+    fn report(exec: u64, uni: u64) -> SimReport {
+        SimReport {
+            config: ClusterConfig::baseline(MachineSpec::scoma()),
+            execution_cycles: Cycles::new(exec),
+            uniprocessor_cycles: Cycles::new(uni),
+            faults: 10,
+            network_messages: 20,
+            handlers: 30,
+            protocol_busy: Cycles::new(exec / 2),
+            mean_dispatch_wait: 1.0,
+            interrupts: 0,
+            queue_stats: QueueStats::new(),
+            mean_miss_latency: 500.0,
+            misses: 10,
+        }
+    }
+
+    #[test]
+    fn speedup_is_uniprocessor_over_parallel() {
+        let r = report(1_000, 10_000);
+        assert!((r.speedup() - 10.0).abs() < 1e-9);
+        assert_eq!(report(0, 10).speedup(), 0.0);
+    }
+
+    #[test]
+    fn normalized_speedup_compares_to_a_reference() {
+        let fast = report(1_000, 10_000);
+        let slow = report(2_000, 10_000);
+        assert!((slow.normalized_speedup(&fast) - 0.5).abs() < 1e-9);
+        assert!((fast.normalized_speedup(&fast) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_is_bounded_by_busy_time() {
+        let r = report(1_000, 10_000);
+        assert!((r.protocol_utilization(1) - 0.5).abs() < 1e-9);
+        assert!((r.protocol_utilization(2) - 0.25).abs() < 1e-9);
+        assert_eq!(r.protocol_utilization(0), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_the_machine() {
+        assert!(report(10, 10).to_string().contains("S-COMA"));
+    }
+}

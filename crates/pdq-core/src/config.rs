@@ -1,0 +1,90 @@
+//! Queue configuration.
+
+/// Default bound on the associative search performed per dispatch attempt.
+///
+/// The paper's hardware sketch (Section 3.2) limits the associative search to
+/// a small buffer of entries at the head of the queue while the rest of the
+/// queue may spill to memory; sixteen entries is a representative size.
+pub const DEFAULT_SEARCH_WINDOW: usize = 16;
+
+/// Configuration for a [`DispatchQueue`](crate::DispatchQueue).
+///
+/// # Examples
+///
+/// ```
+/// use pdq_core::QueueConfig;
+///
+/// let cfg = QueueConfig::new().capacity(1024).search_window(8);
+/// assert_eq!(cfg.capacity, Some(1024));
+/// assert_eq!(cfg.search_window, 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueConfig {
+    /// Maximum number of waiting (not yet dispatched) entries. `None` means
+    /// unbounded; the paper notes queues may spill to memory to remove
+    /// back-pressure from the network.
+    pub capacity: Option<usize>,
+    /// Number of entries at the head of the queue examined by one dispatch
+    /// attempt. Models the bounded associative search of the hardware
+    /// implementation; entries beyond the window are only considered once
+    /// earlier entries dispatch.
+    pub search_window: usize,
+}
+
+impl QueueConfig {
+    /// Creates the default configuration: unbounded capacity and a search
+    /// window of [`DEFAULT_SEARCH_WINDOW`] entries.
+    pub fn new() -> Self {
+        Self { capacity: None, search_window: DEFAULT_SEARCH_WINDOW }
+    }
+
+    /// Sets the maximum number of waiting entries.
+    #[must_use]
+    pub fn capacity(mut self, capacity: usize) -> Self {
+        self.capacity = Some(capacity);
+        self
+    }
+
+    /// Removes the capacity bound.
+    #[must_use]
+    pub fn unbounded(mut self) -> Self {
+        self.capacity = None;
+        self
+    }
+
+    /// Sets the associative search window. Values below 1 are clamped to 1.
+    #[must_use]
+    pub fn search_window(mut self, window: usize) -> Self {
+        self.search_window = window.max(1);
+        self
+    }
+}
+
+impl Default for QueueConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_unbounded_with_default_window() {
+        let cfg = QueueConfig::default();
+        assert_eq!(cfg.capacity, None);
+        assert_eq!(cfg.search_window, DEFAULT_SEARCH_WINDOW);
+    }
+
+    #[test]
+    fn search_window_is_clamped_to_one() {
+        assert_eq!(QueueConfig::new().search_window(0).search_window, 1);
+    }
+
+    #[test]
+    fn unbounded_clears_capacity() {
+        let cfg = QueueConfig::new().capacity(4).unbounded();
+        assert_eq!(cfg.capacity, None);
+    }
+}

@@ -1,0 +1,94 @@
+//! Error types for the parallel dispatch queue.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::key::SyncKey;
+use crate::ticket::Ticket;
+
+/// Error returned by [`DispatchQueue::enqueue`](crate::DispatchQueue::enqueue)
+/// when the queue has reached its configured capacity.
+///
+/// The rejected key and payload are handed back to the caller so the enqueue
+/// can be retried (e.g. after back-pressure is applied to the network).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueueFullError<T> {
+    /// Key of the rejected entry.
+    pub key: SyncKey,
+    /// Payload of the rejected entry, returned to the caller.
+    pub payload: T,
+}
+
+impl<T> QueueFullError<T> {
+    /// Consumes the error and returns the rejected payload.
+    pub fn into_payload(self) -> T {
+        self.payload
+    }
+}
+
+impl<T> fmt::Display for QueueFullError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dispatch queue is full; rejected entry with {}", self.key)
+    }
+}
+
+impl<T: fmt::Debug> Error for QueueFullError<T> {}
+
+/// Error returned by [`DispatchQueue::complete`](crate::DispatchQueue::complete)
+/// when the ticket does not name an in-flight handler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnknownTicketError {
+    /// The offending ticket.
+    pub ticket: Ticket,
+}
+
+impl fmt::Display for UnknownTicketError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ticket {} does not name an in-flight handler", self.ticket)
+    }
+}
+
+impl Error for UnknownTicketError {}
+
+/// Error returned by executors when work is submitted after shutdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShutdownError;
+
+impl fmt::Display for ShutdownError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "executor has been shut down and no longer accepts work")
+    }
+}
+
+impl Error for ShutdownError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_full_error_returns_payload() {
+        let err = QueueFullError { key: SyncKey::key(1), payload: 42u32 };
+        assert_eq!(err.to_string(), "dispatch queue is full; rejected entry with key(0x1)");
+        assert_eq!(err.into_payload(), 42);
+    }
+
+    #[test]
+    fn unknown_ticket_display() {
+        let err = UnknownTicketError { ticket: Ticket::from_raw(5) };
+        assert!(err.to_string().contains("5"));
+    }
+
+    #[test]
+    fn shutdown_error_display() {
+        assert!(ShutdownError.to_string().contains("shut down"));
+    }
+
+    #[test]
+    fn errors_implement_error_trait() {
+        fn assert_error<E: Error>() {}
+        assert_error::<QueueFullError<u8>>();
+        assert_error::<UnknownTicketError>();
+        assert_error::<ShutdownError>();
+    }
+}

@@ -1,0 +1,78 @@
+//! Multi-threaded executors.
+//!
+//! Three executors share the [`KeyedExecutor`] interface so they can be
+//! compared head-to-head (this is the motivation experiment of the paper,
+//! Section 2):
+//!
+//! * [`PdqExecutor`] — the paper's proposal: one shared queue, handlers are
+//!   synchronized *in the queue* before dispatch. Workers never block inside a
+//!   handler.
+//! * [`SpinLockExecutor`] — the conventional alternative: one shared queue,
+//!   workers acquire a per-key spin lock *inside* the handler (Figure 2,
+//!   right). Conflicting handlers busy-wait on the lock.
+//! * [`MultiQueueExecutor`] — static partitioning: keys are hashed onto one
+//!   queue per worker and each worker only serves its own queue (the
+//!   multiple-protocol-queues model the paper argues against; Michael et al.
+//!   observed it suffers from load imbalance).
+
+mod multiqueue;
+mod pdq;
+mod spinlock;
+
+pub use multiqueue::{MultiQueueExecutor, MultiQueueStats};
+pub use pdq::{PdqBuilder, PdqExecutor, PdqExecutorStats};
+pub use spinlock::{SpinLockExecutor, SpinLockStats};
+
+use crate::key::SyncKey;
+
+/// A unit of work submitted to an executor.
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Common interface of the three executors, used by benchmarks and tests to
+/// drive them interchangeably.
+pub trait KeyedExecutor {
+    /// Submits a job annotated with a synchronization key.
+    ///
+    /// Jobs with equal user keys are executed in submission order and never
+    /// concurrently with each other. The executor's guarantees for
+    /// [`SyncKey::Sequential`] and [`SyncKey::NoSync`] match the
+    /// [`DispatchQueue`](crate::DispatchQueue) semantics where supported; the
+    /// baseline executors treat `Sequential` as a single global key and
+    /// `NoSync` as "no lock".
+    fn submit(&self, key: SyncKey, job: Job);
+
+    /// Blocks until every job submitted so far has finished executing.
+    fn wait_idle(&self);
+
+    /// Number of worker threads.
+    fn workers(&self) -> usize;
+}
+
+/// Convenience extension methods for [`KeyedExecutor`] implementations.
+pub trait KeyedExecutorExt: KeyedExecutor {
+    /// Submits a closure with a user key.
+    fn submit_keyed<F>(&self, key: u64, f: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        self.submit(SyncKey::key(key), Box::new(f));
+    }
+
+    /// Submits a closure that must run in isolation.
+    fn submit_sequential<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        self.submit(SyncKey::Sequential, Box::new(f));
+    }
+
+    /// Submits a closure that needs no synchronization.
+    fn submit_nosync<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        self.submit(SyncKey::NoSync, Box::new(f));
+    }
+}
+
+impl<E: KeyedExecutor + ?Sized> KeyedExecutorExt for E {}

@@ -1,0 +1,317 @@
+//! Baseline executor: static partitioning of keys across per-worker queues.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::key::SyncKey;
+
+use super::{Job, KeyedExecutor};
+
+/// Statistics of a [`MultiQueueExecutor`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MultiQueueStats {
+    /// Jobs that ran to completion, per worker. The spread across workers
+    /// exposes the load imbalance inherent to static partitioning (Michael et
+    /// al., cited by the paper).
+    pub executed_per_worker: Vec<u64>,
+    /// Jobs that panicked.
+    pub panicked: u64,
+    /// Maximum queue depth observed, per worker.
+    pub max_depth_per_worker: Vec<usize>,
+}
+
+impl MultiQueueStats {
+    /// Total jobs executed across all workers.
+    pub fn executed(&self) -> u64 {
+        self.executed_per_worker.iter().sum()
+    }
+
+    /// Ratio of the busiest worker's job count to the mean job count; 1.0 is
+    /// perfectly balanced, larger values indicate imbalance.
+    pub fn imbalance(&self) -> f64 {
+        let n = self.executed_per_worker.len();
+        if n == 0 {
+            return 1.0;
+        }
+        let total = self.executed() as f64;
+        if total == 0.0 {
+            return 1.0;
+        }
+        let mean = total / n as f64;
+        let max = self.executed_per_worker.iter().copied().max().unwrap_or(0) as f64;
+        max / mean
+    }
+}
+
+struct WorkerQueue {
+    jobs: Mutex<VecDeque<Job>>,
+    work: Condvar,
+    max_depth: AtomicUsize,
+    executed: AtomicU64,
+}
+
+struct Shared {
+    queues: Vec<WorkerQueue>,
+    outstanding: Mutex<usize>,
+    idle: Condvar,
+    panicked: AtomicU64,
+    shutdown: std::sync::atomic::AtomicBool,
+    round_robin: AtomicUsize,
+}
+
+/// The multiple-protocol-queues model the paper argues against: every worker
+/// owns a private queue and keys are statically hashed onto workers. Same-key
+/// jobs are trivially serialized (they land on the same worker) but workers
+/// cannot help each other, so skewed key distributions leave some workers idle
+/// while others queue up — the load imbalance observed by Michael et al.
+///
+/// `Sequential` keys are pinned to worker 0 (a weaker guarantee than PDQ's
+/// drain-and-isolate semantics); `NoSync` jobs are sprayed round-robin.
+pub struct MultiQueueExecutor {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for MultiQueueExecutor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiQueueExecutor").field("workers", &self.workers.len()).finish()
+    }
+}
+
+impl MultiQueueExecutor {
+    /// Creates an executor with `workers` threads, each owning a private queue.
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            queues: (0..workers)
+                .map(|_| WorkerQueue {
+                    jobs: Mutex::new(VecDeque::new()),
+                    work: Condvar::new(),
+                    max_depth: AtomicUsize::new(0),
+                    executed: AtomicU64::new(0),
+                })
+                .collect(),
+            outstanding: Mutex::new(0),
+            idle: Condvar::new(),
+            panicked: AtomicU64::new(0),
+            shutdown: std::sync::atomic::AtomicBool::new(false),
+            round_robin: AtomicUsize::new(0),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("multiqueue-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, i))
+                    .expect("failed to spawn multi-queue worker thread")
+            })
+            .collect();
+        Self { shared, workers: handles }
+    }
+
+    /// Returns a snapshot of the executor's statistics.
+    pub fn stats(&self) -> MultiQueueStats {
+        MultiQueueStats {
+            executed_per_worker: self
+                .shared
+                .queues
+                .iter()
+                .map(|q| q.executed.load(Ordering::Relaxed))
+                .collect(),
+            panicked: self.shared.panicked.load(Ordering::Relaxed),
+            max_depth_per_worker: self
+                .shared
+                .queues
+                .iter()
+                .map(|q| q.max_depth.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+
+    /// Signals shutdown and joins the workers; already-submitted jobs run
+    /// first. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        for q in &self.shared.queues {
+            q.work.notify_all();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    fn target_worker(&self, key: SyncKey) -> usize {
+        let n = self.shared.queues.len();
+        match key {
+            SyncKey::Key(k) => (k.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) as usize % n,
+            SyncKey::Sequential => 0,
+            SyncKey::NoSync => self.shared.round_robin.fetch_add(1, Ordering::Relaxed) % n,
+        }
+    }
+}
+
+impl KeyedExecutor for MultiQueueExecutor {
+    fn submit(&self, key: SyncKey, job: Job) {
+        assert!(
+            !self.shared.shutdown.load(Ordering::SeqCst),
+            "submit on a shut-down MultiQueueExecutor"
+        );
+        let idx = self.target_worker(key);
+        {
+            let mut outstanding = self.shared.outstanding.lock();
+            *outstanding += 1;
+        }
+        let q = &self.shared.queues[idx];
+        let depth = {
+            let mut jobs = q.jobs.lock();
+            jobs.push_back(job);
+            jobs.len()
+        };
+        q.max_depth.fetch_max(depth, Ordering::Relaxed);
+        q.work.notify_one();
+    }
+
+    fn wait_idle(&self) {
+        let mut outstanding = self.shared.outstanding.lock();
+        while *outstanding > 0 {
+            self.shared.idle.wait(&mut outstanding);
+        }
+    }
+
+    fn workers(&self) -> usize {
+        self.workers.len()
+    }
+}
+
+impl Drop for MultiQueueExecutor {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(shared: &Shared, index: usize) {
+    let queue = &shared.queues[index];
+    loop {
+        let job = {
+            let mut jobs = queue.jobs.lock();
+            loop {
+                if let Some(job) = jobs.pop_front() {
+                    break job;
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                queue.work.wait(&mut jobs);
+            }
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(job));
+        match outcome {
+            Ok(()) => {
+                queue.executed.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                shared.panicked.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let mut outstanding = shared.outstanding.lock();
+        *outstanding -= 1;
+        if *outstanding == 0 {
+            shared.idle.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::KeyedExecutorExt;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn executes_all_jobs() {
+        let pool = MultiQueueExecutor::new(4);
+        let counter = Arc::new(AtomicU64::new(0));
+        for i in 0..1000u64 {
+            let counter = Arc::clone(&counter);
+            pool.submit_keyed(i, move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+        assert_eq!(pool.stats().executed(), 1000);
+    }
+
+    #[test]
+    fn same_key_jobs_are_serialized_by_partitioning() {
+        let pool = MultiQueueExecutor::new(8);
+        let value = Arc::new(AtomicU64::new(0));
+        for _ in 0..2000u64 {
+            let value = Arc::clone(&value);
+            pool.submit_keyed(99, move || {
+                let v = value.load(Ordering::Relaxed);
+                value.store(v + 1, Ordering::Relaxed);
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(value.load(Ordering::Relaxed), 2000);
+    }
+
+    #[test]
+    fn skewed_keys_create_imbalance() {
+        let pool = MultiQueueExecutor::new(4);
+        // 90% of jobs use one key, so one worker does ~90% of the work.
+        for i in 0..1000u64 {
+            let key = if i % 10 == 0 { i } else { 7 };
+            pool.submit_keyed(key, || {});
+        }
+        pool.wait_idle();
+        let stats = pool.stats();
+        assert!(
+            stats.imbalance() > 1.5,
+            "skewed keys should produce visible imbalance, got {}",
+            stats.imbalance()
+        );
+    }
+
+    #[test]
+    fn panicking_job_is_counted_and_does_not_wedge() {
+        let pool = MultiQueueExecutor::new(2);
+        let ran = Arc::new(AtomicBool::new(false));
+        pool.submit_keyed(1, || panic!("boom"));
+        let flag = Arc::clone(&ran);
+        pool.submit_keyed(1, move || flag.store(true, Ordering::SeqCst));
+        pool.wait_idle();
+        assert!(ran.load(Ordering::SeqCst));
+        assert_eq!(pool.stats().panicked, 1);
+    }
+
+    #[test]
+    fn imbalance_of_empty_stats_is_one() {
+        assert_eq!(MultiQueueStats::default().imbalance(), 1.0);
+        let pool = MultiQueueExecutor::new(3);
+        pool.wait_idle();
+        assert_eq!(pool.stats().imbalance(), 1.0);
+    }
+
+    #[test]
+    fn shutdown_drains_work() {
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut pool = MultiQueueExecutor::new(2);
+        for i in 0..100u64 {
+            let counter = Arc::clone(&counter);
+            pool.submit_keyed(i, move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait_idle();
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+}

@@ -1,0 +1,472 @@
+//! The PDQ thread-pool executor.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::config::QueueConfig;
+use crate::error::ShutdownError;
+use crate::key::SyncKey;
+use crate::queue::DispatchQueue;
+use crate::stats::QueueStats;
+
+use super::{Job, KeyedExecutor};
+
+/// Statistics of a [`PdqExecutor`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PdqExecutorStats {
+    /// Statistics of the underlying [`DispatchQueue`].
+    pub queue: QueueStats,
+    /// Jobs that ran to completion.
+    pub executed: u64,
+    /// Jobs that panicked. The panic is contained; the worker keeps running
+    /// and the job's key is released.
+    pub panicked: u64,
+}
+
+struct State {
+    queue: DispatchQueue<Job>,
+    shutdown: bool,
+    executed: u64,
+    panicked: u64,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signalled when new work arrives or a completion may unblock waiters.
+    work: Condvar,
+    /// Signalled when the queue becomes idle (for [`PdqExecutor::wait_idle`]).
+    idle: Condvar,
+    /// Signalled when queue space frees up (for bounded queues).
+    space: Condvar,
+}
+
+/// Builder for [`PdqExecutor`].
+///
+/// # Examples
+///
+/// ```
+/// use pdq_core::executor::{KeyedExecutor, KeyedExecutorExt, PdqBuilder};
+///
+/// let pool = PdqBuilder::new().workers(2).search_window(8).build();
+/// pool.submit_keyed(0x100, || { /* handler */ });
+/// pool.wait_idle();
+/// ```
+#[derive(Debug, Clone)]
+pub struct PdqBuilder {
+    workers: usize,
+    config: QueueConfig,
+}
+
+impl PdqBuilder {
+    /// Creates a builder with one worker per available CPU (at least one) and
+    /// the default queue configuration.
+    pub fn new() -> Self {
+        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Self { workers, config: QueueConfig::default() }
+    }
+
+    /// Sets the number of worker (protocol processor) threads. Clamped to at
+    /// least one.
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the associative search window of the underlying queue.
+    #[must_use]
+    pub fn search_window(mut self, window: usize) -> Self {
+        self.config = self.config.search_window(window);
+        self
+    }
+
+    /// Bounds the number of waiting entries; `submit` blocks when the bound is
+    /// reached.
+    #[must_use]
+    pub fn capacity(mut self, capacity: usize) -> Self {
+        self.config = self.config.capacity(capacity);
+        self
+    }
+
+    /// Builds the executor and spawns its worker threads.
+    pub fn build(&self) -> PdqExecutor {
+        PdqExecutor::with_builder(self)
+    }
+}
+
+impl Default for PdqBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A thread pool whose work items are synchronized *in the queue*: jobs with
+/// equal user keys never run concurrently and run in submission order, a
+/// [`SyncKey::Sequential`] job runs in isolation, and a [`SyncKey::NoSync`]
+/// job runs without any synchronization.
+///
+/// Workers never block inside a job waiting for a synchronization key; a job
+/// is only handed to a worker once its key is free. This is the paper's
+/// programming abstraction realised as a Rust thread pool.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::atomic::{AtomicU64, Ordering};
+/// use std::sync::Arc;
+/// use pdq_core::executor::{KeyedExecutor, KeyedExecutorExt, PdqBuilder};
+///
+/// let pool = PdqBuilder::new().workers(4).build();
+/// let counter = Arc::new(AtomicU64::new(0));
+/// for i in 0..100u64 {
+///     let counter = Arc::clone(&counter);
+///     // All jobs share key 1, so they are serialized; no lock needed inside.
+///     pool.submit_keyed(1, move || {
+///         let v = counter.load(Ordering::Relaxed);
+///         counter.store(v + i, Ordering::Relaxed);
+///     });
+/// }
+/// pool.wait_idle();
+/// assert_eq!(counter.load(Ordering::Relaxed), (0..100).sum::<u64>());
+/// ```
+pub struct PdqExecutor {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for PdqExecutor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PdqExecutor").field("workers", &self.workers.len()).finish()
+    }
+}
+
+impl PdqExecutor {
+    /// Creates an executor with `workers` threads and the default queue
+    /// configuration.
+    pub fn new(workers: usize) -> Self {
+        PdqBuilder::new().workers(workers).build()
+    }
+
+    fn with_builder(builder: &PdqBuilder) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: DispatchQueue::with_config(builder.config),
+                shutdown: false,
+                executed: 0,
+                panicked: 0,
+            }),
+            work: Condvar::new(),
+            idle: Condvar::new(),
+            space: Condvar::new(),
+        });
+        let workers = (0..builder.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("pdq-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("failed to spawn pdq worker thread")
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// Submits a job, blocking if the queue is bounded and full.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShutdownError`] if [`shutdown`](Self::shutdown) has already
+    /// been called.
+    pub fn try_submit(&self, key: SyncKey, job: Job) -> Result<(), ShutdownError> {
+        let mut state = self.shared.state.lock();
+        if state.shutdown {
+            return Err(ShutdownError);
+        }
+        let mut job = job;
+        loop {
+            match state.queue.enqueue(key, job) {
+                Ok(()) => break,
+                Err(full) => {
+                    job = full.payload;
+                    self.shared.space.wait(&mut state);
+                    if state.shutdown {
+                        return Err(ShutdownError);
+                    }
+                }
+            }
+        }
+        drop(state);
+        self.shared.work.notify_one();
+        Ok(())
+    }
+
+    /// Returns a snapshot of the executor's statistics.
+    pub fn stats(&self) -> PdqExecutorStats {
+        let state = self.shared.state.lock();
+        PdqExecutorStats {
+            queue: state.queue.stats().clone(),
+            executed: state.executed,
+            panicked: state.panicked,
+        }
+    }
+
+    /// Number of jobs currently waiting in the queue.
+    pub fn queued(&self) -> usize {
+        self.shared.state.lock().queue.len()
+    }
+
+    /// Signals shutdown and joins all worker threads. Jobs already submitted
+    /// are executed before the workers exit. Idempotent.
+    pub fn shutdown(&mut self) {
+        {
+            let mut state = self.shared.state.lock();
+            state.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        self.shared.space.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl KeyedExecutor for PdqExecutor {
+    /// Submits a job.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the executor has been shut down; use
+    /// [`try_submit`](Self::try_submit) to handle that case gracefully.
+    fn submit(&self, key: SyncKey, job: Job) {
+        self.try_submit(key, job).expect("submit on a shut-down PdqExecutor");
+    }
+
+    fn wait_idle(&self) {
+        let mut state = self.shared.state.lock();
+        while !state.queue.is_idle() {
+            self.shared.idle.wait(&mut state);
+        }
+    }
+
+    fn workers(&self) -> usize {
+        self.workers.len()
+    }
+}
+
+impl Drop for PdqExecutor {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut state = shared.state.lock();
+    loop {
+        if let Some(dispatch) = state.queue.try_dispatch() {
+            drop(state);
+            let outcome = catch_unwind(AssertUnwindSafe(dispatch.payload));
+            state = shared.state.lock();
+            state
+                .queue
+                .complete(dispatch.ticket)
+                .expect("worker completes the ticket it dispatched");
+            match outcome {
+                Ok(()) => state.executed += 1,
+                Err(_) => state.panicked += 1,
+            }
+            if state.queue.is_idle() {
+                shared.idle.notify_all();
+            }
+            // A completion may unblock same-key or sequential entries, and a
+            // dispatch freed queue space for bounded queues.
+            shared.work.notify_all();
+            shared.space.notify_all();
+            continue;
+        }
+        if state.shutdown && state.queue.is_idle() {
+            return;
+        }
+        if state.shutdown && state.queue.is_empty() && state.queue.in_flight() > 0 {
+            // Another worker is finishing the last jobs; wait for it.
+            shared.work.wait(&mut state);
+            continue;
+        }
+        if state.shutdown && !state.queue.has_dispatchable() && state.queue.in_flight() == 0 {
+            // Shutdown with undispatchable work should be impossible (keys are
+            // always eventually released), but never spin here.
+            return;
+        }
+        shared.work.wait(&mut state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::KeyedExecutorExt;
+    use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn executes_all_jobs() {
+        let pool = PdqExecutor::new(4);
+        let counter = Arc::new(AtomicU64::new(0));
+        for i in 0..1000u64 {
+            let counter = Arc::clone(&counter);
+            pool.submit_keyed(i % 7, move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+        assert_eq!(pool.stats().executed, 1000);
+    }
+
+    #[test]
+    fn same_key_jobs_never_overlap() {
+        let pool = PdqBuilder::new().workers(8).build();
+        let in_handler = Arc::new(AtomicBool::new(false));
+        let overlap = Arc::new(AtomicBool::new(false));
+        for _ in 0..500 {
+            let in_handler = Arc::clone(&in_handler);
+            let overlap = Arc::clone(&overlap);
+            pool.submit_keyed(0x100, move || {
+                if in_handler.swap(true, Ordering::SeqCst) {
+                    overlap.store(true, Ordering::SeqCst);
+                }
+                std::hint::spin_loop();
+                in_handler.store(false, Ordering::SeqCst);
+            });
+        }
+        pool.wait_idle();
+        assert!(!overlap.load(Ordering::SeqCst), "same-key handlers overlapped");
+    }
+
+    #[test]
+    fn same_key_jobs_run_in_submission_order_without_locks() {
+        // The classic "unsynchronized counter" test: correct only if the
+        // executor serializes same-key jobs.
+        let pool = PdqBuilder::new().workers(8).build();
+        let value = Arc::new(AtomicU64::new(0));
+        for _ in 0..2000u64 {
+            let value = Arc::clone(&value);
+            pool.submit_keyed(42, move || {
+                let v = value.load(Ordering::Relaxed);
+                value.store(v + 1, Ordering::Relaxed);
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(value.load(Ordering::Relaxed), 2000);
+    }
+
+    #[test]
+    fn distinct_keys_do_run_concurrently() {
+        let pool = PdqBuilder::new().workers(4).build();
+        let concurrent_peak = Arc::new(AtomicUsize::new(0));
+        let running = Arc::new(AtomicUsize::new(0));
+        for i in 0..64u64 {
+            let peak = Arc::clone(&concurrent_peak);
+            let running = Arc::clone(&running);
+            pool.submit_keyed(i, move || {
+                let now = running.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(2));
+                running.fetch_sub(1, Ordering::SeqCst);
+            });
+        }
+        pool.wait_idle();
+        assert!(
+            concurrent_peak.load(Ordering::SeqCst) > 1,
+            "distinct keys should execute in parallel"
+        );
+    }
+
+    #[test]
+    fn sequential_jobs_run_alone() {
+        let pool = PdqBuilder::new().workers(4).build();
+        let running = Arc::new(AtomicUsize::new(0));
+        let violation = Arc::new(AtomicBool::new(false));
+        for i in 0..200u64 {
+            let running = Arc::clone(&running);
+            let violation = Arc::clone(&violation);
+            if i % 10 == 0 {
+                pool.submit_sequential(move || {
+                    if running.fetch_add(1, Ordering::SeqCst) != 0 {
+                        violation.store(true, Ordering::SeqCst);
+                    }
+                    std::thread::sleep(Duration::from_micros(200));
+                    running.fetch_sub(1, Ordering::SeqCst);
+                });
+            } else {
+                pool.submit_keyed(i, move || {
+                    running.fetch_add(1, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_micros(50));
+                    running.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+        }
+        pool.wait_idle();
+        assert!(!violation.load(Ordering::SeqCst), "sequential handler overlapped another");
+        assert_eq!(pool.stats().queue.sequential_handlers, 20);
+    }
+
+    #[test]
+    fn panicking_job_releases_its_key() {
+        let pool = PdqBuilder::new().workers(2).build();
+        let ran_after = Arc::new(AtomicBool::new(false));
+        pool.submit_keyed(9, || panic!("handler failure"));
+        let flag = Arc::clone(&ran_after);
+        pool.submit_keyed(9, move || flag.store(true, Ordering::SeqCst));
+        pool.wait_idle();
+        assert!(ran_after.load(Ordering::SeqCst));
+        assert_eq!(pool.stats().panicked, 1);
+        assert_eq!(pool.stats().executed, 1);
+    }
+
+    #[test]
+    fn try_submit_after_shutdown_fails() {
+        let mut pool = PdqBuilder::new().workers(1).build();
+        pool.submit_nosync(|| {});
+        pool.shutdown();
+        assert!(pool.try_submit(SyncKey::NoSync, Box::new(|| {})).is_err());
+    }
+
+    #[test]
+    fn shutdown_drains_submitted_work() {
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut pool = PdqBuilder::new().workers(2).build();
+        for i in 0..100u64 {
+            let counter = Arc::clone(&counter);
+            pool.submit_keyed(i % 3, move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn bounded_queue_applies_backpressure_but_completes() {
+        let pool = PdqBuilder::new().workers(2).capacity(4).build();
+        let counter = Arc::new(AtomicU64::new(0));
+        for i in 0..200u64 {
+            let counter = Arc::clone(&counter);
+            pool.submit_keyed(i % 5, move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::Relaxed), 200);
+    }
+
+    #[test]
+    fn wait_idle_on_empty_pool_returns_immediately() {
+        let pool = PdqExecutor::new(1);
+        pool.wait_idle();
+        assert_eq!(pool.workers(), 1);
+    }
+}

@@ -1,0 +1,155 @@
+//! Synchronization keys.
+//!
+//! A [`SyncKey`] names the group of protocol resources a handler will access,
+//! much as a monitor variable in a concurrent language protects a set of data
+//! structures (paper, Section 3). The dispatch queue serializes handlers that
+//! carry the same user key, runs handlers with distinct keys in parallel,
+//! and supports two pre-defined keys:
+//!
+//! * [`SyncKey::Sequential`] — the handler must execute in isolation. The
+//!   queue stops dispatching, waits for all in-flight handlers to complete,
+//!   runs this handler alone, then resumes parallel dispatch.
+//! * [`SyncKey::NoSync`] — the handler requires no synchronization and may be
+//!   dispatched at any time, concurrently with any other handler.
+
+use std::fmt;
+
+/// A synchronization key attached to a queue entry.
+///
+/// User keys are arbitrary 64-bit values chosen by the protocol programmer;
+/// in the fine-grain DSM protocols of the paper the key is the global address
+/// of the cache block the handler manipulates.
+///
+/// # Examples
+///
+/// ```
+/// use pdq_core::SyncKey;
+///
+/// let block = SyncKey::key(0x100);
+/// assert!(block.is_user_key());
+/// assert_eq!(block.user_key(), Some(0x100));
+/// assert!(SyncKey::Sequential.is_sequential());
+/// assert!(SyncKey::NoSync.is_nosync());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SyncKey {
+    /// A user-defined key; handlers with equal keys are serialized in FIFO
+    /// order, handlers with distinct keys may run in parallel.
+    Key(u64),
+    /// The handler must run in isolation (e.g. page allocation handlers that
+    /// touch the data structures of many blocks).
+    Sequential,
+    /// The handler requires no synchronization (e.g. reads of remote
+    /// read-only data, or applications with benign data races).
+    NoSync,
+}
+
+impl SyncKey {
+    /// Creates a user key.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pdq_core::SyncKey;
+    /// assert_eq!(SyncKey::key(7), SyncKey::Key(7));
+    /// ```
+    #[inline]
+    pub const fn key(value: u64) -> Self {
+        SyncKey::Key(value)
+    }
+
+    /// Returns `true` if this is a user key.
+    #[inline]
+    pub const fn is_user_key(&self) -> bool {
+        matches!(self, SyncKey::Key(_))
+    }
+
+    /// Returns `true` if this is the pre-defined sequential key.
+    #[inline]
+    pub const fn is_sequential(&self) -> bool {
+        matches!(self, SyncKey::Sequential)
+    }
+
+    /// Returns `true` if this is the pre-defined no-synchronization key.
+    #[inline]
+    pub const fn is_nosync(&self) -> bool {
+        matches!(self, SyncKey::NoSync)
+    }
+
+    /// Returns the user key value, if any.
+    #[inline]
+    pub const fn user_key(&self) -> Option<u64> {
+        match self {
+            SyncKey::Key(k) => Some(*k),
+            _ => None,
+        }
+    }
+}
+
+impl Default for SyncKey {
+    /// The default key is [`SyncKey::NoSync`]: no synchronization requested.
+    fn default() -> Self {
+        SyncKey::NoSync
+    }
+}
+
+impl From<u64> for SyncKey {
+    fn from(value: u64) -> Self {
+        SyncKey::Key(value)
+    }
+}
+
+impl fmt::Display for SyncKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SyncKey::Key(k) => write!(f, "key({k:#x})"),
+            SyncKey::Sequential => write!(f, "sequential"),
+            SyncKey::NoSync => write!(f, "nosync"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn user_key_roundtrip() {
+        let k = SyncKey::key(0xdead_beef);
+        assert!(k.is_user_key());
+        assert!(!k.is_sequential());
+        assert!(!k.is_nosync());
+        assert_eq!(k.user_key(), Some(0xdead_beef));
+    }
+
+    #[test]
+    fn predefined_keys_have_no_user_value() {
+        assert_eq!(SyncKey::Sequential.user_key(), None);
+        assert_eq!(SyncKey::NoSync.user_key(), None);
+    }
+
+    #[test]
+    fn from_u64_builds_user_key() {
+        let k: SyncKey = 42u64.into();
+        assert_eq!(k, SyncKey::Key(42));
+    }
+
+    #[test]
+    fn default_is_nosync() {
+        assert_eq!(SyncKey::default(), SyncKey::NoSync);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SyncKey::key(0x100).to_string(), "key(0x100)");
+        assert_eq!(SyncKey::Sequential.to_string(), "sequential");
+        assert_eq!(SyncKey::NoSync.to_string(), "nosync");
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut keys = vec![SyncKey::NoSync, SyncKey::Key(3), SyncKey::Sequential, SyncKey::Key(1)];
+        keys.sort();
+        assert_eq!(keys.len(), 4);
+    }
+}

@@ -1,0 +1,526 @@
+//! The parallel dispatch queue data structure.
+//!
+//! [`DispatchQueue`] is the paper's core mechanism stripped of any threading:
+//! a FIFO of `(synchronization key, payload)` entries plus the dispatch-status
+//! bookkeeping needed to decide, at dispatch time, which entries may execute
+//! concurrently. It is used directly by the discrete-event simulator (where
+//! "processors" are simulated) and wrapped by
+//! [`PdqExecutor`](crate::executor::PdqExecutor) for real multi-threaded use.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use crate::config::QueueConfig;
+use crate::error::{QueueFullError, UnknownTicketError};
+use crate::key::SyncKey;
+use crate::stats::QueueStats;
+use crate::ticket::{Ticket, TicketCounter};
+
+/// An entry handed out by [`DispatchQueue::try_dispatch`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dispatch<T> {
+    /// Ticket to pass back to [`DispatchQueue::complete`] when the handler
+    /// finishes.
+    pub ticket: Ticket,
+    /// The synchronization key the entry was enqueued with.
+    pub key: SyncKey,
+    /// The payload (message data / handler argument).
+    pub payload: T,
+}
+
+#[derive(Debug, Clone)]
+struct Pending<T> {
+    key: SyncKey,
+    payload: T,
+}
+
+/// A queue that synchronizes handlers *before* dispatch.
+///
+/// Entries carry a [`SyncKey`]. [`try_dispatch`](Self::try_dispatch) hands out
+/// at most one in-flight handler per user key, serializes entries carrying the
+/// [`SyncKey::Sequential`] key against everything else, and dispatches
+/// [`SyncKey::NoSync`] entries unconditionally. Per-key FIFO order is
+/// preserved: a younger entry never overtakes an older entry with the same
+/// key.
+///
+/// # Examples
+///
+/// ```
+/// use pdq_core::{DispatchQueue, SyncKey};
+///
+/// let mut q: DispatchQueue<&str> = DispatchQueue::new();
+/// q.enqueue(SyncKey::key(0x100), "fetch&add a").unwrap();
+/// q.enqueue(SyncKey::key(0x100), "fetch&add a again").unwrap();
+/// q.enqueue(SyncKey::key(0x200), "fetch&add b").unwrap();
+///
+/// // Distinct keys dispatch in parallel...
+/// let first = q.try_dispatch().unwrap();
+/// let second = q.try_dispatch().unwrap();
+/// assert_eq!(first.payload, "fetch&add a");
+/// assert_eq!(second.payload, "fetch&add b");
+/// // ...but the second entry for 0x100 must wait for the first to complete.
+/// assert!(q.try_dispatch().is_none());
+/// q.complete(first.ticket).unwrap();
+/// assert_eq!(q.try_dispatch().unwrap().payload, "fetch&add a again");
+/// ```
+#[derive(Debug, Clone)]
+pub struct DispatchQueue<T> {
+    pending: VecDeque<Pending<T>>,
+    in_flight: HashMap<Ticket, SyncKey>,
+    active_keys: HashSet<u64>,
+    sequential_running: bool,
+    config: QueueConfig,
+    tickets: TicketCounter,
+    stats: QueueStats,
+}
+
+impl<T> DispatchQueue<T> {
+    /// Creates an unbounded queue with the default search window.
+    pub fn new() -> Self {
+        Self::with_config(QueueConfig::default())
+    }
+
+    /// Creates a queue with the given configuration.
+    pub fn with_config(config: QueueConfig) -> Self {
+        let config = QueueConfig { search_window: config.search_window.max(1), ..config };
+        Self {
+            pending: VecDeque::new(),
+            in_flight: HashMap::new(),
+            active_keys: HashSet::new(),
+            sequential_running: false,
+            config,
+            tickets: TicketCounter::default(),
+            stats: QueueStats::new(),
+        }
+    }
+
+    /// Returns the queue configuration.
+    pub fn config(&self) -> QueueConfig {
+        self.config
+    }
+
+    /// Number of entries waiting (enqueued but not yet dispatched).
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Returns `true` if no entries are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Number of handlers currently in flight (dispatched, not completed).
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Returns `true` when nothing is waiting and nothing is in flight.
+    pub fn is_idle(&self) -> bool {
+        self.pending.is_empty() && self.in_flight.is_empty()
+    }
+
+    /// Returns `true` while a `Sequential` handler is executing.
+    pub fn sequential_running(&self) -> bool {
+        self.sequential_running
+    }
+
+    /// Statistics accumulated since construction (or the last
+    /// [`reset_stats`](Self::reset_stats)).
+    pub fn stats(&self) -> &QueueStats {
+        &self.stats
+    }
+
+    /// Clears the accumulated statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = QueueStats::new();
+    }
+
+    /// Appends an entry to the queue.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueFullError`] (containing the rejected key and payload)
+    /// when the queue was configured with a capacity and that many entries are
+    /// already waiting.
+    pub fn enqueue(&mut self, key: SyncKey, payload: T) -> Result<(), QueueFullError<T>> {
+        if let Some(cap) = self.config.capacity {
+            if self.pending.len() >= cap {
+                self.stats.rejected_full += 1;
+                return Err(QueueFullError { key, payload });
+            }
+        }
+        self.pending.push_back(Pending { key, payload });
+        self.stats.enqueued += 1;
+        self.stats.max_queue_len = self.stats.max_queue_len.max(self.pending.len());
+        Ok(())
+    }
+
+    /// Attempts to dispatch one entry, honouring the in-queue synchronization
+    /// rules:
+    ///
+    /// * no dispatch while a `Sequential` handler is running;
+    /// * at most one in-flight handler per user key, in per-key FIFO order;
+    /// * a `Sequential` entry dispatches only from the head of the queue and
+    ///   only when nothing is in flight, and acts as a barrier for younger
+    ///   entries;
+    /// * `NoSync` entries dispatch unconditionally (subject to the barrier);
+    /// * only the first `search_window` waiting entries are examined.
+    ///
+    /// Returns `None` when no entry is currently dispatchable.
+    pub fn try_dispatch(&mut self) -> Option<Dispatch<T>> {
+        if self.sequential_running {
+            self.stats.sequential_stalls += 1;
+            return None;
+        }
+
+        let window = self.config.search_window.min(self.pending.len());
+        let mut seen_keys: HashSet<u64> = HashSet::new();
+        let mut chosen: Option<usize> = None;
+
+        for idx in 0..window {
+            let key = self.pending[idx].key;
+            match key {
+                SyncKey::Sequential => {
+                    if idx == 0 && self.in_flight.is_empty() {
+                        chosen = Some(idx);
+                    } else {
+                        // Barrier: nothing younger than the sequential entry
+                        // may dispatch until it has executed.
+                        self.stats.sequential_stalls += 1;
+                    }
+                    break;
+                }
+                SyncKey::NoSync => {
+                    chosen = Some(idx);
+                    break;
+                }
+                SyncKey::Key(k) => {
+                    if self.active_keys.contains(&k) {
+                        self.stats.key_conflicts += 1;
+                        seen_keys.insert(k);
+                    } else if seen_keys.contains(&k) {
+                        self.stats.order_holds += 1;
+                    } else {
+                        chosen = Some(idx);
+                        break;
+                    }
+                }
+            }
+        }
+
+        let Some(idx) = chosen else {
+            self.stats.empty_dispatches += 1;
+            return None;
+        };
+
+        let entry = self.pending.remove(idx).expect("index within bounds");
+        let ticket = self.tickets.next();
+        match entry.key {
+            SyncKey::Key(k) => {
+                let inserted = self.active_keys.insert(k);
+                debug_assert!(inserted, "key must not already be active");
+            }
+            SyncKey::Sequential => {
+                self.sequential_running = true;
+                self.stats.sequential_handlers += 1;
+            }
+            SyncKey::NoSync => {
+                self.stats.nosync_handlers += 1;
+            }
+        }
+        self.in_flight.insert(ticket, entry.key);
+        self.stats.dispatched += 1;
+        self.stats.max_in_flight = self.stats.max_in_flight.max(self.in_flight.len());
+
+        Some(Dispatch { ticket, key: entry.key, payload: entry.payload })
+    }
+
+    /// Dispatches as many entries as currently possible, in dispatch order.
+    ///
+    /// This is a convenience for simulators that want to saturate a set of
+    /// idle protocol processors in one step.
+    pub fn dispatch_all(&mut self) -> Vec<Dispatch<T>> {
+        let mut out = Vec::new();
+        while let Some(d) = self.try_dispatch() {
+            out.push(d);
+        }
+        out
+    }
+
+    /// Marks an in-flight handler as completed, releasing its key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownTicketError`] if `ticket` does not name an in-flight
+    /// handler (e.g. it was already completed).
+    pub fn complete(&mut self, ticket: Ticket) -> Result<(), UnknownTicketError> {
+        let Some(key) = self.in_flight.remove(&ticket) else {
+            return Err(UnknownTicketError { ticket });
+        };
+        match key {
+            SyncKey::Key(k) => {
+                let removed = self.active_keys.remove(&k);
+                debug_assert!(removed, "completed key must have been active");
+            }
+            SyncKey::Sequential => {
+                self.sequential_running = false;
+            }
+            SyncKey::NoSync => {}
+        }
+        self.stats.completed += 1;
+        Ok(())
+    }
+
+    /// Returns `true` if a call to [`try_dispatch`](Self::try_dispatch) would
+    /// succeed, without changing any state or statistics.
+    pub fn has_dispatchable(&self) -> bool {
+        if self.sequential_running {
+            return false;
+        }
+        let window = self.config.search_window.min(self.pending.len());
+        let mut seen_keys: HashSet<u64> = HashSet::new();
+        for idx in 0..window {
+            match self.pending[idx].key {
+                SyncKey::Sequential => {
+                    return idx == 0 && self.in_flight.is_empty();
+                }
+                SyncKey::NoSync => return true,
+                SyncKey::Key(k) => {
+                    if self.active_keys.contains(&k) || seen_keys.contains(&k) {
+                        seen_keys.insert(k);
+                    } else {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Iterates over the keys of waiting entries in FIFO order.
+    pub fn pending_keys(&self) -> impl Iterator<Item = SyncKey> + '_ {
+        self.pending.iter().map(|p| p.key)
+    }
+
+    /// Removes every waiting entry and returns their payloads in FIFO order.
+    /// In-flight handlers are unaffected.
+    pub fn drain_pending(&mut self) -> Vec<(SyncKey, T)> {
+        self.pending.drain(..).map(|p| (p.key, p.payload)).collect()
+    }
+}
+
+impl<T> Default for DispatchQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keyed(q: &mut DispatchQueue<u32>, key: u64, v: u32) {
+        q.enqueue(SyncKey::key(key), v).unwrap();
+    }
+
+    #[test]
+    fn distinct_keys_dispatch_in_parallel() {
+        let mut q = DispatchQueue::new();
+        keyed(&mut q, 0x100, 1);
+        keyed(&mut q, 0x200, 2);
+        keyed(&mut q, 0x300, 3);
+        let a = q.try_dispatch().unwrap();
+        let b = q.try_dispatch().unwrap();
+        let c = q.try_dispatch().unwrap();
+        assert_eq!((a.payload, b.payload, c.payload), (1, 2, 3));
+        assert_eq!(q.in_flight(), 3);
+    }
+
+    #[test]
+    fn same_key_is_serialized_and_fifo() {
+        let mut q = DispatchQueue::new();
+        keyed(&mut q, 0x100, 1);
+        keyed(&mut q, 0x100, 2);
+        let a = q.try_dispatch().unwrap();
+        assert_eq!(a.payload, 1);
+        assert!(q.try_dispatch().is_none());
+        assert!(q.stats().key_conflicts >= 1);
+        q.complete(a.ticket).unwrap();
+        assert_eq!(q.try_dispatch().unwrap().payload, 2);
+    }
+
+    #[test]
+    fn younger_entry_does_not_overtake_older_same_key_entry() {
+        let mut q = DispatchQueue::new();
+        keyed(&mut q, 0x100, 1);
+        let a = q.try_dispatch().unwrap();
+        // Two more entries for the same key while the first is in flight, then
+        // one for a different key.
+        keyed(&mut q, 0x100, 2);
+        keyed(&mut q, 0x100, 3);
+        keyed(&mut q, 0x200, 4);
+        // The different key may overtake the blocked ones...
+        assert_eq!(q.try_dispatch().unwrap().payload, 4);
+        q.complete(a.ticket).unwrap();
+        // ...but entry 3 must not overtake entry 2.
+        assert_eq!(q.try_dispatch().unwrap().payload, 2);
+        assert!(q.stats().key_conflicts >= 2);
+    }
+
+    #[test]
+    fn paper_figure_3_example() {
+        // Four messages: 0x100, 0x200, 0x100, 0x300. The first, second and
+        // fourth dispatch; the third waits on the first.
+        let mut q = DispatchQueue::new();
+        keyed(&mut q, 0x100, 0);
+        keyed(&mut q, 0x200, 1);
+        keyed(&mut q, 0x100, 2);
+        keyed(&mut q, 0x300, 3);
+        let dispatched: Vec<u32> = q.dispatch_all().into_iter().map(|d| d.payload).collect();
+        assert_eq!(dispatched, vec![0, 1, 3]);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn sequential_waits_for_in_flight_handlers() {
+        let mut q = DispatchQueue::new();
+        keyed(&mut q, 1, 10);
+        let a = q.try_dispatch().unwrap();
+        q.enqueue(SyncKey::Sequential, 99).unwrap();
+        keyed(&mut q, 2, 20);
+        // Sequential is not at an idle point and blocks younger entries.
+        assert!(q.try_dispatch().is_none());
+        q.complete(a.ticket).unwrap();
+        let s = q.try_dispatch().unwrap();
+        assert_eq!(s.payload, 99);
+        assert!(q.sequential_running());
+        // Nothing else dispatches while the sequential handler runs.
+        assert!(q.try_dispatch().is_none());
+        q.complete(s.ticket).unwrap();
+        assert_eq!(q.try_dispatch().unwrap().payload, 20);
+    }
+
+    #[test]
+    fn sequential_only_dispatches_from_head() {
+        let mut q = DispatchQueue::new();
+        keyed(&mut q, 1, 10);
+        q.enqueue(SyncKey::Sequential, 99).unwrap();
+        // Nothing in flight, but an older entry is still waiting... the older
+        // entry dispatches first.
+        let a = q.try_dispatch().unwrap();
+        assert_eq!(a.payload, 10);
+        assert!(q.try_dispatch().is_none());
+        q.complete(a.ticket).unwrap();
+        assert_eq!(q.try_dispatch().unwrap().payload, 99);
+    }
+
+    #[test]
+    fn nosync_dispatches_alongside_everything() {
+        let mut q = DispatchQueue::new();
+        keyed(&mut q, 1, 10);
+        q.enqueue(SyncKey::NoSync, 11).unwrap();
+        q.enqueue(SyncKey::NoSync, 12).unwrap();
+        let d = q.dispatch_all();
+        assert_eq!(d.len(), 3);
+        assert_eq!(q.stats().nosync_handlers, 2);
+    }
+
+    #[test]
+    fn capacity_is_enforced_and_payload_returned() {
+        let mut q = DispatchQueue::with_config(QueueConfig::new().capacity(1));
+        q.enqueue(SyncKey::key(1), 10).unwrap();
+        let err = q.enqueue(SyncKey::key(2), 20).unwrap_err();
+        assert_eq!(err.payload, 20);
+        assert_eq!(q.stats().rejected_full, 1);
+        // Dispatching frees capacity (capacity bounds *waiting* entries).
+        let d = q.try_dispatch().unwrap();
+        q.enqueue(SyncKey::key(2), 20).unwrap();
+        q.complete(d.ticket).unwrap();
+    }
+
+    #[test]
+    fn search_window_limits_visibility() {
+        let mut q = DispatchQueue::with_config(QueueConfig::new().search_window(2));
+        keyed(&mut q, 1, 10);
+        keyed(&mut q, 1, 11);
+        keyed(&mut q, 2, 12); // dispatchable, but outside the window once 10 dispatches
+        let a = q.try_dispatch().unwrap();
+        assert_eq!(a.payload, 10);
+        // Window now covers entries 11 and 12; 11 blocked, 12 free.
+        assert_eq!(q.try_dispatch().unwrap().payload, 12);
+        // Window covers only 11, which is blocked.
+        assert!(q.try_dispatch().is_none());
+        q.complete(a.ticket).unwrap();
+        assert_eq!(q.try_dispatch().unwrap().payload, 11);
+    }
+
+    #[test]
+    fn complete_unknown_ticket_is_an_error() {
+        let mut q: DispatchQueue<u32> = DispatchQueue::new();
+        assert!(q.complete(Ticket::from_raw(7)).is_err());
+        keyed(&mut q, 1, 10);
+        let d = q.try_dispatch().unwrap();
+        q.complete(d.ticket).unwrap();
+        assert!(q.complete(d.ticket).is_err(), "double completion must fail");
+    }
+
+    #[test]
+    fn has_dispatchable_matches_try_dispatch() {
+        let mut q = DispatchQueue::new();
+        assert!(!q.has_dispatchable());
+        keyed(&mut q, 1, 10);
+        assert!(q.has_dispatchable());
+        let a = q.try_dispatch().unwrap();
+        keyed(&mut q, 1, 11);
+        assert!(!q.has_dispatchable());
+        q.complete(a.ticket).unwrap();
+        assert!(q.has_dispatchable());
+    }
+
+    #[test]
+    fn is_idle_reflects_queue_and_in_flight() {
+        let mut q = DispatchQueue::new();
+        assert!(q.is_idle());
+        keyed(&mut q, 1, 10);
+        assert!(!q.is_idle());
+        let d = q.try_dispatch().unwrap();
+        assert!(!q.is_idle());
+        q.complete(d.ticket).unwrap();
+        assert!(q.is_idle());
+    }
+
+    #[test]
+    fn drain_pending_returns_fifo_order() {
+        let mut q = DispatchQueue::new();
+        keyed(&mut q, 1, 10);
+        keyed(&mut q, 2, 20);
+        let drained = q.drain_pending();
+        assert_eq!(drained, vec![(SyncKey::key(1), 10), (SyncKey::key(2), 20)]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn stats_track_dispatch_counts() {
+        let mut q = DispatchQueue::new();
+        for i in 0..5 {
+            keyed(&mut q, i, i as u32);
+        }
+        let dispatched = q.dispatch_all();
+        assert_eq!(q.stats().enqueued, 5);
+        assert_eq!(q.stats().dispatched, 5);
+        assert_eq!(q.stats().max_in_flight, 5);
+        for d in dispatched {
+            q.complete(d.ticket).unwrap();
+        }
+        assert_eq!(q.stats().completed, 5);
+        assert_eq!(q.stats().in_flight(), 0);
+    }
+
+    #[test]
+    fn pending_keys_iterates_in_order() {
+        let mut q: DispatchQueue<u32> = DispatchQueue::new();
+        q.enqueue(SyncKey::key(1), 0).unwrap();
+        q.enqueue(SyncKey::Sequential, 1).unwrap();
+        let keys: Vec<SyncKey> = q.pending_keys().collect();
+        assert_eq!(keys, vec![SyncKey::key(1), SyncKey::Sequential]);
+    }
+}

@@ -1,0 +1,132 @@
+//! Dispatch-queue statistics.
+
+use std::fmt;
+
+/// Counters describing the behaviour of a [`DispatchQueue`](crate::DispatchQueue).
+///
+/// The statistics quantify the phenomena the paper argues about: how often a
+/// dispatch attempt was blocked because the entry's key was already held by an
+/// in-flight handler (which, with in-handler locking, would have manifested as
+/// busy-waiting), how often the queue serialized for a `Sequential` entry, and
+/// the occupancy of the queue itself.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Entries accepted by [`enqueue`](crate::DispatchQueue::enqueue).
+    pub enqueued: u64,
+    /// Entries rejected because the queue was at capacity.
+    pub rejected_full: u64,
+    /// Handlers dispatched.
+    pub dispatched: u64,
+    /// Handlers completed.
+    pub completed: u64,
+    /// Dispatch scans that skipped an entry because its user key was already
+    /// dispatched (the entry would have busy-waited under in-handler locking).
+    pub key_conflicts: u64,
+    /// Dispatch scans that skipped an entry to preserve per-key FIFO order
+    /// (an older entry with the same key was still waiting).
+    pub order_holds: u64,
+    /// Dispatch attempts that found no dispatchable entry.
+    pub empty_dispatches: u64,
+    /// Times dispatch was suppressed because a `Sequential` entry was draining
+    /// or executing.
+    pub sequential_stalls: u64,
+    /// `Sequential` handlers executed.
+    pub sequential_handlers: u64,
+    /// `NoSync` handlers executed.
+    pub nosync_handlers: u64,
+    /// Maximum number of entries ever waiting in the queue.
+    pub max_queue_len: usize,
+    /// Maximum number of handlers ever simultaneously in flight.
+    pub max_in_flight: usize,
+}
+
+impl QueueStats {
+    /// Creates a zeroed statistics block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Handlers currently in flight (dispatched and not yet completed).
+    pub fn in_flight(&self) -> u64 {
+        self.dispatched - self.completed
+    }
+
+    /// Fraction of dispatch-scan skips caused by key conflicts, over all
+    /// dispatched handlers. Returns 0.0 when nothing was dispatched.
+    pub fn conflict_ratio(&self) -> f64 {
+        if self.dispatched == 0 {
+            0.0
+        } else {
+            self.key_conflicts as f64 / self.dispatched as f64
+        }
+    }
+
+    /// Merges another statistics block into this one (counter-wise sum,
+    /// maxima for the high-water marks).
+    pub fn merge(&mut self, other: &QueueStats) {
+        self.enqueued += other.enqueued;
+        self.rejected_full += other.rejected_full;
+        self.dispatched += other.dispatched;
+        self.completed += other.completed;
+        self.key_conflicts += other.key_conflicts;
+        self.order_holds += other.order_holds;
+        self.empty_dispatches += other.empty_dispatches;
+        self.sequential_stalls += other.sequential_stalls;
+        self.sequential_handlers += other.sequential_handlers;
+        self.nosync_handlers += other.nosync_handlers;
+        self.max_queue_len = self.max_queue_len.max(other.max_queue_len);
+        self.max_in_flight = self.max_in_flight.max(other.max_in_flight);
+    }
+}
+
+impl fmt::Display for QueueStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "enqueued={} dispatched={} completed={} key_conflicts={} order_holds={} \
+             sequential={} nosync={} max_queue_len={} max_in_flight={}",
+            self.enqueued,
+            self.dispatched,
+            self.completed,
+            self.key_conflicts,
+            self.order_holds,
+            self.sequential_handlers,
+            self.nosync_handlers,
+            self.max_queue_len,
+            self.max_in_flight
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_flight_is_dispatched_minus_completed() {
+        let stats = QueueStats { dispatched: 10, completed: 7, ..QueueStats::new() };
+        assert_eq!(stats.in_flight(), 3);
+    }
+
+    #[test]
+    fn conflict_ratio_handles_zero_dispatches() {
+        assert_eq!(QueueStats::new().conflict_ratio(), 0.0);
+        let stats = QueueStats { dispatched: 4, key_conflicts: 2, ..QueueStats::new() };
+        assert!((stats.conflict_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_maxes_high_water_marks() {
+        let mut a = QueueStats { enqueued: 3, max_queue_len: 5, max_in_flight: 2, ..QueueStats::new() };
+        let b = QueueStats { enqueued: 4, max_queue_len: 2, max_in_flight: 7, ..QueueStats::new() };
+        a.merge(&b);
+        assert_eq!(a.enqueued, 7);
+        assert_eq!(a.max_queue_len, 5);
+        assert_eq!(a.max_in_flight, 7);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!QueueStats::new().to_string().is_empty());
+    }
+}

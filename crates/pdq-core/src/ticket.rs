@@ -1,0 +1,67 @@
+//! Dispatch tickets.
+
+use std::fmt;
+
+/// Identifies an in-flight (dispatched but not yet completed) handler.
+///
+/// A [`Ticket`] is returned by
+/// [`DispatchQueue::try_dispatch`](crate::DispatchQueue::try_dispatch) and must
+/// be passed back to [`DispatchQueue::complete`](crate::DispatchQueue::complete)
+/// when the handler finishes, so the queue can release the handler's
+/// synchronization key and resume dispatching entries that were waiting on it.
+///
+/// Tickets are unique over the lifetime of a queue and are never reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ticket(u64);
+
+impl Ticket {
+    /// Constructs a ticket from a raw value. Primarily useful in tests.
+    pub const fn from_raw(raw: u64) -> Self {
+        Ticket(raw)
+    }
+
+    /// Returns the raw value of the ticket.
+    pub const fn as_raw(&self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Ticket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ticket#{}", self.0)
+    }
+}
+
+/// Monotonic ticket generator used internally by the queue.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct TicketCounter {
+    next: u64,
+}
+
+impl TicketCounter {
+    pub(crate) fn next(&mut self) -> Ticket {
+        let t = Ticket(self.next);
+        self.next += 1;
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tickets_are_monotonic_and_unique() {
+        let mut c = TicketCounter::default();
+        let a = c.next();
+        let b = c.next();
+        assert_ne!(a, b);
+        assert!(a < b);
+        assert_eq!(a.as_raw() + 1, b.as_raw());
+    }
+
+    #[test]
+    fn display_includes_raw_value() {
+        assert_eq!(Ticket::from_raw(9).to_string(), "ticket#9");
+    }
+}

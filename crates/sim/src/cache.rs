@@ -1,0 +1,277 @@
+//! Set-associative cache model with MOESI states.
+//!
+//! Used to model the processor data caches and the protocol-processor caches:
+//! the paper charges extra occupancy when protocol state migrates between
+//! protocol-processor caches, and models polling of cachable control
+//! registers as cache hits.
+
+use std::collections::VecDeque;
+
+/// MOESI coherence states of a cache line (the MBus protocol the paper's SMP
+/// nodes use).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LineState {
+    /// Modified: dirty, exclusive.
+    Modified,
+    /// Owned: dirty, shared (this cache responds to requests).
+    Owned,
+    /// Exclusive: clean, exclusive.
+    Exclusive,
+    /// Shared: clean, possibly in other caches.
+    Shared,
+    /// Invalid.
+    Invalid,
+}
+
+impl LineState {
+    /// Whether the line holds valid data.
+    pub fn is_valid(&self) -> bool {
+        !matches!(self, LineState::Invalid)
+    }
+
+    /// Whether the line may be written without a bus transaction.
+    pub fn is_writable(&self) -> bool {
+        matches!(self, LineState::Modified | LineState::Exclusive)
+    }
+
+    /// Whether the line is dirty with respect to memory.
+    pub fn is_dirty(&self) -> bool {
+        matches!(self, LineState::Modified | LineState::Owned)
+    }
+}
+
+/// The outcome of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// The access hit in the cache.
+    Hit,
+    /// The access hit but needs an upgrade (write to a `Shared` line).
+    UpgradeMiss,
+    /// The access missed; `victim_dirty` says whether a dirty line had to be
+    /// written back to make room.
+    Miss {
+        /// Whether a dirty victim was evicted.
+        victim_dirty: bool,
+    },
+}
+
+impl CacheOutcome {
+    /// Whether the access requires a bus transaction.
+    pub fn needs_bus(&self) -> bool {
+        !matches!(self, CacheOutcome::Hit)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    state: LineState,
+}
+
+/// A set-associative, LRU cache keyed by block address.
+///
+/// The model tracks tags and MOESI states only (no data); data movement is
+/// accounted for by the cost models of the machines.
+///
+/// # Examples
+///
+/// ```
+/// use pdq_sim::{Cache, CacheOutcome};
+///
+/// let mut cache = Cache::new(64, 2, 64);
+/// assert!(matches!(cache.access(0x1000, false), CacheOutcome::Miss { .. }));
+/// assert_eq!(cache.access(0x1000, false), CacheOutcome::Hit);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    sets: Vec<VecDeque<Line>>,
+    ways: usize,
+    block_bytes: u64,
+    hits: u64,
+    misses: u64,
+    upgrades: u64,
+    writebacks: u64,
+}
+
+impl Cache {
+    /// Creates a cache with `sets` sets, `ways` ways and `block_bytes`-byte
+    /// lines. All parameters are clamped to at least 1.
+    pub fn new(sets: usize, ways: usize, block_bytes: u64) -> Self {
+        Self {
+            sets: vec![VecDeque::new(); sets.max(1)],
+            ways: ways.max(1),
+            block_bytes: block_bytes.max(1),
+            hits: 0,
+            misses: 0,
+            upgrades: 0,
+            writebacks: 0,
+        }
+    }
+
+    fn set_and_tag(&self, addr: u64) -> (usize, u64) {
+        let block = addr / self.block_bytes;
+        let set = (block as usize) % self.sets.len();
+        (set, block)
+    }
+
+    /// Accesses `addr`; `write` selects a store. Returns whether the access
+    /// hit, needed an upgrade, or missed (possibly evicting a dirty victim).
+    pub fn access(&mut self, addr: u64, write: bool) -> CacheOutcome {
+        let (set_idx, tag) = self.set_and_tag(addr);
+        let set = &mut self.sets[set_idx];
+
+        if let Some(pos) = set.iter().position(|l| l.tag == tag && l.state.is_valid()) {
+            let mut line = set.remove(pos).expect("position is valid");
+            if write && !line.state.is_writable() {
+                self.upgrades += 1;
+                line.state = LineState::Modified;
+                set.push_back(line);
+                return CacheOutcome::UpgradeMiss;
+            }
+            if write {
+                line.state = LineState::Modified;
+            }
+            set.push_back(line);
+            self.hits += 1;
+            return CacheOutcome::Hit;
+        }
+
+        // Miss: evict LRU if the set is full.
+        self.misses += 1;
+        let mut victim_dirty = false;
+        if set.len() >= self.ways {
+            if let Some(victim) = set.pop_front() {
+                if victim.state.is_dirty() {
+                    victim_dirty = true;
+                    self.writebacks += 1;
+                }
+            }
+        }
+        let state = if write { LineState::Modified } else { LineState::Shared };
+        set.push_back(Line { tag, state });
+        CacheOutcome::Miss { victim_dirty }
+    }
+
+    /// Invalidates `addr` if present; returns `true` if a dirty line was
+    /// invalidated (and therefore had to be written back).
+    pub fn invalidate(&mut self, addr: u64) -> bool {
+        let (set_idx, tag) = self.set_and_tag(addr);
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|l| l.tag == tag && l.state.is_valid()) {
+            let line = set.remove(pos).expect("position is valid");
+            if line.state.is_dirty() {
+                self.writebacks += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Returns the state of the line holding `addr`.
+    pub fn state_of(&self, addr: u64) -> LineState {
+        let (set_idx, tag) = self.set_and_tag(addr);
+        self.sets[set_idx]
+            .iter()
+            .find(|l| l.tag == tag && l.state.is_valid())
+            .map_or(LineState::Invalid, |l| l.state)
+    }
+
+    /// Hits recorded.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses recorded.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Upgrade misses recorded.
+    pub fn upgrades(&self) -> u64 {
+        self.upgrades
+    }
+
+    /// Dirty writebacks performed.
+    pub fn writebacks(&self) -> u64 {
+        self.writebacks
+    }
+
+    /// Miss ratio over all accesses (0.0 when no accesses happened).
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.hits + self.misses + self.upgrades;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_then_read_hits() {
+        let mut c = Cache::new(16, 2, 64);
+        assert!(matches!(c.access(0x100, false), CacheOutcome::Miss { victim_dirty: false }));
+        assert_eq!(c.access(0x100, false), CacheOutcome::Hit);
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn addresses_in_same_block_share_a_line() {
+        let mut c = Cache::new(16, 2, 64);
+        c.access(0x100, false);
+        assert_eq!(c.access(0x13f, false), CacheOutcome::Hit);
+    }
+
+    #[test]
+    fn write_to_shared_line_is_an_upgrade() {
+        let mut c = Cache::new(16, 2, 64);
+        c.access(0x100, false);
+        assert_eq!(c.access(0x100, true), CacheOutcome::UpgradeMiss);
+        assert_eq!(c.state_of(0x100), LineState::Modified);
+        assert_eq!(c.access(0x100, true), CacheOutcome::Hit);
+    }
+
+    #[test]
+    fn lru_eviction_writes_back_dirty_victims() {
+        let mut c = Cache::new(1, 2, 64);
+        c.access(0x000, true); // dirty
+        c.access(0x040, false);
+        let outcome = c.access(0x080, false); // evicts 0x000 (LRU, dirty)
+        assert_eq!(outcome, CacheOutcome::Miss { victim_dirty: true });
+        assert_eq!(c.writebacks(), 1);
+        assert_eq!(c.state_of(0x000), LineState::Invalid);
+    }
+
+    #[test]
+    fn invalidate_reports_dirtiness() {
+        let mut c = Cache::new(16, 2, 64);
+        c.access(0x100, true);
+        assert!(c.invalidate(0x100));
+        assert!(!c.invalidate(0x100), "already invalid");
+        c.access(0x200, false);
+        assert!(!c.invalidate(0x200), "clean line needs no writeback");
+    }
+
+    #[test]
+    fn miss_ratio_is_computed() {
+        let mut c = Cache::new(16, 2, 64);
+        assert_eq!(c.miss_ratio(), 0.0);
+        c.access(0x100, false);
+        c.access(0x100, false);
+        assert!((c.miss_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn line_state_predicates() {
+        assert!(LineState::Modified.is_dirty());
+        assert!(LineState::Owned.is_dirty());
+        assert!(!LineState::Shared.is_dirty());
+        assert!(LineState::Exclusive.is_writable());
+        assert!(!LineState::Invalid.is_valid());
+    }
+}

@@ -1,0 +1,61 @@
+//! System-level timing parameters shared by all simulated machines.
+
+use crate::memory::MemoryConfig;
+use crate::network::NetworkConfig;
+use crate::time::Cycles;
+
+/// Timing parameters of one simulated SMP-cluster node, mirroring the WWT-II
+/// configuration in Section 5 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SystemParams {
+    /// Processor clock in MHz (400 MHz dual-issue HyperSPARC-like cores).
+    pub cpu_mhz: u32,
+    /// Memory-bus clock in MHz (100 MHz split-transaction bus).
+    pub bus_mhz: u32,
+    /// Cost of delivering an interrupt to an SMP processor (200 cycles,
+    /// "characteristic of carefully tuned parallel computers").
+    pub interrupt_cost: Cycles,
+    /// Memory system parameters.
+    pub memory: MemoryConfig,
+    /// Network parameters.
+    pub network: NetworkConfig,
+}
+
+impl SystemParams {
+    /// The paper's baseline parameters.
+    pub fn new() -> Self {
+        Self {
+            cpu_mhz: 400,
+            bus_mhz: 100,
+            interrupt_cost: Cycles::new(200),
+            memory: MemoryConfig::new(),
+            network: NetworkConfig::new(),
+        }
+    }
+
+    /// Ratio of CPU cycles per bus cycle.
+    pub fn cpu_cycles_per_bus_cycle(&self) -> u64 {
+        u64::from(self.cpu_mhz / self.bus_mhz.max(1))
+    }
+}
+
+impl Default for SystemParams {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let p = SystemParams::new();
+        assert_eq!(p.cpu_mhz, 400);
+        assert_eq!(p.bus_mhz, 100);
+        assert_eq!(p.interrupt_cost, Cycles::new(200));
+        assert_eq!(p.network.latency, Cycles::new(100));
+        assert_eq!(p.cpu_cycles_per_bus_cycle(), 4);
+    }
+}

@@ -1,0 +1,190 @@
+//! Event calendar for discrete-event simulation.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::Cycles;
+
+/// An event scheduled at a point in simulated time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scheduled<E> {
+    /// The time at which the event fires.
+    pub time: Cycles,
+    /// Tie-breaking sequence number; events scheduled earlier fire first when
+    /// times are equal, making the simulation deterministic.
+    pub seq: u64,
+    /// The event payload.
+    pub event: E,
+}
+
+#[derive(Debug)]
+struct HeapEntry<E> {
+    time: Cycles,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for HeapEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for HeapEntry<E> {}
+
+impl<E> PartialOrd for HeapEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for HeapEntry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse order: BinaryHeap is a max-heap, we want the earliest event.
+        other.time.cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered event calendar.
+///
+/// Events pop in non-decreasing time order; ties are broken by insertion
+/// order, so simulations driven by an `EventQueue` are deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use pdq_sim::{Cycles, EventQueue};
+///
+/// let mut q = EventQueue::new();
+/// q.push(Cycles::new(100), "network message arrives");
+/// q.push(Cycles::new(5), "bus transaction completes");
+/// let (t, e) = q.pop().unwrap();
+/// assert_eq!(t, Cycles::new(5));
+/// assert_eq!(e, "bus transaction completes");
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<HeapEntry<E>>,
+    next_seq: u64,
+    now: Cycles,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty calendar at time zero.
+    pub fn new() -> Self {
+        Self { heap: BinaryHeap::new(), next_seq: 0, now: Cycles::ZERO }
+    }
+
+    /// Schedules `event` at absolute time `time`.
+    ///
+    /// Scheduling in the past is clamped to the current time (the event fires
+    /// "now"); this keeps cost-model round-off from ever moving time backwards.
+    pub fn push(&mut self, time: Cycles, event: E) {
+        let time = time.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(HeapEntry { time, seq, event });
+    }
+
+    /// Schedules `event` `delay` cycles after the current time.
+    pub fn push_after(&mut self, delay: Cycles, event: E) {
+        self.push(self.now + delay, event);
+    }
+
+    /// Removes and returns the earliest event, advancing the current time to
+    /// its timestamp.
+    pub fn pop(&mut self) -> Option<(Cycles, E)> {
+        let entry = self.heap.pop()?;
+        self.now = entry.time;
+        Some((entry.time, entry.event))
+    }
+
+    /// Time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<Cycles> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// The current simulated time (time of the last popped event).
+    pub fn now(&self) -> Cycles {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Cycles::new(30), 'c');
+        q.push(Cycles::new(10), 'a');
+        q.push(Cycles::new(20), 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.push(Cycles::new(10), 1);
+        q.push(Cycles::new(10), 2);
+        q.push(Cycles::new(10), 3);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn now_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.push(Cycles::new(100), ());
+        assert_eq!(q.now(), Cycles::ZERO);
+        q.pop();
+        assert_eq!(q.now(), Cycles::new(100));
+    }
+
+    #[test]
+    fn scheduling_in_the_past_is_clamped() {
+        let mut q = EventQueue::new();
+        q.push(Cycles::new(50), "first");
+        q.pop();
+        q.push(Cycles::new(10), "late");
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, Cycles::new(50));
+    }
+
+    #[test]
+    fn push_after_uses_current_time() {
+        let mut q = EventQueue::new();
+        q.push(Cycles::new(40), ());
+        q.pop();
+        q.push_after(Cycles::new(5), ());
+        assert_eq!(q.peek_time(), Some(Cycles::new(45)));
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(Cycles::new(1), ());
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,124 @@
+//! Interleaved main-memory model.
+
+use crate::resource::{Grant, MultiServer};
+use crate::time::Cycles;
+
+/// Parameters of one node's main-memory system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryConfig {
+    /// Number of independently accessible banks (the paper models a "highly
+    /// interleaved memory system, characteristic of high-performance SMP
+    /// servers").
+    pub banks: usize,
+    /// Access latency of one bank for a cache-block read/write, in processor
+    /// cycles. Sized so that the S-COMA reply occupancy (dominated by the
+    /// "fetch data, change tag, send" row of Table 1) comes out at ~136
+    /// cycles for a 64-byte block.
+    pub block_access: Cycles,
+}
+
+impl MemoryConfig {
+    /// Default configuration: 8-way interleaved, 60-cycle block access.
+    pub fn new() -> Self {
+        Self { banks: 8, block_access: Cycles::new(60) }
+    }
+}
+
+impl Default for MemoryConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A banked, interleaved main memory. Accesses to distinct banks proceed in
+/// parallel; accesses that hash to the same bank serialize.
+#[derive(Debug, Clone)]
+pub struct InterleavedMemory {
+    config: MemoryConfig,
+    banks: MultiServer,
+    accesses: u64,
+}
+
+impl InterleavedMemory {
+    /// Creates an idle memory system.
+    pub fn new(config: MemoryConfig) -> Self {
+        Self { config, banks: MultiServer::new("memory-bank", config.banks), accesses: 0 }
+    }
+
+    /// Performs a block access starting at `now`.
+    ///
+    /// The bank is chosen as "earliest free", which approximates address
+    /// interleaving without tracking physical addresses.
+    pub fn access_block(&mut self, now: Cycles) -> Grant {
+        self.accesses += 1;
+        self.banks.acquire(now, self.config.block_access)
+    }
+
+    /// Performs an access scaled to `bytes` (partial blocks cost
+    /// proportionally less, with a floor of one quarter of the block access).
+    pub fn access_bytes(&mut self, now: Cycles, bytes: u32, block_bytes: u32) -> Grant {
+        self.accesses += 1;
+        let full = self.config.block_access.as_u64();
+        let scaled = (full * u64::from(bytes)).div_ceil(u64::from(block_bytes.max(1)));
+        let service = Cycles::new(scaled.max(full / 4));
+        self.banks.acquire(now, service)
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> MemoryConfig {
+        self.config
+    }
+
+    /// Number of accesses performed.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Mean queueing delay behind busy banks.
+    pub fn mean_bank_queueing(&self) -> f64 {
+        self.banks.mean_queueing()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_accesses_use_parallel_banks() {
+        let mut mem = InterleavedMemory::new(MemoryConfig::new());
+        let a = mem.access_block(Cycles::ZERO);
+        let b = mem.access_block(Cycles::ZERO);
+        assert_eq!(a.queued, Cycles::ZERO);
+        assert_eq!(b.queued, Cycles::ZERO);
+        assert_eq!(mem.accesses(), 2);
+    }
+
+    #[test]
+    fn more_accesses_than_banks_queue() {
+        let config = MemoryConfig { banks: 2, block_access: Cycles::new(10) };
+        let mut mem = InterleavedMemory::new(config);
+        mem.access_block(Cycles::ZERO);
+        mem.access_block(Cycles::ZERO);
+        let c = mem.access_block(Cycles::ZERO);
+        assert_eq!(c.queued, Cycles::new(10));
+        assert!(mem.mean_bank_queueing() > 0.0);
+    }
+
+    #[test]
+    fn partial_access_costs_less_than_full_block() {
+        let mut mem = InterleavedMemory::new(MemoryConfig::new());
+        let full = mem.access_block(Cycles::ZERO);
+        let partial = mem.access_bytes(Cycles::ZERO, 16, 64);
+        let full_len = full.end - full.start;
+        let partial_len = partial.end - partial.start;
+        assert!(partial_len < full_len);
+        assert!(partial_len >= Cycles::new(full_len.as_u64() / 4));
+    }
+
+    #[test]
+    fn config_is_reported() {
+        let mem = InterleavedMemory::new(MemoryConfig::new());
+        assert_eq!(mem.config().banks, 8);
+    }
+}

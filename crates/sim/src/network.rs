@@ -1,0 +1,187 @@
+//! Point-to-point interconnection network with per-node NIC contention.
+
+use crate::resource::Server;
+use crate::time::Cycles;
+
+/// Identifies one SMP node of the cluster.
+pub type NodeId = usize;
+
+/// Network configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetworkConfig {
+    /// Constant point-to-point latency (the paper assumes 100 cycles).
+    pub latency: Cycles,
+    /// NIC occupancy for injecting/extracting a small control message.
+    pub control_occupancy: Cycles,
+    /// Additional NIC occupancy per 8 bytes of data payload.
+    pub per_8_bytes: Cycles,
+}
+
+impl NetworkConfig {
+    /// The paper's configuration: 100-cycle latency, contention modelled at
+    /// the network interfaces.
+    pub fn new() -> Self {
+        Self { latency: Cycles::new(100), control_occupancy: Cycles::new(4), per_8_bytes: Cycles::new(1) }
+    }
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The delivery schedule of a message computed by [`Network::send`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery {
+    /// When the message finished injection at the source NIC.
+    pub injected: Cycles,
+    /// When the message is available at the destination node (after the
+    /// constant latency and any queueing at the destination NIC).
+    pub arrival: Cycles,
+    /// Queueing at the source and destination NICs combined.
+    pub nic_queued: Cycles,
+}
+
+/// A point-to-point network with a constant latency and contention at the
+/// per-node network interfaces (WWT-II's network model).
+///
+/// # Examples
+///
+/// ```
+/// use pdq_sim::{Cycles, Network, NetworkConfig};
+///
+/// let mut net = Network::new(NetworkConfig::new(), 4);
+/// let d = net.send(Cycles::ZERO, 0, 1, 16);
+/// assert!(d.arrival >= Cycles::new(100));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Network {
+    config: NetworkConfig,
+    /// One injection server and one extraction server per node.
+    inject: Vec<Server>,
+    extract: Vec<Server>,
+    messages: u64,
+    payload_bytes: u64,
+}
+
+impl Network {
+    /// Creates an idle network connecting `nodes` nodes.
+    pub fn new(config: NetworkConfig, nodes: usize) -> Self {
+        let nodes = nodes.max(1);
+        Self {
+            config,
+            inject: (0..nodes).map(|_| Server::new("nic-inject")).collect(),
+            extract: (0..nodes).map(|_| Server::new("nic-extract")).collect(),
+            messages: 0,
+            payload_bytes: 0,
+        }
+    }
+
+    /// Number of nodes attached to the network.
+    pub fn nodes(&self) -> usize {
+        self.inject.len()
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> NetworkConfig {
+        self.config
+    }
+
+    /// Sends a message with `payload_bytes` of data from `src` to `dst` at
+    /// time `now` and returns its delivery schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dst` is not a valid node id.
+    pub fn send(&mut self, now: Cycles, src: NodeId, dst: NodeId, payload_bytes: u32) -> Delivery {
+        assert!(src < self.inject.len(), "source node {src} out of range");
+        assert!(dst < self.extract.len(), "destination node {dst} out of range");
+        self.messages += 1;
+        self.payload_bytes += u64::from(payload_bytes);
+        let occupancy = self.message_occupancy(payload_bytes);
+        let injection = self.inject[src].acquire(now, occupancy);
+        let at_dst = injection.end + self.config.latency;
+        let extraction = self.extract[dst].acquire(at_dst, occupancy);
+        Delivery {
+            injected: injection.end,
+            arrival: extraction.end,
+            nic_queued: injection.queued + extraction.queued,
+        }
+    }
+
+    /// NIC occupancy for a message carrying `payload_bytes` of data.
+    pub fn message_occupancy(&self, payload_bytes: u32) -> Cycles {
+        self.config.control_occupancy
+            + self.config.per_8_bytes.times(u64::from(payload_bytes.div_ceil(8)))
+    }
+
+    /// Total messages sent.
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// Total payload bytes carried.
+    pub fn payload_bytes(&self) -> u64 {
+        self.payload_bytes
+    }
+
+    /// Mean NIC queueing per message at node `node` (injection side).
+    pub fn mean_injection_queueing(&self, node: NodeId) -> f64 {
+        self.inject.get(node).map_or(0.0, Server::mean_queueing)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uncontended_message_takes_latency_plus_occupancy() {
+        let mut net = Network::new(NetworkConfig::new(), 2);
+        let d = net.send(Cycles::ZERO, 0, 1, 8);
+        let occ = net.message_occupancy(8);
+        assert_eq!(d.injected, occ);
+        assert_eq!(d.arrival, occ + Cycles::new(100) + occ);
+        assert_eq!(d.nic_queued, Cycles::ZERO);
+    }
+
+    #[test]
+    fn messages_from_one_node_serialize_at_the_nic() {
+        let mut net = Network::new(NetworkConfig::new(), 3);
+        let a = net.send(Cycles::ZERO, 0, 1, 64);
+        let b = net.send(Cycles::ZERO, 0, 2, 64);
+        assert!(b.injected > a.injected);
+        assert!(b.nic_queued > Cycles::ZERO);
+    }
+
+    #[test]
+    fn messages_to_one_node_serialize_at_the_destination() {
+        let mut net = Network::new(NetworkConfig::new(), 3);
+        let a = net.send(Cycles::ZERO, 0, 2, 64);
+        let b = net.send(Cycles::ZERO, 1, 2, 64);
+        assert!(b.arrival > a.arrival);
+    }
+
+    #[test]
+    fn larger_payloads_occupy_the_nic_longer() {
+        let net = Network::new(NetworkConfig::new(), 2);
+        assert!(net.message_occupancy(128) > net.message_occupancy(8));
+    }
+
+    #[test]
+    fn traffic_counters_accumulate() {
+        let mut net = Network::new(NetworkConfig::new(), 2);
+        net.send(Cycles::ZERO, 0, 1, 64);
+        net.send(Cycles::ZERO, 1, 0, 16);
+        assert_eq!(net.messages(), 2);
+        assert_eq!(net.payload_bytes(), 80);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn sending_to_an_unknown_node_panics() {
+        let mut net = Network::new(NetworkConfig::new(), 2);
+        net.send(Cycles::ZERO, 0, 5, 8);
+    }
+}

@@ -1,0 +1,275 @@
+//! Contended resources (servers) with occupancy and queueing.
+
+use crate::stats::Utilization;
+use crate::time::Cycles;
+
+/// The outcome of acquiring a resource: when service starts and ends, and how
+/// long the request waited behind earlier requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grant {
+    /// Time service begins (>= request time).
+    pub start: Cycles,
+    /// Time service completes.
+    pub end: Cycles,
+    /// `start - request_time`: queueing delay caused by contention.
+    pub queued: Cycles,
+}
+
+/// A single-server FCFS resource (a bus, a memory bank, a network interface).
+///
+/// Requests are served in arrival order; each request occupies the server for
+/// its service time. The model is conservative (non-preemptive, no pipelining)
+/// which matches how the paper accounts for protocol-processor and NIC
+/// occupancy.
+///
+/// # Examples
+///
+/// ```
+/// use pdq_sim::{Cycles, Server};
+///
+/// let mut bus = Server::new("memory-bus");
+/// let first = bus.acquire(Cycles::new(0), Cycles::new(40));
+/// let second = bus.acquire(Cycles::new(10), Cycles::new(40));
+/// assert_eq!(first.queued, Cycles::ZERO);
+/// assert_eq!(second.start, Cycles::new(40));   // waits for the first transfer
+/// assert_eq!(second.queued, Cycles::new(30));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Server {
+    name: &'static str,
+    busy_until: Cycles,
+    utilization: Utilization,
+    served: u64,
+    total_queued: Cycles,
+    max_queued: Cycles,
+}
+
+impl Server {
+    /// Creates an idle server.
+    pub fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            busy_until: Cycles::ZERO,
+            utilization: Utilization::new(),
+            served: 0,
+            total_queued: Cycles::ZERO,
+            max_queued: Cycles::ZERO,
+        }
+    }
+
+    /// The server's diagnostic name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Serves a request arriving at `now` needing `service` cycles, FCFS.
+    pub fn acquire(&mut self, now: Cycles, service: Cycles) -> Grant {
+        let start = now.max(self.busy_until);
+        let end = start + service;
+        let queued = start - now;
+        self.busy_until = end;
+        self.utilization.record_busy(service);
+        self.served += 1;
+        self.total_queued += queued;
+        self.max_queued = self.max_queued.max(queued);
+        Grant { start, end, queued }
+    }
+
+    /// Time at which the server next becomes free.
+    pub fn busy_until(&self) -> Cycles {
+        self.busy_until
+    }
+
+    /// Returns `true` if the server is idle at `now`.
+    pub fn is_idle_at(&self, now: Cycles) -> bool {
+        self.busy_until <= now
+    }
+
+    /// Number of requests served.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Mean queueing delay per request.
+    pub fn mean_queueing(&self) -> f64 {
+        if self.served == 0 {
+            0.0
+        } else {
+            self.total_queued.as_f64() / self.served as f64
+        }
+    }
+
+    /// Maximum queueing delay observed.
+    pub fn max_queueing(&self) -> Cycles {
+        self.max_queued
+    }
+
+    /// Total busy time accumulated.
+    pub fn busy_cycles(&self) -> Cycles {
+        self.utilization.busy()
+    }
+
+    /// Utilization over `horizon` cycles of simulated time.
+    pub fn utilization(&self, horizon: Cycles) -> f64 {
+        self.utilization.ratio(horizon)
+    }
+}
+
+/// A pool of identical FCFS servers (e.g. the banks of an interleaved memory
+/// system or a set of protocol processors treated as interchangeable).
+///
+/// Each request is served by the server that becomes free earliest — the
+/// single-queue/multi-server discipline whose superiority over static
+/// partitioning motivates the paper's design.
+#[derive(Debug, Clone)]
+pub struct MultiServer {
+    servers: Vec<Server>,
+}
+
+impl MultiServer {
+    /// Creates a pool of `count` idle servers (at least one).
+    pub fn new(name: &'static str, count: usize) -> Self {
+        Self { servers: (0..count.max(1)).map(|_| Server::new(name)).collect() }
+    }
+
+    /// Number of servers in the pool.
+    pub fn len(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Returns `true` if the pool has no servers (never true in practice).
+    pub fn is_empty(&self) -> bool {
+        self.servers.is_empty()
+    }
+
+    /// Serves a request on the earliest-available server.
+    pub fn acquire(&mut self, now: Cycles, service: Cycles) -> Grant {
+        let idx = self
+            .servers
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, s)| s.busy_until())
+            .map(|(i, _)| i)
+            .expect("pool has at least one server");
+        self.servers[idx].acquire(now, service)
+    }
+
+    /// Number of servers idle at `now`.
+    pub fn idle_count(&self, now: Cycles) -> usize {
+        self.servers.iter().filter(|s| s.is_idle_at(now)).count()
+    }
+
+    /// Total requests served across the pool.
+    pub fn served(&self) -> u64 {
+        self.servers.iter().map(Server::served).sum()
+    }
+
+    /// Mean queueing delay per request across the pool.
+    pub fn mean_queueing(&self) -> f64 {
+        let served: u64 = self.served();
+        if served == 0 {
+            return 0.0;
+        }
+        let total: f64 = self
+            .servers
+            .iter()
+            .map(|s| s.mean_queueing() * s.served() as f64)
+            .sum();
+        total / served as f64
+    }
+
+    /// Aggregate utilization over `horizon` cycles.
+    pub fn utilization(&self, horizon: Cycles) -> f64 {
+        if self.servers.is_empty() || horizon == Cycles::ZERO {
+            return 0.0;
+        }
+        self.servers.iter().map(|s| s.utilization(horizon)).sum::<f64>() / self.servers.len() as f64
+    }
+
+    /// Access to the individual servers (read-only), e.g. for per-server
+    /// utilization reporting.
+    pub fn servers(&self) -> &[Server] {
+        &self.servers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn back_to_back_requests_queue() {
+        let mut s = Server::new("test");
+        let a = s.acquire(Cycles::new(0), Cycles::new(10));
+        let b = s.acquire(Cycles::new(0), Cycles::new(10));
+        assert_eq!(a.end, Cycles::new(10));
+        assert_eq!(b.start, Cycles::new(10));
+        assert_eq!(b.queued, Cycles::new(10));
+        assert_eq!(s.served(), 2);
+        assert!(s.mean_queueing() > 0.0);
+    }
+
+    #[test]
+    fn idle_server_serves_immediately() {
+        let mut s = Server::new("test");
+        let g = s.acquire(Cycles::new(100), Cycles::new(5));
+        assert_eq!(g.start, Cycles::new(100));
+        assert_eq!(g.queued, Cycles::ZERO);
+        assert!(s.is_idle_at(Cycles::new(105)));
+        assert!(!s.is_idle_at(Cycles::new(104)));
+    }
+
+    #[test]
+    fn utilization_reflects_busy_fraction() {
+        let mut s = Server::new("test");
+        s.acquire(Cycles::new(0), Cycles::new(50));
+        assert!((s.utilization(Cycles::new(100)) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_server_spreads_load() {
+        let mut pool = MultiServer::new("banks", 2);
+        let a = pool.acquire(Cycles::new(0), Cycles::new(10));
+        let b = pool.acquire(Cycles::new(0), Cycles::new(10));
+        let c = pool.acquire(Cycles::new(0), Cycles::new(10));
+        assert_eq!(a.queued, Cycles::ZERO);
+        assert_eq!(b.queued, Cycles::ZERO);
+        assert_eq!(c.queued, Cycles::new(10));
+        assert_eq!(pool.served(), 3);
+    }
+
+    #[test]
+    fn multi_server_idle_count() {
+        let mut pool = MultiServer::new("pp", 3);
+        pool.acquire(Cycles::new(0), Cycles::new(10));
+        assert_eq!(pool.idle_count(Cycles::new(0)), 2);
+        assert_eq!(pool.idle_count(Cycles::new(10)), 3);
+    }
+
+    #[test]
+    fn multi_server_clamps_to_one() {
+        let pool = MultiServer::new("x", 0);
+        assert_eq!(pool.len(), 1);
+        assert!(!pool.is_empty());
+    }
+
+    #[test]
+    fn single_queue_multi_server_beats_static_partitioning() {
+        // The queueing-theory argument from the paper: one shared pool of two
+        // servers finishes a skewed burst sooner than two dedicated servers
+        // with statically assigned requests.
+        let mut shared = MultiServer::new("shared", 2);
+        let mut finish_shared = Cycles::ZERO;
+        for _ in 0..8 {
+            finish_shared = finish_shared.max(shared.acquire(Cycles::ZERO, Cycles::new(10)).end);
+        }
+
+        // Static partitioning: all eight requests hash to the same partition.
+        let mut partitioned = Server::new("partition-0");
+        let mut finish_part = Cycles::ZERO;
+        for _ in 0..8 {
+            finish_part = finish_part.max(partitioned.acquire(Cycles::ZERO, Cycles::new(10)).end);
+        }
+        assert!(finish_shared < finish_part);
+    }
+}

@@ -1,0 +1,186 @@
+//! Deterministic random-number helpers for reproducible simulations.
+
+/// A small, fast, deterministic pseudo-random generator (SplitMix64).
+///
+/// Every stochastic choice in the simulator and the workload models draws
+/// from an explicitly seeded `DetRng`, so a given configuration always
+/// produces exactly the same simulated execution — the property WWT-II relies
+/// on for its experiments and the one our tests rely on for reproducibility.
+///
+/// # Examples
+///
+/// ```
+/// use pdq_sim::DetRng;
+///
+/// let mut a = DetRng::new(7);
+/// let mut b = DetRng::new(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetRng {
+    state: u64,
+}
+
+impl DetRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed.wrapping_add(0x9e37_79b9_7f4a_7c15) }
+    }
+
+    /// Returns the next 64-bit pseudo-random value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Returns a value uniform in `[0, bound)`. Returns 0 when `bound` is 0.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+
+    /// Returns a value uniform in `[lo, hi)`. Returns `lo` when the range is
+    /// empty.
+    pub fn next_range(&mut self, lo: u64, hi: u64) -> u64 {
+        if hi <= lo {
+            lo
+        } else {
+            lo + self.next_below(hi - lo)
+        }
+    }
+
+    /// Returns a uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Samples an index in `[0, weights.len())` proportionally to `weights`.
+    /// Returns 0 for an empty or all-zero weight vector.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().copied().filter(|w| *w > 0.0).sum();
+        if total <= 0.0 || weights.is_empty() {
+            return 0;
+        }
+        let mut target = self.next_f64() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            if w <= 0.0 {
+                continue;
+            }
+            if target < w {
+                return i;
+            }
+            target -= w;
+        }
+        weights.len() - 1
+    }
+
+    /// Creates a new independent stream derived from this one (useful to give
+    /// each simulated processor its own stream).
+    pub fn split(&mut self, salt: u64) -> DetRng {
+        DetRng::new(self.next_u64() ^ salt.wrapping_mul(0xa076_1d64_78bd_642f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DetRng::new(42);
+        let mut b = DetRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = DetRng::new(1);
+        let mut b = DetRng::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut r = DetRng::new(3);
+        for _ in 0..1000 {
+            assert!(r.next_below(10) < 10);
+        }
+        assert_eq!(r.next_below(0), 0);
+    }
+
+    #[test]
+    fn next_range_handles_empty_range() {
+        let mut r = DetRng::new(3);
+        assert_eq!(r.next_range(5, 5), 5);
+        for _ in 0..100 {
+            let v = r.next_range(10, 20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn next_f64_is_in_unit_interval() {
+        let mut r = DetRng::new(9);
+        for _ in 0..1000 {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = DetRng::new(11);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+    }
+
+    #[test]
+    fn chance_is_roughly_calibrated() {
+        let mut r = DetRng::new(13);
+        let hits = (0..10_000).filter(|_| r.chance(0.3)).count();
+        assert!((2500..3500).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn weighted_index_prefers_heavy_weights() {
+        let mut r = DetRng::new(17);
+        let weights = [0.0, 0.9, 0.1];
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[r.weighted_index(&weights)] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        assert!(counts[1] > counts[2]);
+    }
+
+    #[test]
+    fn weighted_index_degenerate_cases() {
+        let mut r = DetRng::new(19);
+        assert_eq!(r.weighted_index(&[]), 0);
+        assert_eq!(r.weighted_index(&[0.0, 0.0]), 0);
+    }
+
+    #[test]
+    fn split_streams_are_independent_but_deterministic() {
+        let mut parent1 = DetRng::new(5);
+        let mut parent2 = DetRng::new(5);
+        let mut child1 = parent1.split(1);
+        let mut child2 = parent2.split(1);
+        assert_eq!(child1.next_u64(), child2.next_u64());
+        let mut other = parent1.split(2);
+        assert_ne!(child1.next_u64(), other.next_u64());
+    }
+}

@@ -1,0 +1,243 @@
+//! Simulation statistics: counters, accumulators, histograms, utilization.
+
+use std::fmt;
+
+use crate::time::Cycles;
+
+/// A running accumulator of scalar samples (count, sum, min, max, mean).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Accumulator {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Accumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self { count: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Records a sample.
+    pub fn record(&mut self, sample: f64) {
+        self.count += 1;
+        self.sum += sample;
+        self.min = self.min.min(sample);
+        self.max = self.max.max(sample);
+    }
+
+    /// Records a duration sample.
+    pub fn record_cycles(&mut self, sample: Cycles) {
+        self.record(sample.as_f64());
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of all samples; 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest sample; 0.0 if empty.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample; 0.0 if empty.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &Accumulator) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for Accumulator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.1} min={:.1} max={:.1}",
+            self.count(),
+            self.mean(),
+            self.min(),
+            self.max()
+        )
+    }
+}
+
+/// A power-of-two bucketed histogram of cycle counts (bucket *i* covers
+/// `[2^i, 2^(i+1))`), useful for latency distributions.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self { buckets: vec![0; 40], total: 0 }
+    }
+
+    /// Records a sample.
+    pub fn record(&mut self, value: u64) {
+        let bucket = (64 - value.leading_zeros()) as usize;
+        let bucket = bucket.min(self.buckets.len() - 1);
+        self.buckets[bucket] += 1;
+        self.total += 1;
+    }
+
+    /// Number of samples recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Count in bucket `i` (values in `[2^(i-1), 2^i)`; bucket 0 holds zero).
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets.get(i).copied().unwrap_or(0)
+    }
+
+    /// Approximate value below which `quantile` of the samples fall.
+    pub fn approximate_quantile(&self, quantile: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let target = (self.total as f64 * quantile.clamp(0.0, 1.0)).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &count) in self.buckets.iter().enumerate() {
+            seen += count;
+            if seen >= target {
+                return if i == 0 { 0 } else { 1u64 << i };
+            }
+        }
+        1u64 << (self.buckets.len() - 1)
+    }
+}
+
+/// Tracks how long a component has been busy, for utilization reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Utilization {
+    busy: Cycles,
+}
+
+impl Utilization {
+    /// Creates a zeroed utilization tracker.
+    pub fn new() -> Self {
+        Self { busy: Cycles::ZERO }
+    }
+
+    /// Adds busy time.
+    pub fn record_busy(&mut self, duration: Cycles) {
+        self.busy += duration;
+    }
+
+    /// Total busy time.
+    pub fn busy(&self) -> Cycles {
+        self.busy
+    }
+
+    /// Busy time divided by `horizon`; 0.0 when the horizon is zero.
+    pub fn ratio(&self, horizon: Cycles) -> f64 {
+        if horizon == Cycles::ZERO {
+            0.0
+        } else {
+            self.busy.as_f64() / horizon.as_f64()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulator_tracks_summary_statistics() {
+        let mut a = Accumulator::new();
+        for v in [1.0, 2.0, 3.0] {
+            a.record(v);
+        }
+        assert_eq!(a.count(), 3);
+        assert!((a.mean() - 2.0).abs() < 1e-12);
+        assert_eq!(a.min(), 1.0);
+        assert_eq!(a.max(), 3.0);
+        assert!(!a.to_string().is_empty());
+    }
+
+    #[test]
+    fn empty_accumulator_is_safe() {
+        let a = Accumulator::new();
+        assert_eq!(a.mean(), 0.0);
+        assert_eq!(a.min(), 0.0);
+        assert_eq!(a.max(), 0.0);
+    }
+
+    #[test]
+    fn accumulator_merge_combines_samples() {
+        let mut a = Accumulator::new();
+        a.record(1.0);
+        let mut b = Accumulator::new();
+        b.record(5.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), 5.0);
+        a.merge(&Accumulator::new());
+        assert_eq!(a.count(), 2);
+    }
+
+    #[test]
+    fn histogram_buckets_by_power_of_two() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(1000);
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.bucket(0), 1); // value 0
+        assert_eq!(h.bucket(1), 1); // value 1
+        assert_eq!(h.bucket(2), 2); // values 2..3
+        assert!(h.approximate_quantile(1.0) >= 1000);
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero() {
+        assert_eq!(Histogram::new().approximate_quantile(0.5), 0);
+    }
+
+    #[test]
+    fn utilization_ratio() {
+        let mut u = Utilization::new();
+        u.record_busy(Cycles::new(30));
+        assert!((u.ratio(Cycles::new(60)) - 0.5).abs() < 1e-12);
+        assert_eq!(u.ratio(Cycles::ZERO), 0.0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Simulated time.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A point in (or duration of) simulated time, measured in 400 MHz processor
+/// cycles — the clock the paper reports all latencies in (Table 1).
+///
+/// `Cycles` is used both as an instant (time since simulation start) and as a
+/// duration; arithmetic saturates rather than wrapping so cost models can be
+/// composed without overflow checks at every call site.
+///
+/// # Examples
+///
+/// ```
+/// use pdq_sim::Cycles;
+///
+/// let dispatch = Cycles::new(12);
+/// let handler = Cycles::new(36);
+/// assert_eq!((dispatch + handler).as_u64(), 48);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Cycles(u64);
+
+impl Cycles {
+    /// Zero cycles.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// The largest representable time; used as an "infinitely far" sentinel.
+    pub const MAX: Cycles = Cycles(u64::MAX);
+
+    /// Creates a cycle count.
+    #[inline]
+    pub const fn new(cycles: u64) -> Self {
+        Cycles(cycles)
+    }
+
+    /// Returns the raw cycle count.
+    #[inline]
+    pub const fn as_u64(&self) -> u64 {
+        self.0
+    }
+
+    /// Returns the cycle count as `f64`, for statistics.
+    #[inline]
+    pub fn as_f64(&self) -> f64 {
+        self.0 as f64
+    }
+
+    /// Saturating subtraction: `self - other`, or zero if `other` is later.
+    #[inline]
+    pub fn saturating_sub(self, other: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(other.0))
+    }
+
+    /// Returns the later of two times.
+    #[inline]
+    pub fn max(self, other: Cycles) -> Cycles {
+        Cycles(self.0.max(other.0))
+    }
+
+    /// Returns the earlier of two times.
+    #[inline]
+    pub fn min(self, other: Cycles) -> Cycles {
+        Cycles(self.0.min(other.0))
+    }
+
+    /// Multiplies a duration by a count.
+    #[inline]
+    pub fn times(self, n: u64) -> Cycles {
+        Cycles(self.0.saturating_mul(n))
+    }
+
+    /// Converts a duration at the 100 MHz memory-bus clock into processor
+    /// cycles (the bus runs at one quarter of the 400 MHz CPU clock).
+    #[inline]
+    pub fn from_bus_cycles(bus_cycles: u64) -> Cycles {
+        Cycles(bus_cycles * 4)
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for Cycles {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cycles) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    /// Saturating subtraction; never panics.
+    #[inline]
+    fn sub(self, rhs: Cycles) -> Cycles {
+        self.saturating_sub(rhs)
+    }
+}
+
+impl SubAssign for Cycles {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Cycles) {
+        *self = *self - rhs;
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Self {
+        iter.fold(Cycles::ZERO, |acc, c| acc + c)
+    }
+}
+
+impl From<u64> for Cycles {
+    fn from(value: u64) -> Self {
+        Cycles(value)
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cycles", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_saturates() {
+        assert_eq!(Cycles::MAX + Cycles::new(1), Cycles::MAX);
+        assert_eq!(Cycles::new(3) - Cycles::new(5), Cycles::ZERO);
+    }
+
+    #[test]
+    fn bus_cycles_scale_by_four() {
+        assert_eq!(Cycles::from_bus_cycles(5), Cycles::new(20));
+    }
+
+    #[test]
+    fn sum_accumulates() {
+        let total: Cycles = [1u64, 2, 3].into_iter().map(Cycles::new).sum();
+        assert_eq!(total, Cycles::new(6));
+    }
+
+    #[test]
+    fn times_multiplies() {
+        assert_eq!(Cycles::new(7).times(3), Cycles::new(21));
+    }
+
+    #[test]
+    fn min_max_are_correct() {
+        let a = Cycles::new(10);
+        let b = Cycles::new(20);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+}

@@ -1,0 +1,289 @@
+//! The applications of the paper's evaluation and their model parameters.
+
+use std::fmt;
+
+/// The seven shared-memory applications of Table 2 (six SPLASH-2 programs
+/// plus the Split-C `em3d` kernel).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AppKind {
+    /// Barnes-Hut N-body simulation (latency-bound, fine-grain sharing).
+    Barnes,
+    /// Sparse Cholesky factorization (bandwidth-bound, load-imbalanced,
+    /// compulsory misses to data that is not actively shared).
+    Cholesky,
+    /// 3-D wave propagation on an irregular graph (producer/consumer with
+    /// neighbours, bursty synchronous phases).
+    Em3d,
+    /// Complex 1-D radix-√n FFT (all-to-all transpose phases,
+    /// communication-bound).
+    Fft,
+    /// Fast Multipole N-body simulation (latency-bound, fine-grain sharing).
+    Fmm,
+    /// Integer radix sort (all-to-all permutation phases, write-heavy,
+    /// communication-bound).
+    Radix,
+    /// Water molecule force simulation, spatial variant (computation-bound).
+    WaterSp,
+}
+
+impl AppKind {
+    /// All applications, in the order the paper lists them.
+    pub const fn all() -> [AppKind; 7] {
+        [
+            AppKind::Barnes,
+            AppKind::Cholesky,
+            AppKind::Em3d,
+            AppKind::Fft,
+            AppKind::Fmm,
+            AppKind::Radix,
+            AppKind::WaterSp,
+        ]
+    }
+
+    /// Lower-case name used in reports (matches the paper's tables).
+    pub fn name(&self) -> &'static str {
+        match self {
+            AppKind::Barnes => "barnes",
+            AppKind::Cholesky => "cholesky",
+            AppKind::Em3d => "em3d",
+            AppKind::Fft => "fft",
+            AppKind::Fmm => "fmm",
+            AppKind::Radix => "radix",
+            AppKind::WaterSp => "water-sp",
+        }
+    }
+
+    /// The input set the paper used (recorded for the Table-2 report; the
+    /// synthetic model scales work abstractly rather than replaying these
+    /// inputs).
+    pub fn paper_input(&self) -> &'static str {
+        match self {
+            AppKind::Barnes => "16K particles",
+            AppKind::Cholesky => "tk29.O",
+            AppKind::Em3d => "76K nodes, 15% remote",
+            AppKind::Fft => "1M points",
+            AppKind::Fmm => "16K particles",
+            AppKind::Radix => "4M integers",
+            AppKind::WaterSp => "4096 molecules",
+        }
+    }
+
+    /// The S-COMA speedup the paper reports on a cluster of 8 8-way SMPs
+    /// (Table 2); used as the reference point in EXPERIMENTS.md.
+    pub fn paper_scoma_speedup(&self) -> f64 {
+        match self {
+            AppKind::Barnes => 31.0,
+            AppKind::Cholesky => 5.0,
+            AppKind::Em3d => 34.0,
+            AppKind::Fft => 19.0,
+            AppKind::Fmm => 31.0,
+            AppKind::Radix => 12.0,
+            AppKind::WaterSp => 61.0,
+        }
+    }
+
+    /// The model parameters of this application.
+    pub fn params(&self) -> AppParams {
+        match self {
+            // Latency-bound: sporadic, uniformly distributed communication,
+            // moderate computation, very fine sharing granularity.
+            AppKind::Barnes => AppParams {
+                compute_per_access: 700,
+                remote_fraction: 0.11,
+                write_fraction: 0.25,
+                pattern: SharingPattern::Uniform,
+                accesses_per_cpu: 220,
+                phases: 2,
+                blocks_per_cpu: 96,
+                locality: 0.35,
+                imbalance: 1.05,
+                element_stride: 32,
+            },
+            // Bandwidth-bound, heavily imbalanced, compulsory misses to data
+            // that is not actively shared (reply handlers read memory).
+            AppKind::Cholesky => AppParams {
+                compute_per_access: 150,
+                remote_fraction: 0.45,
+                write_fraction: 0.15,
+                pattern: SharingPattern::HomeCentric,
+                accesses_per_cpu: 260,
+                phases: 1,
+                blocks_per_cpu: 256,
+                locality: 0.05,
+                imbalance: 6.0,
+                element_stride: 256,
+            },
+            // Producer/consumer with neighbours in synchronous phases.
+            AppKind::Em3d => AppParams {
+                compute_per_access: 260,
+                remote_fraction: 0.26,
+                write_fraction: 0.45,
+                pattern: SharingPattern::Neighbor,
+                accesses_per_cpu: 200,
+                phases: 3,
+                blocks_per_cpu: 128,
+                locality: 0.25,
+                imbalance: 1.0,
+                element_stride: 64,
+            },
+            // All-to-all transpose phases, communication-bound, bursty.
+            AppKind::Fft => AppParams {
+                compute_per_access: 220,
+                remote_fraction: 0.32,
+                write_fraction: 0.45,
+                pattern: SharingPattern::AllToAll,
+                accesses_per_cpu: 190,
+                phases: 2,
+                blocks_per_cpu: 160,
+                locality: 0.15,
+                imbalance: 1.0,
+                element_stride: 64,
+            },
+            AppKind::Fmm => AppParams {
+                compute_per_access: 760,
+                remote_fraction: 0.10,
+                write_fraction: 0.22,
+                pattern: SharingPattern::Uniform,
+                accesses_per_cpu: 220,
+                phases: 2,
+                blocks_per_cpu: 96,
+                locality: 0.35,
+                imbalance: 1.1,
+                element_stride: 32,
+            },
+            // Write-heavy all-to-all permutation; the most communication-bound.
+            AppKind::Radix => AppParams {
+                compute_per_access: 240,
+                remote_fraction: 0.30,
+                write_fraction: 0.65,
+                pattern: SharingPattern::AllToAll,
+                accesses_per_cpu: 180,
+                phases: 2,
+                blocks_per_cpu: 192,
+                locality: 0.10,
+                imbalance: 1.0,
+                element_stride: 64,
+            },
+            // Computation-bound; communication is rare.
+            AppKind::WaterSp => AppParams {
+                compute_per_access: 2600,
+                remote_fraction: 0.018,
+                write_fraction: 0.20,
+                pattern: SharingPattern::Uniform,
+                accesses_per_cpu: 220,
+                phases: 2,
+                blocks_per_cpu: 64,
+                locality: 0.45,
+                imbalance: 1.0,
+                element_stride: 128,
+            },
+        }
+    }
+}
+
+impl fmt::Display for AppKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How remote accesses choose their target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SharingPattern {
+    /// Any other processor, uniformly (sporadic, evenly distributed — barnes,
+    /// fmm, water).
+    Uniform,
+    /// The neighbouring processors in a ring (em3d).
+    Neighbor,
+    /// Every other processor in turn (fft/radix transpose and permutation
+    /// phases).
+    AllToAll,
+    /// Data homed on other nodes but not actively written by them (cholesky's
+    /// compulsory misses).
+    HomeCentric,
+}
+
+/// The tunable parameters of one application model.
+///
+/// These are the knobs the paper's qualitative discussion identifies as what
+/// drives each application's behaviour: computation-to-communication ratio,
+/// the sharing pattern, how bursty and write-heavy communication is, how much
+/// data is touched, load imbalance, and the sharing granularity (which
+/// determines false-sharing susceptibility at large block sizes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AppParams {
+    /// Mean compute cycles between consecutive shared-memory accesses.
+    pub compute_per_access: u64,
+    /// Fraction of shared accesses that target another processor's data.
+    pub remote_fraction: f64,
+    /// Fraction of shared accesses that are stores.
+    pub write_fraction: f64,
+    /// How remote targets are chosen.
+    pub pattern: SharingPattern,
+    /// Shared accesses per processor per phase (scaled by the workload scale).
+    pub accesses_per_cpu: u64,
+    /// Number of barrier-separated phases.
+    pub phases: u32,
+    /// Number of distinct blocks in each processor's partition.
+    pub blocks_per_cpu: u64,
+    /// Probability that a remote access revisits the most recently used remote
+    /// block instead of picking a new one.
+    pub locality: f64,
+    /// Work multiplier applied to the first quarter of the processors
+    /// (cholesky's severe load imbalance).
+    pub imbalance: f64,
+    /// Spacing in bytes between consecutive data elements; strides smaller
+    /// than the block size mean several processors' data share a block, which
+    /// turns into false sharing at large block sizes.
+    pub element_stride: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_seven_applications_are_listed() {
+        assert_eq!(AppKind::all().len(), 7);
+        let names: Vec<&str> = AppKind::all().iter().map(|a| a.name()).collect();
+        assert_eq!(
+            names,
+            vec!["barnes", "cholesky", "em3d", "fft", "fmm", "radix", "water-sp"]
+        );
+    }
+
+    #[test]
+    fn paper_speedups_match_table_2() {
+        assert_eq!(AppKind::WaterSp.paper_scoma_speedup(), 61.0);
+        assert_eq!(AppKind::Cholesky.paper_scoma_speedup(), 5.0);
+        assert_eq!(AppKind::Fft.paper_scoma_speedup(), 19.0);
+    }
+
+    #[test]
+    fn parameters_reflect_the_papers_application_classes() {
+        // water-sp is the most computation-bound.
+        let water = AppKind::WaterSp.params();
+        for app in AppKind::all() {
+            if app != AppKind::WaterSp {
+                assert!(water.compute_per_access > app.params().compute_per_access);
+                assert!(water.remote_fraction <= app.params().remote_fraction);
+            }
+        }
+        // cholesky is the most imbalanced.
+        assert!(AppKind::Cholesky.params().imbalance > 2.0);
+        // fft and radix are all-to-all.
+        assert_eq!(AppKind::Fft.params().pattern, SharingPattern::AllToAll);
+        assert_eq!(AppKind::Radix.params().pattern, SharingPattern::AllToAll);
+        // barnes and fmm share at fine granularity (false sharing at 128 B).
+        assert!(AppKind::Barnes.params().element_stride < 128);
+        assert!(AppKind::Fmm.params().element_stride < 128);
+    }
+
+    #[test]
+    fn display_and_inputs_are_nonempty() {
+        for app in AppKind::all() {
+            assert!(!app.to_string().is_empty());
+            assert!(!app.paper_input().is_empty());
+        }
+    }
+}

@@ -1,0 +1,410 @@
+//! Synthetic per-processor access traces.
+//!
+//! The generator turns an application's [`AppParams`] into one script of
+//! [`Action`]s per processor: compute bursts, shared-memory accesses (byte
+//! addresses chosen according to the application's sharing pattern), and
+//! barriers separating phases. Scripts are generated up front from a seeded
+//! deterministic RNG, so a `(application, topology, scale, seed)` tuple always
+//! produces exactly the same workload.
+
+use pdq_sim::DetRng;
+
+use crate::app::{AppKind, AppParams, SharingPattern};
+
+/// Bytes per page; must match `pdq_dsm::PAGE_BYTES` (asserted in the
+/// integration tests) — kept as a literal here so this crate does not depend
+/// on the DSM crate.
+const PAGE_BYTES: u64 = 4096;
+
+/// The shape of the simulated cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Topology {
+    /// Number of SMP nodes.
+    pub nodes: usize,
+    /// Compute processors per node.
+    pub cpus_per_node: usize,
+}
+
+impl Topology {
+    /// Creates a topology (both dimensions clamped to at least 1).
+    pub fn new(nodes: usize, cpus_per_node: usize) -> Self {
+        Self { nodes: nodes.max(1), cpus_per_node: cpus_per_node.max(1) }
+    }
+
+    /// Total number of compute processors.
+    pub fn total_cpus(&self) -> usize {
+        self.nodes * self.cpus_per_node
+    }
+
+    /// The node a global processor index belongs to.
+    pub fn node_of(&self, cpu: usize) -> usize {
+        cpu / self.cpus_per_node
+    }
+
+    /// The paper's baseline cluster: 8 nodes of 8-way SMPs.
+    pub fn baseline() -> Self {
+        Self::new(8, 8)
+    }
+}
+
+/// One step of a processor's script.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Execute for the given number of cycles without touching shared data.
+    Compute(u64),
+    /// Access the shared-memory byte address; `write` selects a store.
+    Access {
+        /// Global byte address.
+        addr: u64,
+        /// Whether the access is a store.
+        write: bool,
+    },
+    /// Wait until every processor reaches its matching barrier.
+    Barrier,
+}
+
+/// Scaling factor applied to the number of accesses per processor; use values
+/// below 1.0 for quick tests and above 1.0 for longer runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadScale(pub f64);
+
+impl WorkloadScale {
+    /// The default scale used by the experiment harness.
+    pub fn full() -> Self {
+        WorkloadScale(1.0)
+    }
+
+    /// A reduced scale for unit tests.
+    pub fn quick() -> Self {
+        WorkloadScale(0.15)
+    }
+}
+
+impl Default for WorkloadScale {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+/// A complete workload: one script per processor, plus summary counters.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    app: AppKind,
+    topology: Topology,
+    scripts: Vec<Vec<Action>>,
+    total_compute: u64,
+    total_accesses: u64,
+    remote_accesses: u64,
+}
+
+impl Workload {
+    /// Generates the workload for `app` on `topology`.
+    pub fn generate(app: AppKind, topology: Topology, scale: WorkloadScale, seed: u64) -> Self {
+        let params = app.params();
+        let mut rng = DetRng::new(seed ^ (app as u64).wrapping_mul(0x1234_5678_9abc_def1));
+        let total_cpus = topology.total_cpus();
+        let layout = Layout::new(&params, topology);
+
+        let mut scripts: Vec<Vec<Action>> = vec![Vec::new(); total_cpus];
+        let mut total_compute = 0u64;
+        let mut total_accesses = 0u64;
+        let mut remote_accesses = 0u64;
+
+        let scale = scale.0.max(0.01);
+        for phase in 0..params.phases {
+            for cpu in 0..total_cpus {
+                let mut cpu_rng = rng.split((phase as u64) << 32 | cpu as u64);
+                let imbalanced = cpu < total_cpus.div_ceil(4);
+                let factor = if imbalanced { params.imbalance } else { 1.0 };
+                let accesses =
+                    ((params.accesses_per_cpu as f64) * scale * factor).round().max(1.0) as u64;
+                let mut last_remote_element: Option<(usize, u64)> = None;
+                for i in 0..accesses {
+                    let compute = cpu_rng
+                        .next_range(params.compute_per_access / 2, params.compute_per_access * 3 / 2)
+                        .max(1);
+                    scripts[cpu].push(Action::Compute(compute));
+                    total_compute += compute;
+
+                    let remote = cpu_rng.chance(params.remote_fraction);
+                    let owner = if remote {
+                        pick_remote_owner(&params, topology, cpu, i, &mut cpu_rng)
+                    } else {
+                        cpu
+                    };
+                    if owner != cpu {
+                        remote_accesses += 1;
+                    }
+                    let element = if owner != cpu
+                        && last_remote_element.map(|(o, _)| o) == Some(owner)
+                        && cpu_rng.chance(params.locality)
+                    {
+                        last_remote_element.expect("checked above").1
+                    } else {
+                        cpu_rng.next_below(layout.elements_per_cpu)
+                    };
+                    if owner != cpu {
+                        last_remote_element = Some((owner, element));
+                    }
+                    let write = cpu_rng.chance(params.write_fraction);
+                    scripts[cpu].push(Action::Access { addr: layout.element_addr(owner, element), write });
+                    total_accesses += 1;
+                }
+            }
+            for script in &mut scripts {
+                script.push(Action::Barrier);
+            }
+        }
+
+        Self { app, topology, scripts, total_compute, total_accesses, remote_accesses }
+    }
+
+    /// The application this workload models.
+    pub fn app(&self) -> AppKind {
+        self.app
+    }
+
+    /// The cluster shape the workload was generated for.
+    pub fn topology(&self) -> Topology {
+        self.topology
+    }
+
+    /// The script of one processor (indexed by global processor id).
+    pub fn script(&self, cpu: usize) -> &[Action] {
+        &self.scripts[cpu]
+    }
+
+    /// Total number of processors.
+    pub fn cpus(&self) -> usize {
+        self.scripts.len()
+    }
+
+    /// Total compute cycles across all processors.
+    pub fn total_compute(&self) -> u64 {
+        self.total_compute
+    }
+
+    /// Total shared-memory accesses across all processors.
+    pub fn total_accesses(&self) -> u64 {
+        self.total_accesses
+    }
+
+    /// Accesses that target another processor's partition.
+    pub fn remote_accesses(&self) -> u64 {
+        self.remote_accesses
+    }
+
+    /// The running time of the workload on an ideal uniprocessor with no
+    /// communication: all compute plus one cycle per access. This is the
+    /// numerator of every speedup reported by the experiments.
+    pub fn uniprocessor_cycles(&self) -> u64 {
+        self.total_compute + self.total_accesses
+    }
+}
+
+/// Picks the owner of a remote access target according to the sharing pattern.
+fn pick_remote_owner(
+    params: &AppParams,
+    topology: Topology,
+    cpu: usize,
+    access_index: u64,
+    rng: &mut DetRng,
+) -> usize {
+    let total = topology.total_cpus();
+    if total == 1 {
+        return cpu;
+    }
+    match params.pattern {
+        SharingPattern::Uniform => {
+            let mut other = rng.next_below(total as u64 - 1) as usize;
+            if other >= cpu {
+                other += 1;
+            }
+            other
+        }
+        SharingPattern::Neighbor => {
+            if rng.chance(0.5) {
+                (cpu + 1) % total
+            } else {
+                (cpu + total - 1) % total
+            }
+        }
+        SharingPattern::AllToAll => {
+            let offset = 1 + (access_index as usize % (total - 1));
+            (cpu + offset) % total
+        }
+        SharingPattern::HomeCentric => {
+            // A processor on a different node, uniformly.
+            let my_node = topology.node_of(cpu);
+            if topology.nodes == 1 {
+                return (cpu + 1) % total;
+            }
+            loop {
+                let candidate = rng.next_below(total as u64) as usize;
+                if topology.node_of(candidate) != my_node {
+                    return candidate;
+                }
+            }
+        }
+    }
+}
+
+/// Maps (owner processor, element index) pairs to byte addresses such that
+/// every processor's data lives in pages homed on its own node (the home map
+/// assigns page *p* to node *p mod nodes*).
+#[derive(Debug, Clone, Copy)]
+struct Layout {
+    nodes: usize,
+    cpus_per_node: usize,
+    element_stride: u64,
+    elements_per_cpu: u64,
+    pages_per_cpu: u64,
+}
+
+impl Layout {
+    fn new(params: &AppParams, topology: Topology) -> Self {
+        let footprint_bytes = params.blocks_per_cpu * 64;
+        let element_stride = params.element_stride.max(8);
+        let elements_per_cpu = (footprint_bytes / element_stride).max(1);
+        let pages_per_cpu = (elements_per_cpu * element_stride).div_ceil(PAGE_BYTES).max(1);
+        Self {
+            nodes: topology.nodes,
+            cpus_per_node: topology.cpus_per_node,
+            element_stride,
+            elements_per_cpu,
+            pages_per_cpu,
+        }
+    }
+
+    fn element_addr(&self, owner: usize, element: u64) -> u64 {
+        let node = owner / self.cpus_per_node;
+        let local = (owner % self.cpus_per_node) as u64;
+        let byte_offset = element * self.element_stride;
+        let page_slot = local * self.pages_per_cpu + byte_offset / PAGE_BYTES;
+        // Pages homed on `node` are exactly those congruent to `node` mod nodes.
+        let page = node as u64 + self.nodes as u64 * page_slot;
+        page * PAGE_BYTES + (byte_offset % PAGE_BYTES)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_workload(app: AppKind) -> Workload {
+        Workload::generate(app, Topology::new(4, 2), WorkloadScale::quick(), 42)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = small_workload(AppKind::Fft);
+        let b = small_workload(AppKind::Fft);
+        assert_eq!(a.total_compute(), b.total_compute());
+        assert_eq!(a.total_accesses(), b.total_accesses());
+        for cpu in 0..a.cpus() {
+            assert_eq!(a.script(cpu), b.script(cpu));
+        }
+    }
+
+    #[test]
+    fn different_seeds_produce_different_traces() {
+        let a = Workload::generate(AppKind::Fft, Topology::new(4, 2), WorkloadScale::quick(), 1);
+        let b = Workload::generate(AppKind::Fft, Topology::new(4, 2), WorkloadScale::quick(), 2);
+        assert_ne!(a.script(0), b.script(0));
+    }
+
+    #[test]
+    fn every_cpu_has_a_script_ending_in_a_barrier() {
+        let w = small_workload(AppKind::Em3d);
+        assert_eq!(w.cpus(), 8);
+        for cpu in 0..w.cpus() {
+            let script = w.script(cpu);
+            assert!(!script.is_empty());
+            assert_eq!(*script.last().unwrap(), Action::Barrier);
+            let barriers = script.iter().filter(|a| matches!(a, Action::Barrier)).count();
+            assert_eq!(barriers as u32, AppKind::Em3d.params().phases);
+        }
+    }
+
+    #[test]
+    fn local_data_is_homed_on_the_owning_node() {
+        let topo = Topology::new(4, 2);
+        let w = Workload::generate(AppKind::WaterSp, topo, WorkloadScale::quick(), 7);
+        // water-sp is almost entirely local: the large majority of accesses of
+        // cpu 0 must land on pages homed on node 0.
+        let mut local = 0u64;
+        let mut total = 0u64;
+        for action in w.script(0) {
+            if let Action::Access { addr, .. } = action {
+                total += 1;
+                let page = addr / 4096;
+                if page % 4 == 0 {
+                    local += 1;
+                }
+            }
+        }
+        assert!(total > 0);
+        assert!(local * 10 >= total * 9, "expected >=90% local accesses, got {local}/{total}");
+    }
+
+    #[test]
+    fn remote_fraction_tracks_the_parameters() {
+        let communication_bound = small_workload(AppKind::Radix);
+        let computation_bound = small_workload(AppKind::WaterSp);
+        let frac = |w: &Workload| w.remote_accesses() as f64 / w.total_accesses() as f64;
+        assert!(frac(&communication_bound) > 4.0 * frac(&computation_bound));
+    }
+
+    #[test]
+    fn imbalanced_apps_give_more_work_to_the_first_quarter() {
+        let w = small_workload(AppKind::Cholesky);
+        let accesses = |cpu: usize| {
+            w.script(cpu).iter().filter(|a| matches!(a, Action::Access { .. })).count()
+        };
+        assert!(accesses(0) > 2 * accesses(w.cpus() - 1));
+    }
+
+    #[test]
+    fn balanced_apps_spread_work_evenly() {
+        let w = small_workload(AppKind::Fft);
+        let accesses = |cpu: usize| {
+            w.script(cpu).iter().filter(|a| matches!(a, Action::Access { .. })).count()
+        };
+        let first = accesses(0);
+        let last = accesses(w.cpus() - 1);
+        assert!((first as f64 / last as f64) < 1.3);
+    }
+
+    #[test]
+    fn uniprocessor_cycles_accounts_for_compute_and_accesses() {
+        let w = small_workload(AppKind::Barnes);
+        assert_eq!(w.uniprocessor_cycles(), w.total_compute() + w.total_accesses());
+        assert!(w.uniprocessor_cycles() > 0);
+    }
+
+    #[test]
+    fn scale_changes_the_amount_of_work() {
+        let quick =
+            Workload::generate(AppKind::Fft, Topology::new(2, 2), WorkloadScale::quick(), 3);
+        let full = Workload::generate(AppKind::Fft, Topology::new(2, 2), WorkloadScale::full(), 3);
+        assert!(full.total_accesses() > 2 * quick.total_accesses());
+    }
+
+    #[test]
+    fn topology_helpers() {
+        let t = Topology::new(4, 16);
+        assert_eq!(t.total_cpus(), 64);
+        assert_eq!(t.node_of(0), 0);
+        assert_eq!(t.node_of(63), 3);
+        assert_eq!(Topology::baseline().total_cpus(), 64);
+        assert_eq!(Topology::new(0, 0).total_cpus(), 1);
+    }
+
+    #[test]
+    fn all_apps_generate_without_panicking() {
+        for app in AppKind::all() {
+            let w = Workload::generate(app, Topology::new(2, 2), WorkloadScale::quick(), 11);
+            assert!(w.total_accesses() > 0, "{app} generated no accesses");
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! The paper's running example (Figures 2 and 3): a fetch&add protocol
+//! handler parallelized three ways, showing why in-queue synchronization
+//! beats in-handler locks and static partitioning.
+//!
+//! Run with: `cargo run --release --example fetch_add`
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use pdq_repro::core::executor::{
+    KeyedExecutor, KeyedExecutorExt, MultiQueueExecutor, PdqBuilder, SpinLockExecutor,
+};
+
+const MESSAGES: u64 = 200_000;
+const WORKERS: usize = 4;
+/// Number of distinct memory words. A handful of hot words means frequent
+/// same-key conflicts, which is exactly where dispatch-time synchronization
+/// pays off.
+const WORDS: u64 = 16;
+
+/// Runs the fetch&add message stream on any executor and returns the wall
+/// time plus the final sum (for a correctness check).
+fn run<E: KeyedExecutor>(executor: &E) -> (std::time::Duration, u64) {
+    let words: Vec<Arc<AtomicU64>> = (0..WORDS).map(|_| Arc::new(AtomicU64::new(0))).collect();
+    let start = Instant::now();
+    for i in 0..MESSAGES {
+        // The word's address is the synchronization key (Figure 3).
+        let key = i % WORDS;
+        let word = Arc::clone(&words[key as usize]);
+        executor.submit_keyed(key, move || {
+            // fetch&add handler body — no lock, like Figure 2 (left).
+            let old = word.load(Ordering::Relaxed);
+            word.store(old + 1, Ordering::Relaxed);
+        });
+    }
+    executor.wait_idle();
+    let total: u64 = words.iter().map(|w| w.load(Ordering::Relaxed)).sum();
+    (start.elapsed(), total)
+}
+
+fn main() {
+    println!("fetch&add: {MESSAGES} messages over {WORDS} words, {WORKERS} workers\n");
+
+    let pdq = PdqBuilder::new().workers(WORKERS).build();
+    let (pdq_time, sum) = run(&pdq);
+    assert_eq!(sum, MESSAGES);
+    println!("parallel dispatch queue : {pdq_time:>10.2?}");
+
+    let spin = SpinLockExecutor::new(WORKERS);
+    let (spin_time, sum) = run(&spin);
+    assert_eq!(sum, MESSAGES);
+    println!(
+        "in-handler spin locks   : {spin_time:>10.2?}  ({} busy-wait iterations)",
+        spin.stats().spin_iterations
+    );
+
+    let multi = MultiQueueExecutor::new(WORKERS);
+    let (multi_time, sum) = run(&multi);
+    assert_eq!(sum, MESSAGES);
+    println!(
+        "static multi-queue      : {multi_time:>10.2?}  (imbalance factor {:.2})",
+        multi.stats().imbalance()
+    );
+
+    println!(
+        "\nAll three produce the correct sum; the PDQ does it without any \
+         synchronization inside the handler and without busy-waiting."
+    );
+}

@@ -1,0 +1,71 @@
+//! Demonstrates the `Sequential` and `NoSync` synchronization keys on the
+//! bare dispatch queue, using the paper's page-migration scenario: coherence
+//! handlers for individual blocks run in parallel, while a page-migration
+//! handler that touches every block of a page must run in isolation.
+//!
+//! Run with: `cargo run --example page_migration`
+
+use pdq_repro::core::{DispatchQueue, SyncKey};
+use pdq_repro::dsm::{BlockAddr, BlockSize, PageAddr};
+
+/// The protocol events of this toy scenario.
+#[derive(Debug)]
+enum Event {
+    /// Coherence handler for one block (keyed by the block address).
+    Coherence(BlockAddr),
+    /// Migrate a whole page (`page` is carried for the handler body and shown
+    /// in the trace output): touches every block of the page, so it must not
+    /// overlap any coherence handler (`Sequential` key).
+    #[allow(dead_code)] // the payload is only inspected via Debug in this example
+    MigratePage(PageAddr),
+    /// Read-only statistics probe; needs no synchronization at all.
+    StatsProbe,
+}
+
+fn key_of(event: &Event) -> SyncKey {
+    match event {
+        Event::Coherence(block) => block.sync_key(),
+        Event::MigratePage(_) => SyncKey::Sequential,
+        Event::StatsProbe => SyncKey::NoSync,
+    }
+}
+
+fn main() {
+    let mut queue: DispatchQueue<Event> = DispatchQueue::new();
+    let page = PageAddr(3);
+    let blocks: Vec<BlockAddr> = page.blocks(BlockSize::B64).take(4).collect();
+
+    // A burst of coherence traffic, a page migration in the middle, and a
+    // statistics probe at the end.
+    for &block in &blocks {
+        queue.enqueue(key_of(&Event::Coherence(block)), Event::Coherence(block)).unwrap();
+    }
+    queue.enqueue(SyncKey::Sequential, Event::MigratePage(page)).unwrap();
+    for &block in &blocks {
+        queue.enqueue(key_of(&Event::Coherence(block)), Event::Coherence(block)).unwrap();
+    }
+    queue.enqueue(SyncKey::NoSync, Event::StatsProbe).unwrap();
+
+    // Drain the queue the way a set of protocol processors would, printing
+    // which handlers run together.
+    let mut round = 0;
+    while !queue.is_idle() {
+        let batch = queue.dispatch_all();
+        if batch.is_empty() {
+            break;
+        }
+        round += 1;
+        let names: Vec<String> = batch.iter().map(|d| format!("{:?}", d.payload)).collect();
+        println!("round {round}: {} handler(s) in parallel: {}", batch.len(), names.join(", "));
+        for dispatch in batch {
+            queue.complete(dispatch.ticket).unwrap();
+        }
+    }
+
+    println!(
+        "\nThe four coherence handlers before the migration ran in parallel, the \
+         page migration ran alone, and the coherence handlers behind it resumed \
+         parallel execution afterwards — no locks anywhere."
+    );
+    println!("queue statistics: {}", queue.stats());
+}

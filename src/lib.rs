@@ -1,0 +1,29 @@
+//! # pdq-repro: reproduction of the Parallel Dispatch Queue paper
+//!
+//! A facade over the workspace crates, re-exported under short names so the
+//! examples and integration tests can reach the whole system through one
+//! dependency:
+//!
+//! * [`core`] — the PDQ abstraction and thread-pool executors (`pdq-core`);
+//! * [`sim`] — the discrete-event simulation substrate (`pdq-sim`);
+//! * [`dsm`] — the Stache protocol, tags, directory, and occupancy model
+//!   (`pdq-dsm`);
+//! * [`hurricane`] — the machine models and cluster simulator
+//!   (`pdq-hurricane`);
+//! * [`workloads`] — the synthetic application models (`pdq-workloads`).
+//!
+//! ```
+//! use pdq_repro::core::{DispatchQueue, SyncKey};
+//!
+//! let mut queue: DispatchQueue<&str> = DispatchQueue::new();
+//! queue.enqueue(SyncKey::key(0x100), "handler").unwrap();
+//! assert!(queue.try_dispatch().is_some());
+//! ```
+
+#![warn(missing_docs)]
+
+pub use pdq_core as core;
+pub use pdq_dsm as dsm;
+pub use pdq_hurricane as hurricane;
+pub use pdq_sim as sim;
+pub use pdq_workloads as workloads;

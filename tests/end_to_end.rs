@@ -1,0 +1,137 @@
+//! Cross-crate integration tests: the full stack from workload generation
+//! through the DSM protocol and the cluster simulator, checked against the
+//! qualitative results of the paper.
+
+use pdq_repro::dsm::BlockSize;
+use pdq_repro::hurricane::{latency, simulate, ClusterConfig, MachineSpec};
+use pdq_repro::workloads::{AppKind, Topology, WorkloadScale};
+
+fn quick(machine: MachineSpec, app: AppKind) -> pdq_repro::hurricane::SimReport {
+    let cfg = ClusterConfig::baseline(machine).with_topology(Topology::new(4, 4));
+    simulate(cfg, app, WorkloadScale(0.15))
+}
+
+#[test]
+fn table1_matches_the_paper_exactly() {
+    let totals: Vec<u64> =
+        latency::table1(BlockSize::B64).iter().map(|row| row.total().as_u64()).collect();
+    assert_eq!(totals, vec![440, 584, 1164]);
+}
+
+#[test]
+fn every_machine_completes_every_application() {
+    let machines = [
+        MachineSpec::scoma(),
+        MachineSpec::hurricane(2),
+        MachineSpec::hurricane1(2),
+        MachineSpec::hurricane1_mult(),
+    ];
+    for machine in machines {
+        for app in AppKind::all() {
+            let cfg = ClusterConfig::baseline(machine).with_topology(Topology::new(2, 2));
+            let report = simulate(cfg, app, WorkloadScale(0.05));
+            // On a tiny 2x2 cluster the load-imbalanced, communication-bound
+            // applications can dip below a speedup of 1; the point here is
+            // only that every machine/application pair runs to completion.
+            assert!(report.speedup() > 0.2, "{machine} failed on {app}");
+            assert_eq!(report.queue_stats.dispatched, report.queue_stats.completed);
+        }
+    }
+}
+
+#[test]
+fn parallel_dispatch_improves_software_protocols_on_bandwidth_bound_apps() {
+    // The paper's core result, figure 7: adding protocol processors (i.e.
+    // exploiting the PDQ's parallel dispatch) improves Hurricane-1 on the
+    // bandwidth-bound applications.
+    for app in [AppKind::Fft, AppKind::Radix, AppKind::Cholesky] {
+        let one = quick(MachineSpec::hurricane1(1), app);
+        let four = quick(MachineSpec::hurricane1(4), app);
+        assert!(
+            four.speedup() > one.speedup() * 1.2,
+            "{app}: expected >=20% improvement from 4 protocol processors, got {} -> {}",
+            one.speedup(),
+            four.speedup()
+        );
+    }
+}
+
+#[test]
+fn computation_bound_applications_are_insensitive_to_protocol_speed() {
+    // water-sp performs within a small margin of S-COMA on every machine.
+    let scoma = quick(MachineSpec::scoma(), AppKind::WaterSp);
+    for machine in [MachineSpec::hurricane(1), MachineSpec::hurricane1(1), MachineSpec::hurricane1_mult()] {
+        let report = quick(machine, AppKind::WaterSp);
+        let normalized = report.normalized_speedup(&scoma);
+        assert!(normalized > 0.85, "{machine}: water-sp normalized speedup {normalized}");
+    }
+}
+
+#[test]
+fn scoma_beats_single_processor_software_on_communication_bound_apps() {
+    let scoma = quick(MachineSpec::scoma(), AppKind::Fft);
+    let hurricane1 = quick(MachineSpec::hurricane1(1), AppKind::Fft);
+    let hurricane = quick(MachineSpec::hurricane(1), AppKind::Fft);
+    assert!(hurricane1.normalized_speedup(&scoma) < 0.7);
+    assert!(hurricane.normalized_speedup(&scoma) < 1.0);
+    // And the software systems order by their occupancies.
+    assert!(hurricane.speedup() > hurricane1.speedup());
+}
+
+#[test]
+fn multiplexed_scheduling_beats_a_single_dedicated_processor_on_fat_smps() {
+    // The headline claim, in miniature: with 8 processors per node, using the
+    // idle processors for protocol execution beats one dedicated protocol
+    // processor.
+    let topo = Topology::new(2, 8);
+    let single = simulate(
+        ClusterConfig::baseline(MachineSpec::hurricane1(1)).with_topology(topo),
+        AppKind::Fft,
+        WorkloadScale(0.15),
+    );
+    let mult = simulate(
+        ClusterConfig::baseline(MachineSpec::hurricane1_mult()).with_topology(topo),
+        AppKind::Fft,
+        WorkloadScale(0.15),
+    );
+    assert!(
+        mult.speedup() > single.speedup() * 1.3,
+        "mult {} vs single {}",
+        mult.speedup(),
+        single.speedup()
+    );
+}
+
+#[test]
+fn simulations_are_reproducible() {
+    let a = quick(MachineSpec::hurricane1_mult(), AppKind::Radix);
+    let b = quick(MachineSpec::hurricane1_mult(), AppKind::Radix);
+    assert_eq!(a.execution_cycles, b.execution_cycles);
+    assert_eq!(a.faults, b.faults);
+    assert_eq!(a.network_messages, b.network_messages);
+    assert_eq!(a.interrupts, b.interrupts);
+}
+
+#[test]
+fn block_size_shifts_the_software_hardware_gap() {
+    // Larger blocks amortize software overhead for coarse-grain applications:
+    // Hurricane-1's normalized speedup on cholesky improves from 32-byte to
+    // 128-byte blocks (Figure 11).
+    let run = |size| {
+        let cfg = ClusterConfig::baseline(MachineSpec::hurricane1(1))
+            .with_topology(Topology::new(4, 4))
+            .with_block_size(size);
+        let scoma = ClusterConfig::baseline(MachineSpec::scoma())
+            .with_topology(Topology::new(4, 4))
+            .with_block_size(size);
+        let h1 = simulate(cfg, AppKind::Cholesky, WorkloadScale(0.15));
+        let reference = simulate(scoma, AppKind::Cholesky, WorkloadScale(0.15));
+        h1.normalized_speedup(&reference)
+    };
+    let small = run(BlockSize::B32);
+    let large = run(BlockSize::B128);
+    assert!(
+        large > small,
+        "expected the 128-byte protocol to narrow the gap: 32B={small:.2}, 128B={large:.2}"
+    );
+}
