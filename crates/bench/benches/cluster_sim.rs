@@ -17,8 +17,7 @@ fn bench_cluster(c: &mut Criterion) {
     for (name, machine) in machines {
         group.bench_function(BenchmarkId::new("machine", name), |b| {
             b.iter(|| {
-                let cfg =
-                    ClusterConfig::baseline(machine).with_topology(Topology::new(2, 4));
+                let cfg = ClusterConfig::baseline(machine).with_topology(Topology::new(2, 4));
                 simulate(cfg, AppKind::Fft, WorkloadScale(0.2))
             })
         });

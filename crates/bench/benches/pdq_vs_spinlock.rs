@@ -29,7 +29,9 @@ fn fetch_add_workload<E: KeyedExecutor>(executor: &E, words: &[Arc<AtomicU64>]) 
 }
 
 fn words() -> Vec<Arc<AtomicU64>> {
-    (0..HOT_WORDS).map(|_| Arc::new(AtomicU64::new(0))).collect()
+    (0..HOT_WORDS)
+        .map(|_| Arc::new(AtomicU64::new(0)))
+        .collect()
 }
 
 fn bench_executors(c: &mut Criterion) {

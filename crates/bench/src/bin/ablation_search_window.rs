@@ -6,7 +6,10 @@ use pdq_workloads::AppKind;
 fn main() {
     let scale = workload_scale();
     println!("Search-window ablation: Hurricane 4pp, fft, 8 x 8-way SMPs");
-    println!("{:<8} {:>12} {:>18} {:>14}", "window", "speedup", "mean dispatch wait", "key conflicts");
+    println!(
+        "{:<8} {:>12} {:>18} {:>14}",
+        "window", "speedup", "mean dispatch wait", "key conflicts"
+    );
     for window in [1usize, 2, 4, 8, 16, 64] {
         let mut cfg = ClusterConfig::baseline(MachineSpec::hurricane(4));
         cfg.search_window = window;

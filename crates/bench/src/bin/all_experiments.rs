@@ -9,8 +9,16 @@ use std::fmt::Write as _;
 fn main() {
     let scale = workload_scale();
     let mut out = String::new();
-    let _ = writeln!(out, "PDQ reproduction: all experiments (workload scale {})\n", scale.0);
-    let _ = writeln!(out, "{}", pdq_hurricane::latency::render_table1(BlockSize::B64));
+    let _ = writeln!(
+        out,
+        "PDQ reproduction: all experiments (workload scale {})\n",
+        scale.0
+    );
+    let _ = writeln!(
+        out,
+        "{}",
+        pdq_hurricane::latency::render_table1(BlockSize::B64)
+    );
     let _ = writeln!(out, "{}", render_table2(&table2(scale)));
     for (name, (top, bottom)) in [
         ("fig7", fig7(scale)),
@@ -22,7 +30,10 @@ fn main() {
         let _ = writeln!(out, "[{name}]\n{}\n{}", top.render(), bottom.render());
     }
     let (factors, mean) = headline(scale);
-    let _ = writeln!(out, "Headline: Hurricane-1 Mult vs Hurricane-1 1pp on 4 x 16-way SMPs");
+    let _ = writeln!(
+        out,
+        "Headline: Hurricane-1 Mult vs Hurricane-1 1pp on 4 x 16-way SMPs"
+    );
     for (app, factor) in factors {
         let _ = writeln!(out, "  {:<10} {:.2}x", app.name(), factor);
     }

@@ -113,7 +113,10 @@ pub fn run_figure(
                     report.normalized_speedup(scoma)
                 })
                 .collect();
-            FigureSeries { machine: *machine, normalized }
+            FigureSeries {
+                machine: *machine,
+                normalized,
+            }
         })
         .collect();
     FigureResult {
@@ -126,7 +129,11 @@ pub fn run_figure(
 
 /// The Hurricane machines of Figures 7, 8, and 10.
 pub fn hurricane_machines() -> Vec<MachineSpec> {
-    vec![MachineSpec::hurricane(1), MachineSpec::hurricane(2), MachineSpec::hurricane(4)]
+    vec![
+        MachineSpec::hurricane(1),
+        MachineSpec::hurricane(2),
+        MachineSpec::hurricane(4),
+    ]
 }
 
 /// The Hurricane-1 machines (plus Mult) of Figures 7, 9, and 11.
@@ -260,7 +267,10 @@ pub fn table2(scale: WorkloadScale) -> Vec<Table2Row> {
         .into_iter()
         .map(|app| {
             let report = simulate(ClusterConfig::baseline(MachineSpec::scoma()), app, scale);
-            Table2Row { app, measured_speedup: report.speedup() }
+            Table2Row {
+                app,
+                measured_speedup: report.speedup(),
+            }
         })
         .collect()
 }

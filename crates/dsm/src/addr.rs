@@ -10,11 +10,12 @@ use pdq_sim::NodeId;
 pub const PAGE_BYTES: u64 = 4096;
 
 /// Protocol block (coherence unit) sizes evaluated in the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum BlockSize {
     /// 32-byte blocks (Figure 10/11, top).
     B32,
     /// 64-byte blocks (the default configuration).
+    #[default]
     B64,
     /// 128-byte blocks (Figure 10/11, bottom).
     B128,
@@ -38,12 +39,6 @@ impl BlockSize {
     /// All evaluated block sizes.
     pub const fn all() -> [BlockSize; 3] {
         [BlockSize::B32, BlockSize::B64, BlockSize::B128]
-    }
-}
-
-impl Default for BlockSize {
-    fn default() -> Self {
-        BlockSize::B64
     }
 }
 
@@ -136,7 +131,10 @@ pub struct HomeMap {
 impl HomeMap {
     /// Creates a map for a cluster of `nodes` nodes (at least one).
     pub fn new(nodes: usize, block_size: BlockSize) -> Self {
-        Self { nodes: nodes.max(1), block_size }
+        Self {
+            nodes: nodes.max(1),
+            block_size,
+        }
     }
 
     /// Number of nodes.

@@ -151,7 +151,10 @@ pub struct DirEntry {
 impl DirEntry {
     /// A fresh entry: uncached, nothing deferred.
     pub fn new() -> Self {
-        Self { state: DirState::Uncached, deferred: Vec::new() }
+        Self {
+            state: DirState::Uncached,
+            deferred: Vec::new(),
+        }
     }
 }
 
@@ -172,7 +175,9 @@ pub struct Directory {
 impl Directory {
     /// Creates an empty directory.
     pub fn new() -> Self {
-        Self { entries: HashMap::new() }
+        Self {
+            entries: HashMap::new(),
+        }
     }
 
     /// Read-only view of a block's entry (an implicit `Uncached` entry is
@@ -241,9 +246,21 @@ mod tests {
         assert!(!DirState::Uncached.is_busy());
         assert!(!DirState::Shared(NodeSet::empty()).is_busy());
         assert!(!DirState::Exclusive(1).is_busy());
-        assert!(DirState::BusyShared { requester: 0, owner: 1 }.is_busy());
-        assert!(DirState::BusyInvalidating { requester: 0, pending_acks: 2 }.is_busy());
-        assert!(DirState::BusyRecall { requester: 0, owner: 1 }.is_busy());
+        assert!(DirState::BusyShared {
+            requester: 0,
+            owner: 1
+        }
+        .is_busy());
+        assert!(DirState::BusyInvalidating {
+            requester: 0,
+            pending_acks: 2
+        }
+        .is_busy());
+        assert!(DirState::BusyRecall {
+            requester: 0,
+            owner: 1
+        }
+        .is_busy());
     }
 
     #[test]
@@ -260,7 +277,10 @@ mod tests {
         assert_eq!(dir.len(), 1);
         assert_eq!(dir.entry(BlockAddr(1)).state, DirState::Exclusive(2));
         assert_eq!(dir.busy_entries(), 0);
-        dir.entry_mut(BlockAddr(2)).state = DirState::BusyRecall { requester: 0, owner: 2 };
+        dir.entry_mut(BlockAddr(2)).state = DirState::BusyRecall {
+            requester: 0,
+            owner: 2,
+        };
         assert_eq!(dir.busy_entries(), 1);
     }
 }

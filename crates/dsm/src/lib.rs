@@ -60,12 +60,22 @@ mod property_tests {
             assert!(steps < 100_000, "protocol failed to quiesce");
             let out = p.handle(node, event);
             for o in out.outgoing {
-                queue.push_back((o.dst, ProtocolEvent::Incoming { src: node, msg: o.msg }));
+                queue.push_back((
+                    o.dst,
+                    ProtocolEvent::Incoming {
+                        src: node,
+                        msg: o.msg,
+                    },
+                ));
             }
             for r in out.refaults {
                 queue.push_back((
                     node,
-                    ProtocolEvent::AccessFault { block: r.block, write: r.write, token: r.token },
+                    ProtocolEvent::AccessFault {
+                        block: r.block,
+                        write: r.write,
+                        token: r.token,
+                    },
                 ));
             }
         }

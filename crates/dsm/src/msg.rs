@@ -130,10 +130,18 @@ impl Message {
 impl fmt::Display for Message {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Message::Req { request: Request::GetShared, requester, block } => {
+            Message::Req {
+                request: Request::GetShared,
+                requester,
+                block,
+            } => {
                 write!(f, "GETS({block}) from node {requester}")
             }
-            Message::Req { request: Request::GetExclusive, requester, block } => {
+            Message::Req {
+                request: Request::GetExclusive,
+                requester,
+                block,
+            } => {
                 write!(f, "GETX({block}) from node {requester}")
             }
             Message::Invalidate { block, .. } => write!(f, "INVAL({block})"),
@@ -207,7 +215,10 @@ mod tests {
 
     #[test]
     fn message_block_and_key() {
-        let m = Message::DataShared { block: BlockAddr(0x42), value: 7 };
+        let m = Message::DataShared {
+            block: BlockAddr(0x42),
+            value: 7,
+        };
         assert_eq!(m.block(), BlockAddr(0x42));
         assert_eq!(m.sync_key(), SyncKey::key(0x42));
         assert!(m.carries_data());
@@ -215,28 +226,46 @@ mod tests {
 
     #[test]
     fn control_messages_do_not_carry_data() {
-        let m = Message::Invalidate { block: BlockAddr(1), home: 0 };
+        let m = Message::Invalidate {
+            block: BlockAddr(1),
+            home: 0,
+        };
         assert!(!m.carries_data());
-        let m = Message::Req { request: Request::GetShared, requester: 1, block: BlockAddr(1) };
+        let m = Message::Req {
+            request: Request::GetShared,
+            requester: 1,
+            block: BlockAddr(1),
+        };
         assert!(!m.carries_data());
     }
 
     #[test]
     fn event_sync_keys() {
-        let fault = ProtocolEvent::AccessFault { block: BlockAddr(9), write: true, token: 0 };
+        let fault = ProtocolEvent::AccessFault {
+            block: BlockAddr(9),
+            write: true,
+            token: 0,
+        };
         assert_eq!(fault.sync_key(), SyncKey::key(9));
         let page = ProtocolEvent::PageOp { page: PageAddr(1) };
         assert_eq!(page.sync_key(), SyncKey::Sequential);
         let incoming = ProtocolEvent::Incoming {
             src: 0,
-            msg: Message::InvalAck { block: BlockAddr(3), from: 0 },
+            msg: Message::InvalAck {
+                block: BlockAddr(3),
+                from: 0,
+            },
         };
         assert_eq!(incoming.sync_key(), SyncKey::key(3));
     }
 
     #[test]
     fn display_is_informative() {
-        let m = Message::Req { request: Request::GetExclusive, requester: 2, block: BlockAddr(5) };
+        let m = Message::Req {
+            request: Request::GetExclusive,
+            requester: 2,
+            block: BlockAddr(5),
+        };
         assert!(m.to_string().contains("GETX"));
         assert!(m.to_string().contains("node 2"));
     }

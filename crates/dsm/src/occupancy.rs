@@ -194,9 +194,10 @@ impl OccupancyModel {
                 ProtocolEngine::Hurricane1 | ProtocolEngine::Hurricane1Mult,
                 HandlerClass::ReplyControl,
             ) => 100,
-            (ProtocolEngine::Hurricane1 | ProtocolEngine::Hurricane1Mult, HandlerClass::Control) => {
-                90
-            }
+            (
+                ProtocolEngine::Hurricane1 | ProtocolEngine::Hurricane1Mult,
+                HandlerClass::Control,
+            ) => 90,
             (
                 ProtocolEngine::Hurricane1 | ProtocolEngine::Hurricane1Mult,
                 HandlerClass::Response,
@@ -235,7 +236,9 @@ impl OccupancyModel {
     /// handler performed (reported by
     /// [`HandlerOutcome::memory_blocks`](crate::HandlerOutcome)).
     pub fn handler_occupancy(&self, class: HandlerClass, memory_blocks: u32) -> Cycles {
-        self.dispatch(class) + self.body(class) + self.data_transfer(memory_blocks)
+        self.dispatch(class)
+            + self.body(class)
+            + self.data_transfer(memory_blocks)
             + self.scheduling_overhead()
     }
 
@@ -312,46 +315,82 @@ mod tests {
     #[test]
     fn table1_total_latencies_are_reproduced() {
         // Table 1: 440 / 584 / 1164 cycles for S-COMA / Hurricane / Hurricane-1.
-        assert_eq!(model(ProtocolEngine::SComa).miss_breakdown().total(), Cycles::new(440));
-        assert_eq!(model(ProtocolEngine::Hurricane).miss_breakdown().total(), Cycles::new(584));
-        assert_eq!(model(ProtocolEngine::Hurricane1).miss_breakdown().total(), Cycles::new(1164));
+        assert_eq!(
+            model(ProtocolEngine::SComa).miss_breakdown().total(),
+            Cycles::new(440)
+        );
+        assert_eq!(
+            model(ProtocolEngine::Hurricane).miss_breakdown().total(),
+            Cycles::new(584)
+        );
+        assert_eq!(
+            model(ProtocolEngine::Hurricane1).miss_breakdown().total(),
+            Cycles::new(1164)
+        );
     }
 
     #[test]
     fn table1_request_occupancies() {
-        assert_eq!(model(ProtocolEngine::SComa).miss_breakdown().request_occupancy(), Cycles::new(12));
         assert_eq!(
-            model(ProtocolEngine::Hurricane).miss_breakdown().request_occupancy(),
+            model(ProtocolEngine::SComa)
+                .miss_breakdown()
+                .request_occupancy(),
+            Cycles::new(12)
+        );
+        assert_eq!(
+            model(ProtocolEngine::Hurricane)
+                .miss_breakdown()
+                .request_occupancy(),
             Cycles::new(52)
         );
         assert_eq!(
-            model(ProtocolEngine::Hurricane1).miss_breakdown().request_occupancy(),
+            model(ProtocolEngine::Hurricane1)
+                .miss_breakdown()
+                .request_occupancy(),
             Cycles::new(228)
         );
     }
 
     #[test]
     fn table1_reply_occupancies() {
-        assert_eq!(model(ProtocolEngine::SComa).miss_breakdown().reply_occupancy(), Cycles::new(145));
         assert_eq!(
-            model(ProtocolEngine::Hurricane).miss_breakdown().reply_occupancy(),
+            model(ProtocolEngine::SComa)
+                .miss_breakdown()
+                .reply_occupancy(),
+            Cycles::new(145)
+        );
+        assert_eq!(
+            model(ProtocolEngine::Hurricane)
+                .miss_breakdown()
+                .reply_occupancy(),
             Cycles::new(204)
         );
         assert_eq!(
-            model(ProtocolEngine::Hurricane1).miss_breakdown().reply_occupancy(),
+            model(ProtocolEngine::Hurricane1)
+                .miss_breakdown()
+                .reply_occupancy(),
             Cycles::new(377)
         );
     }
 
     #[test]
     fn table1_response_occupancies() {
-        assert_eq!(model(ProtocolEngine::SComa).miss_breakdown().response_occupancy(), Cycles::new(9));
         assert_eq!(
-            model(ProtocolEngine::Hurricane).miss_breakdown().response_occupancy(),
+            model(ProtocolEngine::SComa)
+                .miss_breakdown()
+                .response_occupancy(),
+            Cycles::new(9)
+        );
+        assert_eq!(
+            model(ProtocolEngine::Hurricane)
+                .miss_breakdown()
+                .response_occupancy(),
             Cycles::new(54)
         );
         assert_eq!(
-            model(ProtocolEngine::Hurricane1).miss_breakdown().response_occupancy(),
+            model(ProtocolEngine::Hurricane1)
+                .miss_breakdown()
+                .response_occupancy(),
             Cycles::new(113)
         );
     }

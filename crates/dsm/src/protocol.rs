@@ -35,7 +35,10 @@ pub struct DsmConfig {
 impl DsmConfig {
     /// Creates a configuration (nodes clamped to at least one).
     pub fn new(nodes: usize, block_size: BlockSize) -> Self {
-        Self { nodes: nodes.max(1), block_size }
+        Self {
+            nodes: nodes.max(1),
+            block_size,
+        }
     }
 }
 
@@ -103,7 +106,10 @@ pub struct HandlerOutcome {
 
 impl HandlerOutcome {
     fn with_class(class: HandlerClass) -> Self {
-        Self { class: Some(class), ..Self::default() }
+        Self {
+            class: Some(class),
+            ..Self::default()
+        }
     }
 
     /// The handler class; defaults to [`HandlerClass::Control`] when the
@@ -253,16 +259,21 @@ impl DsmProtocol {
     /// Executes the protocol handler for `event` on `node`.
     pub fn handle(&mut self, node: NodeId, event: ProtocolEvent) -> HandlerOutcome {
         let outcome = match event {
-            ProtocolEvent::AccessFault { block, write, token } => {
-                self.handle_fault(node, block, write, token)
-            }
+            ProtocolEvent::AccessFault {
+                block,
+                write,
+                token,
+            } => self.handle_fault(node, block, write, token),
             ProtocolEvent::Incoming { src, msg } => self.handle_message(node, src, msg),
             ProtocolEvent::PageOp { page } => self.handle_page_op(node, page),
         };
         *self.stats.handlers.entry(outcome.class()).or_insert(0) += 1;
         self.stats.messages += outcome.outgoing.len() as u64;
-        self.stats.data_messages +=
-            outcome.outgoing.iter().filter(|o| o.msg.carries_data()).count() as u64;
+        self.stats.data_messages += outcome
+            .outgoing
+            .iter()
+            .filter(|o| o.msg.carries_data())
+            .count() as u64;
         outcome
     }
 
@@ -280,7 +291,11 @@ impl DsmProtocol {
         // The fault may already be stale (an earlier handler granted access
         // between the fault being raised and being dispatched).
         if self.tags[node].access_hits(block, home, write) {
-            outcome.completions.push(Completion { token, block, write });
+            outcome.completions.push(Completion {
+                token,
+                block,
+                write,
+            });
             return outcome;
         }
 
@@ -290,11 +305,25 @@ impl DsmProtocol {
                 pending.tokens.push((token, write));
             }
             None => {
-                self.pending[node].insert(block, PendingFault { tokens: vec![(token, write)] });
-                let request = if write { Request::GetExclusive } else { Request::GetShared };
-                outcome
-                    .outgoing
-                    .push(Outgoing { dst: home, msg: Message::Req { request, requester: node, block } });
+                self.pending[node].insert(
+                    block,
+                    PendingFault {
+                        tokens: vec![(token, write)],
+                    },
+                );
+                let request = if write {
+                    Request::GetExclusive
+                } else {
+                    Request::GetShared
+                };
+                outcome.outgoing.push(Outgoing {
+                    dst: home,
+                    msg: Message::Req {
+                        request,
+                        requester: node,
+                        block,
+                    },
+                });
             }
         }
         outcome
@@ -307,7 +336,11 @@ impl DsmProtocol {
 
     fn handle_message(&mut self, node: NodeId, _src: NodeId, msg: Message) -> HandlerOutcome {
         match msg {
-            Message::Req { request, requester, block } => {
+            Message::Req {
+                request,
+                requester,
+                block,
+            } => {
                 let mut outcome = HandlerOutcome::default();
                 self.handle_request(node, requester, request, block, &mut outcome);
                 outcome
@@ -316,21 +349,28 @@ impl DsmProtocol {
                 let mut outcome = HandlerOutcome::with_class(HandlerClass::Control);
                 self.tags[node].set(block, Access::None);
                 self.copies[node].remove(&block);
-                outcome
-                    .outgoing
-                    .push(Outgoing { dst: home, msg: Message::InvalAck { block, from: node } });
+                outcome.outgoing.push(Outgoing {
+                    dst: home,
+                    msg: Message::InvalAck { block, from: node },
+                });
                 outcome
             }
             Message::InvalAck { block, from: _ } => {
                 let mut outcome = HandlerOutcome::with_class(HandlerClass::Control);
                 let entry = self.dirs[node].entry_mut(block);
-                let DirState::BusyInvalidating { requester, pending_acks } = entry.state.clone()
+                let DirState::BusyInvalidating {
+                    requester,
+                    pending_acks,
+                } = entry.state.clone()
                 else {
                     debug_assert!(false, "InvalAck for a block not being invalidated");
                     return outcome;
                 };
                 if pending_acks > 1 {
-                    entry.state = DirState::BusyInvalidating { requester, pending_acks: pending_acks - 1 };
+                    entry.state = DirState::BusyInvalidating {
+                        requester,
+                        pending_acks: pending_acks - 1,
+                    };
                     return outcome;
                 }
                 // Last acknowledgement: grant the writable copy from home memory.
@@ -338,9 +378,10 @@ impl DsmProtocol {
                 let value = self.copies[node].get(&block).copied().unwrap_or(0);
                 outcome.class = Some(HandlerClass::ReplyData);
                 outcome.memory_blocks += 1;
-                outcome
-                    .outgoing
-                    .push(Outgoing { dst: requester, msg: Message::DataExclusive { block, value } });
+                outcome.outgoing.push(Outgoing {
+                    dst: requester,
+                    msg: Message::DataExclusive { block, value },
+                });
                 if requester != node {
                     self.tags[node].set(block, Access::None);
                 }
@@ -354,7 +395,11 @@ impl DsmProtocol {
                 outcome.memory_blocks += 1;
                 outcome.outgoing.push(Outgoing {
                     dst: home,
-                    msg: Message::WritebackShared { block, from: node, value },
+                    msg: Message::WritebackShared {
+                        block,
+                        from: node,
+                        value,
+                    },
                 });
                 outcome
             }
@@ -365,7 +410,11 @@ impl DsmProtocol {
                 outcome.memory_blocks += 1;
                 outcome.outgoing.push(Outgoing {
                     dst: home,
-                    msg: Message::WritebackExclusive { block, from: node, value },
+                    msg: Message::WritebackExclusive {
+                        block,
+                        from: node,
+                        value,
+                    },
                 });
                 outcome
             }
@@ -390,9 +439,10 @@ impl DsmProtocol {
                 if node != requester && node != owner {
                     self.tags[node].set(block, Access::ReadOnly);
                 }
-                outcome
-                    .outgoing
-                    .push(Outgoing { dst: requester, msg: Message::DataShared { block, value } });
+                outcome.outgoing.push(Outgoing {
+                    dst: requester,
+                    msg: Message::DataShared { block, value },
+                });
                 self.process_deferred(node, block, &mut outcome);
                 outcome
             }
@@ -410,9 +460,10 @@ impl DsmProtocol {
                 if requester != node {
                     self.tags[node].set(block, Access::None);
                 }
-                outcome
-                    .outgoing
-                    .push(Outgoing { dst: requester, msg: Message::DataExclusive { block, value } });
+                outcome.outgoing.push(Outgoing {
+                    dst: requester,
+                    msg: Message::DataExclusive { block, value },
+                });
                 self.process_deferred(node, block, &mut outcome);
                 outcome
             }
@@ -449,9 +500,17 @@ impl DsmProtocol {
         };
         for (token, needs_write) in pending.tokens {
             if needs_write && !got_write {
-                outcome.refaults.push(Refault { token, block, write: true });
+                outcome.refaults.push(Refault {
+                    token,
+                    block,
+                    write: true,
+                });
             } else {
-                outcome.completions.push(Completion { token, block, write: needs_write });
+                outcome.completions.push(Completion {
+                    token,
+                    block,
+                    write: needs_write,
+                });
             }
         }
     }
@@ -467,7 +526,10 @@ impl DsmProtocol {
     ) {
         let state = self.dirs[home].entry(block).state;
         if state.is_busy() {
-            self.dirs[home].entry_mut(block).deferred.push((requester, request));
+            self.dirs[home]
+                .entry_mut(block)
+                .deferred
+                .push((requester, request));
             self.stats.deferred += 1;
             if outcome.class.is_none() {
                 outcome.class = Some(HandlerClass::ReplyControl);
@@ -488,9 +550,10 @@ impl DsmProtocol {
                 }
                 outcome.memory_blocks += 1;
                 outcome.class = Some(HandlerClass::ReplyData);
-                outcome
-                    .outgoing
-                    .push(Outgoing { dst: requester, msg: Message::DataShared { block, value } });
+                outcome.outgoing.push(Outgoing {
+                    dst: requester,
+                    msg: Message::DataShared { block, value },
+                });
             }
             (Request::GetShared, DirState::Shared(mut sharers)) => {
                 let value = self.copies[home].get(&block).copied().unwrap_or(0);
@@ -500,9 +563,10 @@ impl DsmProtocol {
                 self.dirs[home].entry_mut(block).state = DirState::Shared(sharers);
                 outcome.memory_blocks += 1;
                 outcome.class = Some(HandlerClass::ReplyData);
-                outcome
-                    .outgoing
-                    .push(Outgoing { dst: requester, msg: Message::DataShared { block, value } });
+                outcome.outgoing.push(Outgoing {
+                    dst: requester,
+                    msg: Message::DataShared { block, value },
+                });
             }
             (Request::GetShared, DirState::Exclusive(owner)) => {
                 if owner == requester {
@@ -510,16 +574,18 @@ impl DsmProtocol {
                     let value = self.copies[home].get(&block).copied().unwrap_or(0);
                     outcome.memory_blocks += 1;
                     outcome.class = Some(HandlerClass::ReplyData);
-                    outcome
-                        .outgoing
-                        .push(Outgoing { dst: requester, msg: Message::DataExclusive { block, value } });
+                    outcome.outgoing.push(Outgoing {
+                        dst: requester,
+                        msg: Message::DataExclusive { block, value },
+                    });
                 } else {
                     self.dirs[home].entry_mut(block).state =
                         DirState::BusyShared { requester, owner };
                     outcome.class = Some(HandlerClass::ReplyControl);
-                    outcome
-                        .outgoing
-                        .push(Outgoing { dst: owner, msg: Message::RecallShared { block, home } });
+                    outcome.outgoing.push(Outgoing {
+                        dst: owner,
+                        msg: Message::RecallShared { block, home },
+                    });
                 }
             }
             (Request::GetExclusive, DirState::Uncached) => {
@@ -530,9 +596,10 @@ impl DsmProtocol {
                 }
                 outcome.memory_blocks += 1;
                 outcome.class = Some(HandlerClass::ReplyData);
-                outcome
-                    .outgoing
-                    .push(Outgoing { dst: requester, msg: Message::DataExclusive { block, value } });
+                outcome.outgoing.push(Outgoing {
+                    dst: requester,
+                    msg: Message::DataExclusive { block, value },
+                });
             }
             (Request::GetExclusive, DirState::Shared(sharers)) => {
                 let mut targets = sharers;
@@ -545,9 +612,10 @@ impl DsmProtocol {
                     self.dirs[home].entry_mut(block).state = DirState::Exclusive(requester);
                     outcome.memory_blocks += 1;
                     outcome.class = Some(HandlerClass::ReplyData);
-                    outcome
-                        .outgoing
-                        .push(Outgoing { dst: requester, msg: Message::DataExclusive { block, value } });
+                    outcome.outgoing.push(Outgoing {
+                        dst: requester,
+                        msg: Message::DataExclusive { block, value },
+                    });
                 } else {
                     self.dirs[home].entry_mut(block).state = DirState::BusyInvalidating {
                         requester,
@@ -556,9 +624,10 @@ impl DsmProtocol {
                     outcome.class = Some(HandlerClass::ReplyControl);
                     for target in targets.iter() {
                         self.stats.invalidations += 1;
-                        outcome
-                            .outgoing
-                            .push(Outgoing { dst: target, msg: Message::Invalidate { block, home } });
+                        outcome.outgoing.push(Outgoing {
+                            dst: target,
+                            msg: Message::Invalidate { block, home },
+                        });
                     }
                 }
             }
@@ -567,15 +636,18 @@ impl DsmProtocol {
                     let value = self.copies[home].get(&block).copied().unwrap_or(0);
                     outcome.memory_blocks += 1;
                     outcome.class = Some(HandlerClass::ReplyData);
-                    outcome
-                        .outgoing
-                        .push(Outgoing { dst: requester, msg: Message::DataExclusive { block, value } });
+                    outcome.outgoing.push(Outgoing {
+                        dst: requester,
+                        msg: Message::DataExclusive { block, value },
+                    });
                 } else {
-                    self.dirs[home].entry_mut(block).state = DirState::BusyRecall { requester, owner };
+                    self.dirs[home].entry_mut(block).state =
+                        DirState::BusyRecall { requester, owner };
                     outcome.class = Some(HandlerClass::ReplyControl);
-                    outcome
-                        .outgoing
-                        .push(Outgoing { dst: owner, msg: Message::RecallExclusive { block, home } });
+                    outcome.outgoing.push(Outgoing {
+                        dst: owner,
+                        msg: Message::RecallExclusive { block, home },
+                    });
                 }
             }
             // `is_busy` states were handled above.
@@ -620,7 +692,13 @@ mod tests {
             assert!(handlers < 10_000, "protocol did not quiesce");
             let outcome = p.handle(node, event);
             for out in outcome.outgoing {
-                queue.push_back((out.dst, ProtocolEvent::Incoming { src: node, msg: out.msg }));
+                queue.push_back((
+                    out.dst,
+                    ProtocolEvent::Incoming {
+                        src: node,
+                        msg: out.msg,
+                    },
+                ));
             }
             for refault in outcome.refaults {
                 queue.push_back((
@@ -637,7 +715,14 @@ mod tests {
     }
 
     fn fault(node: NodeId, block: BlockAddr, write: bool, token: u64) -> (NodeId, ProtocolEvent) {
-        (node, ProtocolEvent::AccessFault { block, write, token })
+        (
+            node,
+            ProtocolEvent::AccessFault {
+                block,
+                write,
+                token,
+            },
+        )
     }
 
     #[test]
@@ -653,7 +738,10 @@ mod tests {
         let p = protocol(4);
         let home = p.home_of(B);
         let remote = (home + 1) % 4;
-        assert_eq!(p.check_access(remote, B, false), AccessCheck::FaultNeedsPage);
+        assert_eq!(
+            p.check_access(remote, B, false),
+            AccessCheck::FaultNeedsPage
+        );
     }
 
     #[test]
@@ -695,7 +783,11 @@ mod tests {
         run_to_quiescence(&mut p, vec![fault(reader, B, false, 2)]);
         assert_eq!(p.cpu_read(reader, B), Some(42));
         assert_eq!(p.tag(writer, B), Access::ReadOnly, "writer was downgraded");
-        assert_eq!(p.cpu_read(home, B), Some(42), "home memory was updated by the writeback");
+        assert_eq!(
+            p.cpu_read(home, B),
+            Some(42),
+            "home memory was updated by the writeback"
+        );
     }
 
     #[test]
@@ -754,10 +846,23 @@ mod tests {
         // Three nodes race to write the same block. With three requests in
         // flight, at least one arrives while the entry is busy recalling the
         // block and must be deferred; all of them must eventually be served.
-        run_to_quiescence(&mut p, vec![fault(a, B, true, 1), fault(b, B, true, 2), fault(c, B, true, 3)]);
-        let writable = [a, b, c].iter().filter(|n| p.tag(**n, B) == Access::ReadWrite).count();
+        run_to_quiescence(
+            &mut p,
+            vec![
+                fault(a, B, true, 1),
+                fault(b, B, true, 2),
+                fault(c, B, true, 3),
+            ],
+        );
+        let writable = [a, b, c]
+            .iter()
+            .filter(|n| p.tag(**n, B) == Access::ReadWrite)
+            .count();
         assert_eq!(writable, 1, "exactly one node may hold a writable copy");
-        assert!(p.stats().deferred >= 1, "at least one request must have been deferred");
+        assert!(
+            p.stats().deferred >= 1,
+            "at least one request must have been deferred"
+        );
         // Every node can still obtain the block afterwards.
         run_to_quiescence(&mut p, vec![fault(a, B, false, 9)]);
         assert!(p.cpu_read(a, B).is_some());
@@ -770,10 +875,27 @@ mod tests {
         let remote = (home + 1) % 4;
         // Two CPUs of the same node fault on the same block before the first
         // request completes: only one request message may be sent.
-        let f1 = p.handle(remote, ProtocolEvent::AccessFault { block: B, write: false, token: 1 });
-        let f2 = p.handle(remote, ProtocolEvent::AccessFault { block: B, write: false, token: 2 });
+        let f1 = p.handle(
+            remote,
+            ProtocolEvent::AccessFault {
+                block: B,
+                write: false,
+                token: 1,
+            },
+        );
+        let f2 = p.handle(
+            remote,
+            ProtocolEvent::AccessFault {
+                block: B,
+                write: false,
+                token: 2,
+            },
+        );
         assert_eq!(f1.outgoing.len(), 1);
-        assert!(f2.outgoing.is_empty(), "second fault must piggyback on the first request");
+        assert!(
+            f2.outgoing.is_empty(),
+            "second fault must piggyback on the first request"
+        );
         // Deliver the request and the reply; both tokens complete.
         let mut completions = Vec::new();
         let mut queue: VecDeque<(NodeId, Message)> =
@@ -795,9 +917,23 @@ mod tests {
         run_to_quiescence(&mut p, vec![fault(remote, B, false, 1)]);
         // A second read fault raised before the tag change became visible is
         // dispatched afterwards: it completes without sending anything.
-        let out = p.handle(remote, ProtocolEvent::AccessFault { block: B, write: false, token: 9 });
+        let out = p.handle(
+            remote,
+            ProtocolEvent::AccessFault {
+                block: B,
+                write: false,
+                token: 9,
+            },
+        );
         assert!(out.outgoing.is_empty());
-        assert_eq!(out.completions, vec![Completion { token: 9, block: B, write: false }]);
+        assert_eq!(
+            out.completions,
+            vec![Completion {
+                token: 9,
+                block: B,
+                write: false
+            }]
+        );
     }
 
     #[test]
@@ -821,9 +957,30 @@ mod tests {
         run_to_quiescence(&mut p, vec![fault(remote, B, false, 1)]);
         let stats = p.stats();
         assert_eq!(stats.faults, 1);
-        assert!(stats.handlers.get(&HandlerClass::Request).copied().unwrap_or(0) >= 1);
-        assert!(stats.handlers.get(&HandlerClass::ReplyData).copied().unwrap_or(0) >= 1);
-        assert!(stats.handlers.get(&HandlerClass::Response).copied().unwrap_or(0) >= 1);
+        assert!(
+            stats
+                .handlers
+                .get(&HandlerClass::Request)
+                .copied()
+                .unwrap_or(0)
+                >= 1
+        );
+        assert!(
+            stats
+                .handlers
+                .get(&HandlerClass::ReplyData)
+                .copied()
+                .unwrap_or(0)
+                >= 1
+        );
+        assert!(
+            stats
+                .handlers
+                .get(&HandlerClass::Response)
+                .copied()
+                .unwrap_or(0)
+                >= 1
+        );
         assert!(stats.messages >= 2);
         assert!(stats.data_messages >= 1);
     }
@@ -832,7 +989,10 @@ mod tests {
     fn outcome_sends_data_detects_data_messages() {
         let mut outcome = HandlerOutcome::with_class(HandlerClass::ReplyData);
         assert!(!outcome.sends_data());
-        outcome.outgoing.push(Outgoing { dst: 0, msg: Message::DataShared { block: B, value: 0 } });
+        outcome.outgoing.push(Outgoing {
+            dst: 0,
+            msg: Message::DataShared { block: B, value: 0 },
+        });
         assert!(outcome.sends_data());
     }
 

@@ -48,7 +48,10 @@ pub struct TagStore {
 impl TagStore {
     /// Creates the tag store of `node`.
     pub fn new(node: NodeId) -> Self {
-        Self { node, overrides: HashMap::new() }
+        Self {
+            node,
+            overrides: HashMap::new(),
+        }
     }
 
     /// The node this store belongs to.
@@ -58,11 +61,14 @@ impl TagStore {
 
     /// Current tag of `block`, given the block's home node.
     pub fn tag(&self, block: BlockAddr, home: NodeId) -> Access {
-        self.overrides.get(&block).copied().unwrap_or(if home == self.node {
-            Access::ReadWrite
-        } else {
-            Access::None
-        })
+        self.overrides
+            .get(&block)
+            .copied()
+            .unwrap_or(if home == self.node {
+                Access::ReadWrite
+            } else {
+                Access::None
+            })
     }
 
     /// Sets the tag of `block`.

@@ -72,7 +72,10 @@ impl CpuSim {
             return false;
         }
         self.interrupted
-            || matches!(self.status, CpuStatus::Stalled { .. } | CpuStatus::AtBarrier | CpuStatus::Done)
+            || matches!(
+                self.status,
+                CpuStatus::Stalled { .. } | CpuStatus::AtBarrier | CpuStatus::Done
+            )
     }
 }
 
@@ -99,7 +102,12 @@ enum SimEvent {
     /// A protocol event is pushed into a node's PDQ.
     ProtocolEnqueue { node: usize, event: ProtocolEvent },
     /// A protocol handler finished executing.
-    HandlerDone { node: usize, slot: Slot, ticket: Ticket, outcome: HandlerOutcome },
+    HandlerDone {
+        node: usize,
+        slot: Slot,
+        ticket: Ticket,
+        outcome: HandlerOutcome,
+    },
     /// The Hurricane-1 Mult interrupt fires on a node.
     MultInterrupt { node: usize },
 }
@@ -167,7 +175,9 @@ impl ClusterSim {
             pp_free: (0..nodes).map(|_| vec![true; dedicated]).collect(),
             interrupt_pending: vec![false; nodes],
             mult_rr: vec![0; nodes],
-            cpus: (0..nodes).map(|_| vec![CpuSim::new(); cpus_per_node]).collect(),
+            cpus: (0..nodes)
+                .map(|_| vec![CpuSim::new(); cpus_per_node])
+                .collect(),
             calendar: EventQueue::new(),
             barrier_waiting: 0,
             done_cpus: 0,
@@ -186,7 +196,8 @@ impl ClusterSim {
         let total_cpus = self.cfg.topology.total_cpus();
         for node in 0..self.cfg.topology.nodes {
             for cpu in 0..self.cfg.topology.cpus_per_node {
-                self.calendar.push(Cycles::ZERO, SimEvent::CpuNext { node, cpu });
+                self.calendar
+                    .push(Cycles::ZERO, SimEvent::CpuNext { node, cpu });
             }
         }
 
@@ -194,17 +205,31 @@ impl ClusterSim {
         let guard_limit = 200_000_000;
         while let Some((now, event)) = self.calendar.pop() {
             guard += 1;
-            assert!(guard < guard_limit, "simulation exceeded {guard_limit} events; likely livelock");
+            assert!(
+                guard < guard_limit,
+                "simulation exceeded {guard_limit} events; likely livelock"
+            );
             match event {
                 SimEvent::CpuNext { node, cpu } => self.on_cpu_next(node, cpu, now),
                 SimEvent::ProtocolEnqueue { node, event } => {
                     let key = event.sync_key();
                     self.pdqs[node]
-                        .enqueue(key, QueuedEvent { event, enqueued_at: now })
+                        .enqueue(
+                            key,
+                            QueuedEvent {
+                                event,
+                                enqueued_at: now,
+                            },
+                        )
                         .expect("cluster PDQs are unbounded");
                     self.try_dispatch_node(node, now);
                 }
-                SimEvent::HandlerDone { node, slot, ticket, outcome } => {
+                SimEvent::HandlerDone {
+                    node,
+                    slot,
+                    ticket,
+                    outcome,
+                } => {
                     self.on_handler_done(node, slot, ticket, outcome, now);
                 }
                 SimEvent::MultInterrupt { node } => self.on_interrupt(node, now),
@@ -247,7 +272,8 @@ impl ClusterSim {
     fn on_cpu_next(&mut self, node: usize, cpu: usize, now: Cycles) {
         let not_before = self.cpus[node][cpu].not_before;
         if now < not_before {
-            self.calendar.push(not_before, SimEvent::CpuNext { node, cpu });
+            self.calendar
+                .push(not_before, SimEvent::CpuNext { node, cpu });
             return;
         }
         self.run_cpu(node, cpu, now);
@@ -256,7 +282,11 @@ impl ClusterSim {
     fn run_cpu(&mut self, node: usize, cpu: usize, mut now: Cycles) {
         let global_cpu = node * self.cfg.topology.cpus_per_node + cpu;
         loop {
-            let action = self.workload.script(global_cpu).get(self.cpus[node][cpu].pc).copied();
+            let action = self
+                .workload
+                .script(global_cpu)
+                .get(self.cpus[node][cpu].pc)
+                .copied();
             match action {
                 None => {
                     self.cpus[node][cpu].status = CpuStatus::Done;
@@ -270,7 +300,8 @@ impl ClusterSim {
                 Some(Action::Compute(c)) => {
                     self.cpus[node][cpu].pc += 1;
                     self.cpus[node][cpu].status = CpuStatus::Running;
-                    self.calendar.push(now + Cycles::new(c), SimEvent::CpuNext { node, cpu });
+                    self.calendar
+                        .push(now + Cycles::new(c), SimEvent::CpuNext { node, cpu });
                     return;
                 }
                 Some(Action::Access { addr, write }) => {
@@ -299,7 +330,11 @@ impl ClusterSim {
                                 now + self.occ.detect_miss(),
                                 SimEvent::ProtocolEnqueue {
                                     node,
-                                    event: ProtocolEvent::AccessFault { block, write, token },
+                                    event: ProtocolEvent::AccessFault {
+                                        block,
+                                        write,
+                                        token,
+                                    },
                                 },
                             );
                             if self.cfg.machine.scheduling == ProtocolScheduling::Multiplexed {
@@ -384,20 +419,24 @@ impl ClusterSim {
             let dispatch = self.pdqs[node]
                 .try_dispatch()
                 .expect("has_dispatchable guarantees an entry");
-            self.dispatch_wait.record((now - dispatch.payload.enqueued_at).as_f64());
+            self.dispatch_wait
+                .record((now - dispatch.payload.enqueued_at).as_f64());
 
             // Execute the functional handler now; its timing effects are
             // applied when HandlerDone fires.
             let outcome = self.dsm.handle(node, dispatch.payload.event);
-            let occupancy =
-                self.occ.handler_occupancy(outcome.class(), outcome.memory_blocks);
+            let occupancy = self
+                .occ
+                .handler_occupancy(outcome.class(), outcome.memory_blocks);
             let mut end = now + occupancy;
             if outcome.memory_blocks > 0 {
                 // Data-carrying handlers move the block over the node's memory
                 // bus and contend with other traffic.
                 let grant = self.buses[node].access(
                     now,
-                    BusTransaction::BlockTransfer { bytes: self.cfg.block_size.bytes() as u32 },
+                    BusTransaction::BlockTransfer {
+                        bytes: self.cfg.block_size.bytes() as u32,
+                    },
                 );
                 end = end.max(grant.end);
             }
@@ -414,7 +453,12 @@ impl ClusterSim {
             }
             self.calendar.push(
                 end,
-                SimEvent::HandlerDone { node, slot, ticket: dispatch.ticket, outcome },
+                SimEvent::HandlerDone {
+                    node,
+                    slot,
+                    ticket: dispatch.ticket,
+                    outcome,
+                },
             );
         }
     }
@@ -427,7 +471,9 @@ impl ClusterSim {
         outcome: HandlerOutcome,
         now: Cycles,
     ) {
-        self.pdqs[node].complete(ticket).expect("handler tickets are completed exactly once");
+        self.pdqs[node]
+            .complete(ticket)
+            .expect("handler tickets are completed exactly once");
         match slot {
             Slot::Dedicated(i) => self.pp_free[node][i] = true,
             Slot::ComputeCpu(c) => {
@@ -445,7 +491,10 @@ impl ClusterSim {
                     now,
                     SimEvent::ProtocolEnqueue {
                         node,
-                        event: ProtocolEvent::Incoming { src: node, msg: out.msg },
+                        event: ProtocolEvent::Incoming {
+                            src: node,
+                            msg: out.msg,
+                        },
                     },
                 );
             } else {
@@ -460,7 +509,10 @@ impl ClusterSim {
                     delivery.arrival,
                     SimEvent::ProtocolEnqueue {
                         node: out.dst,
-                        event: ProtocolEvent::Incoming { src: node, msg: out.msg },
+                        event: ProtocolEvent::Incoming {
+                            src: node,
+                            msg: out.msg,
+                        },
                     },
                 );
             }
@@ -477,11 +529,18 @@ impl ClusterSim {
             let (cpu_node, cpu) = Self::cpu_of_token(completion.token);
             debug_assert_eq!(cpu_node, node, "completions always wake local processors");
             if let CpuStatus::Stalled { since } = self.cpus[cpu_node][cpu].status {
-                self.miss_latency.record((now + resume_cost - since).as_f64());
+                self.miss_latency
+                    .record((now + resume_cost - since).as_f64());
                 self.cpus[cpu_node][cpu].status = CpuStatus::Running;
                 self.cpus[cpu_node][cpu].pc += 1;
                 let wake = now.max(self.cpus[cpu_node][cpu].not_before) + resume_cost;
-                self.calendar.push(wake, SimEvent::CpuNext { node: cpu_node, cpu });
+                self.calendar.push(
+                    wake,
+                    SimEvent::CpuNext {
+                        node: cpu_node,
+                        cpu,
+                    },
+                );
             }
         }
         // A processor that needed write access but whose outstanding request
@@ -604,13 +663,22 @@ mod tests {
 
     #[test]
     fn computation_bound_apps_are_insensitive_to_the_protocol_engine() {
-        let config = |m| {
-            ClusterConfig::baseline(m).with_topology(Topology::new(2, 2))
-        };
-        let scoma = simulate(config(MachineSpec::scoma()), AppKind::WaterSp, WorkloadScale(0.08));
-        let h1 = simulate(config(MachineSpec::hurricane1(1)), AppKind::WaterSp, WorkloadScale(0.08));
+        let config = |m| ClusterConfig::baseline(m).with_topology(Topology::new(2, 2));
+        let scoma = simulate(
+            config(MachineSpec::scoma()),
+            AppKind::WaterSp,
+            WorkloadScale(0.08),
+        );
+        let h1 = simulate(
+            config(MachineSpec::hurricane1(1)),
+            AppKind::WaterSp,
+            WorkloadScale(0.08),
+        );
         let ratio = h1.execution_cycles.as_f64() / scoma.execution_cycles.as_f64();
-        assert!(ratio < 1.35, "water-sp should be within ~35% of S-COMA, ratio {ratio}");
+        assert!(
+            ratio < 1.35,
+            "water-sp should be within ~35% of S-COMA, ratio {ratio}"
+        );
     }
 
     #[test]

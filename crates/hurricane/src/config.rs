@@ -155,8 +155,14 @@ mod tests {
     fn machine_constructors_set_the_right_engines() {
         assert_eq!(MachineSpec::scoma().engine, ProtocolEngine::SComa);
         assert_eq!(MachineSpec::hurricane(2).engine, ProtocolEngine::Hurricane);
-        assert_eq!(MachineSpec::hurricane1(4).engine, ProtocolEngine::Hurricane1);
-        assert_eq!(MachineSpec::hurricane1_mult().engine, ProtocolEngine::Hurricane1Mult);
+        assert_eq!(
+            MachineSpec::hurricane1(4).engine,
+            ProtocolEngine::Hurricane1
+        );
+        assert_eq!(
+            MachineSpec::hurricane1_mult().engine,
+            ProtocolEngine::Hurricane1Mult
+        );
         assert_eq!(MachineSpec::hurricane(0).protocol_processors, 1);
     }
 
@@ -165,7 +171,10 @@ mod tests {
         assert_eq!(MachineSpec::scoma().label(), "S-COMA");
         assert_eq!(MachineSpec::hurricane(4).label(), "Hurricane 4pp");
         assert_eq!(MachineSpec::hurricane1(2).label(), "Hurricane-1 2pp");
-        assert_eq!(MachineSpec::hurricane1_mult().to_string(), "Hurricane-1 Mult");
+        assert_eq!(
+            MachineSpec::hurricane1_mult().to_string(),
+            "Hurricane-1 Mult"
+        );
     }
 
     #[test]
@@ -174,7 +183,9 @@ mod tests {
         assert_eq!(cfg.topology.nodes, 8);
         assert_eq!(cfg.topology.cpus_per_node, 8);
         assert_eq!(cfg.block_size, BlockSize::B64);
-        let wide = cfg.with_topology(Topology::new(4, 16)).with_block_size(BlockSize::B128);
+        let wide = cfg
+            .with_topology(Topology::new(4, 16))
+            .with_block_size(BlockSize::B128);
         assert_eq!(wide.topology.nodes, 4);
         assert_eq!(wide.block_size, BlockSize::B128);
     }

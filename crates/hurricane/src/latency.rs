@@ -25,13 +25,17 @@ impl LatencyRow {
 
 /// Computes Table 1 for the given block size (the paper reports 64 bytes).
 pub fn table1(block_size: BlockSize) -> Vec<LatencyRow> {
-    [ProtocolEngine::SComa, ProtocolEngine::Hurricane, ProtocolEngine::Hurricane1]
-        .into_iter()
-        .map(|engine| LatencyRow {
-            engine,
-            breakdown: OccupancyModel::new(engine, block_size).miss_breakdown(),
-        })
-        .collect()
+    [
+        ProtocolEngine::SComa,
+        ProtocolEngine::Hurricane,
+        ProtocolEngine::Hurricane1,
+    ]
+    .into_iter()
+    .map(|engine| LatencyRow {
+        engine,
+        breakdown: OccupancyModel::new(engine, block_size).miss_breakdown(),
+    })
+    .collect()
 }
 
 /// Renders Table 1 as text, mirroring the paper's action rows.
@@ -50,7 +54,10 @@ pub fn render_table1(block_size: BlockSize) -> String {
         rows.iter().map(|r| f(&r.breakdown).as_u64()).collect()
     };
     let lines: Vec<(&str, Vec<u64>)> = vec![
-        ("detect miss, issue bus transaction", field(|b| b.detect_miss)),
+        (
+            "detect miss, issue bus transaction",
+            field(|b| b.detect_miss),
+        ),
         ("dispatch handler (request)", field(|b| b.request_dispatch)),
         ("get fault state, send", field(|b| b.request_body)),
         ("network latency", field(|b| b.network)),
@@ -58,7 +65,10 @@ pub fn render_table1(block_size: BlockSize) -> String {
         ("directory lookup", field(|b| b.reply_directory)),
         ("fetch data, change tag, send", field(|b| b.reply_data)),
         ("network latency", field(|b| b.network)),
-        ("dispatch handler (response)", field(|b| b.response_dispatch)),
+        (
+            "dispatch handler (response)",
+            field(|b| b.response_dispatch),
+        ),
         ("place data, change tag", field(|b| b.response_body)),
         ("resume, reissue bus transaction", field(|b| b.resume)),
         ("fetch data, complete load", field(|b| b.complete_load)),

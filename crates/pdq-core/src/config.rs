@@ -35,7 +35,10 @@ impl QueueConfig {
     /// Creates the default configuration: unbounded capacity and a search
     /// window of [`DEFAULT_SEARCH_WINDOW`] entries.
     pub fn new() -> Self {
-        Self { capacity: None, search_window: DEFAULT_SEARCH_WINDOW }
+        Self {
+            capacity: None,
+            search_window: DEFAULT_SEARCH_WINDOW,
+        }
     }
 
     /// Sets the maximum number of waiting entries.

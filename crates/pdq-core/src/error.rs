@@ -28,7 +28,11 @@ impl<T> QueueFullError<T> {
 
 impl<T> fmt::Display for QueueFullError<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "dispatch queue is full; rejected entry with {}", self.key)
+        write!(
+            f,
+            "dispatch queue is full; rejected entry with {}",
+            self.key
+        )
     }
 }
 
@@ -44,7 +48,11 @@ pub struct UnknownTicketError {
 
 impl fmt::Display for UnknownTicketError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "ticket {} does not name an in-flight handler", self.ticket)
+        write!(
+            f,
+            "ticket {} does not name an in-flight handler",
+            self.ticket
+        )
     }
 }
 
@@ -68,14 +76,22 @@ mod tests {
 
     #[test]
     fn queue_full_error_returns_payload() {
-        let err = QueueFullError { key: SyncKey::key(1), payload: 42u32 };
-        assert_eq!(err.to_string(), "dispatch queue is full; rejected entry with key(0x1)");
+        let err = QueueFullError {
+            key: SyncKey::key(1),
+            payload: 42u32,
+        };
+        assert_eq!(
+            err.to_string(),
+            "dispatch queue is full; rejected entry with key(0x1)"
+        );
         assert_eq!(err.into_payload(), 42);
     }
 
     #[test]
     fn unknown_ticket_display() {
-        let err = UnknownTicketError { ticket: Ticket::from_raw(5) };
+        let err = UnknownTicketError {
+            ticket: Ticket::from_raw(5),
+        };
         assert!(err.to_string().contains("5"));
     }
 

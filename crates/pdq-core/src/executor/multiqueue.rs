@@ -79,7 +79,9 @@ pub struct MultiQueueExecutor {
 
 impl std::fmt::Debug for MultiQueueExecutor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("MultiQueueExecutor").field("workers", &self.workers.len()).finish()
+        f.debug_struct("MultiQueueExecutor")
+            .field("workers", &self.workers.len())
+            .finish()
     }
 }
 
@@ -111,7 +113,10 @@ impl MultiQueueExecutor {
                     .expect("failed to spawn multi-queue worker thread")
             })
             .collect();
-        Self { shared, workers: handles }
+        Self {
+            shared,
+            workers: handles,
+        }
     }
 
     /// Returns a snapshot of the executor's statistics.

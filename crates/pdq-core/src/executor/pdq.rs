@@ -64,8 +64,13 @@ impl PdqBuilder {
     /// Creates a builder with one worker per available CPU (at least one) and
     /// the default queue configuration.
     pub fn new() -> Self {
-        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        Self { workers, config: QueueConfig::default() }
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self {
+            workers,
+            config: QueueConfig::default(),
+        }
     }
 
     /// Sets the number of worker (protocol processor) threads. Clamped to at
@@ -139,7 +144,9 @@ pub struct PdqExecutor {
 
 impl std::fmt::Debug for PdqExecutor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("PdqExecutor").field("workers", &self.workers.len()).finish()
+        f.debug_struct("PdqExecutor")
+            .field("workers", &self.workers.len())
+            .finish()
     }
 }
 
@@ -241,7 +248,8 @@ impl KeyedExecutor for PdqExecutor {
     /// Panics if the executor has been shut down; use
     /// [`try_submit`](Self::try_submit) to handle that case gracefully.
     fn submit(&self, key: SyncKey, job: Job) {
-        self.try_submit(key, job).expect("submit on a shut-down PdqExecutor");
+        self.try_submit(key, job)
+            .expect("submit on a shut-down PdqExecutor");
     }
 
     fn wait_idle(&self) {
@@ -343,7 +351,10 @@ mod tests {
             });
         }
         pool.wait_idle();
-        assert!(!overlap.load(Ordering::SeqCst), "same-key handlers overlapped");
+        assert!(
+            !overlap.load(Ordering::SeqCst),
+            "same-key handlers overlapped"
+        );
     }
 
     #[test]
@@ -410,7 +421,10 @@ mod tests {
             }
         }
         pool.wait_idle();
-        assert!(!violation.load(Ordering::SeqCst), "sequential handler overlapped another");
+        assert!(
+            !violation.load(Ordering::SeqCst),
+            "sequential handler overlapped another"
+        );
         assert_eq!(pool.stats().queue.sequential_handlers, 20);
     }
 

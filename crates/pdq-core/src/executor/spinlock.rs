@@ -37,7 +37,9 @@ struct SpinSlot {
 
 impl SpinSlot {
     const fn new() -> Self {
-        Self { locked: AtomicBool::new(false) }
+        Self {
+            locked: AtomicBool::new(false),
+        }
     }
 
     /// Acquires the lock, returning the number of busy-wait iterations spent.
@@ -96,7 +98,9 @@ pub struct SpinLockExecutor {
 
 impl std::fmt::Debug for SpinLockExecutor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SpinLockExecutor").field("workers", &self.workers.len()).finish()
+        f.debug_struct("SpinLockExecutor")
+            .field("workers", &self.workers.len())
+            .finish()
     }
 }
 
@@ -184,9 +188,9 @@ impl Drop for SpinLockExecutor {
 fn slot_for(key: SyncKey) -> Option<usize> {
     match key {
         // Simple multiplicative hash onto the lock table.
-        SyncKey::Key(k) => {
-            Some((k.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 40) as usize % (LOCK_TABLE_SLOTS - 1) + 1)
-        }
+        SyncKey::Key(k) => Some(
+            (k.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 40) as usize % (LOCK_TABLE_SLOTS - 1) + 1,
+        ),
         SyncKey::Sequential => Some(0),
         SyncKey::NoSync => None,
     }

@@ -148,7 +148,12 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut keys = vec![SyncKey::NoSync, SyncKey::Key(3), SyncKey::Sequential, SyncKey::Key(1)];
+        let mut keys = [
+            SyncKey::NoSync,
+            SyncKey::Key(3),
+            SyncKey::Sequential,
+            SyncKey::Key(1),
+        ];
         keys.sort();
         assert_eq!(keys.len(), 4);
     }

@@ -81,7 +81,10 @@ impl<T> DispatchQueue<T> {
 
     /// Creates a queue with the given configuration.
     pub fn with_config(config: QueueConfig) -> Self {
-        let config = QueueConfig { search_window: config.search_window.max(1), ..config };
+        let config = QueueConfig {
+            search_window: config.search_window.max(1),
+            ..config
+        };
         Self {
             pending: VecDeque::new(),
             in_flight: HashMap::new(),
@@ -231,7 +234,11 @@ impl<T> DispatchQueue<T> {
         self.stats.dispatched += 1;
         self.stats.max_in_flight = self.stats.max_in_flight.max(self.in_flight.len());
 
-        Some(Dispatch { ticket, key: entry.key, payload: entry.payload })
+        Some(Dispatch {
+            ticket,
+            key: entry.key,
+            payload: entry.payload,
+        })
     }
 
     /// Dispatches as many entries as currently possible, in dispatch order.

@@ -104,21 +104,39 @@ mod tests {
 
     #[test]
     fn in_flight_is_dispatched_minus_completed() {
-        let stats = QueueStats { dispatched: 10, completed: 7, ..QueueStats::new() };
+        let stats = QueueStats {
+            dispatched: 10,
+            completed: 7,
+            ..QueueStats::new()
+        };
         assert_eq!(stats.in_flight(), 3);
     }
 
     #[test]
     fn conflict_ratio_handles_zero_dispatches() {
         assert_eq!(QueueStats::new().conflict_ratio(), 0.0);
-        let stats = QueueStats { dispatched: 4, key_conflicts: 2, ..QueueStats::new() };
+        let stats = QueueStats {
+            dispatched: 4,
+            key_conflicts: 2,
+            ..QueueStats::new()
+        };
         assert!((stats.conflict_ratio() - 0.5).abs() < 1e-12);
     }
 
     #[test]
     fn merge_sums_counters_and_maxes_high_water_marks() {
-        let mut a = QueueStats { enqueued: 3, max_queue_len: 5, max_in_flight: 2, ..QueueStats::new() };
-        let b = QueueStats { enqueued: 4, max_queue_len: 2, max_in_flight: 7, ..QueueStats::new() };
+        let mut a = QueueStats {
+            enqueued: 3,
+            max_queue_len: 5,
+            max_in_flight: 2,
+            ..QueueStats::new()
+        };
+        let b = QueueStats {
+            enqueued: 4,
+            max_queue_len: 2,
+            max_in_flight: 7,
+            ..QueueStats::new()
+        };
         a.merge(&b);
         assert_eq!(a.enqueued, 7);
         assert_eq!(a.max_queue_len, 5);

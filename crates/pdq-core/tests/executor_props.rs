@@ -1,0 +1,141 @@
+//! Property tests for the executors: same-key jobs execute in FIFO
+//! (submission) order and never concurrently, across random key mixes and
+//! worker counts, for all three [`KeyedExecutor`] implementations.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use pdq_core::executor::{
+    KeyedExecutor, KeyedExecutorExt, MultiQueueExecutor, PdqBuilder, SpinLockExecutor,
+};
+use proptest::prelude::*;
+
+/// Number of distinct user keys the generated workloads draw from. Small, so
+/// random mixes hit genuine same-key contention.
+const KEY_SPACE: usize = 6;
+
+/// Per-key observation log shared with the jobs.
+struct Observed {
+    /// One "am I running" flag per key, to detect same-key overlap.
+    running: Vec<AtomicBool>,
+    /// Set when two same-key jobs ever overlapped.
+    overlap: AtomicBool,
+    /// Per-key sequence numbers in the order the jobs actually ran.
+    order: Vec<Mutex<Vec<u64>>>,
+}
+
+impl Observed {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            running: (0..KEY_SPACE).map(|_| AtomicBool::new(false)).collect(),
+            overlap: AtomicBool::new(false),
+            order: (0..KEY_SPACE).map(|_| Mutex::new(Vec::new())).collect(),
+        })
+    }
+}
+
+/// Submits `keys` (one job per element, keyed by the element) to `executor`
+/// and returns the per-key submission order for comparison.
+fn drive<E: KeyedExecutor>(executor: &E, keys: &[u8], observed: &Arc<Observed>) -> Vec<Vec<u64>> {
+    let mut submitted: Vec<Vec<u64>> = vec![Vec::new(); KEY_SPACE];
+    for (seq, &key) in keys.iter().enumerate() {
+        let key = usize::from(key) % KEY_SPACE;
+        submitted[key].push(seq as u64);
+        let observed = Arc::clone(observed);
+        executor.submit_keyed(key as u64, move || {
+            if observed.running[key].swap(true, Ordering::SeqCst) {
+                observed.overlap.store(true, Ordering::SeqCst);
+            }
+            observed.order[key].lock().unwrap().push(seq as u64);
+            // Linger long enough that an executor which dispatches two
+            // same-key jobs concurrently would actually interleave here.
+            for _ in 0..500 {
+                std::hint::spin_loop();
+            }
+            observed.running[key].store(false, Ordering::SeqCst);
+        });
+    }
+    executor.wait_idle();
+    submitted
+}
+
+/// Checks both properties after a run: no same-key overlap, and the per-key
+/// execution order equals the per-key submission order.
+fn check(
+    submitted: Vec<Vec<u64>>,
+    observed: &Observed,
+    executor_name: &str,
+) -> Result<(), TestCaseError> {
+    prop_assert!(
+        !observed.overlap.load(Ordering::SeqCst),
+        "{executor_name}: two same-key jobs ran concurrently"
+    );
+    for (key, expected) in submitted.iter().enumerate() {
+        let actual = observed.order[key].lock().unwrap();
+        prop_assert_eq!(
+            &*actual,
+            expected,
+            "{}: key {} executed out of submission order",
+            executor_name,
+            key
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The PDQ executor serializes same-key jobs in FIFO order for any mix of
+    /// keys and any worker count.
+    #[test]
+    fn pdq_same_key_jobs_are_fifo_and_exclusive(
+        workers in 1usize..9,
+        keys in proptest::collection::vec(any::<u8>(), 1..250),
+    ) {
+        let observed = Observed::new();
+        let pool = PdqBuilder::new().workers(workers).build();
+        let submitted = drive(&pool, &keys, &observed);
+        check(submitted, &observed, "PdqExecutor")?;
+    }
+
+    /// The spin-lock baseline only guarantees per-key mutual exclusion (lock
+    /// acquisition order is arbitrary), so assert exclusion plus completeness:
+    /// every submitted job ran exactly once.
+    #[test]
+    fn spinlock_same_key_jobs_are_exclusive(
+        workers in 1usize..9,
+        keys in proptest::collection::vec(any::<u8>(), 1..250),
+    ) {
+        let observed = Observed::new();
+        let pool = SpinLockExecutor::new(workers);
+        let submitted = drive(&pool, &keys, &observed);
+        prop_assert!(
+            !observed.overlap.load(Ordering::SeqCst),
+            "SpinLockExecutor: two same-key jobs ran concurrently"
+        );
+        for (key, expected) in submitted.iter().enumerate() {
+            let mut actual = observed.order[key].lock().unwrap().clone();
+            actual.sort_unstable();
+            prop_assert_eq!(
+                &actual,
+                expected,
+                "SpinLockExecutor: key {} job set differs from submissions",
+                key
+            );
+        }
+    }
+
+    /// The static multi-queue baseline partitions keys across workers; within
+    /// a key the same FIFO/exclusivity contract must hold.
+    #[test]
+    fn multiqueue_same_key_jobs_are_fifo_and_exclusive(
+        workers in 1usize..9,
+        keys in proptest::collection::vec(any::<u8>(), 1..250),
+    ) {
+        let observed = Observed::new();
+        let pool = MultiQueueExecutor::new(workers);
+        let submitted = drive(&pool, &keys, &observed);
+        check(submitted, &observed, "MultiQueueExecutor")?;
+    }
+}

@@ -64,7 +64,11 @@ pub struct MemoryBus {
 impl MemoryBus {
     /// Creates an idle bus.
     pub fn new() -> Self {
-        Self { server: Server::new("memory-bus"), transactions: 0, data_bytes: 0 }
+        Self {
+            server: Server::new("memory-bus"),
+            transactions: 0,
+            data_bytes: 0,
+        }
     }
 
     /// Arbitrates for the bus at `now` and performs `transaction`.
@@ -112,7 +116,10 @@ mod tests {
         assert_eq!(BusTransaction::AddressOnly.bus_cycles(), 2);
         assert_eq!(BusTransaction::BlockTransfer { bytes: 32 }.bus_cycles(), 6);
         assert_eq!(BusTransaction::BlockTransfer { bytes: 64 }.bus_cycles(), 10);
-        assert_eq!(BusTransaction::BlockTransfer { bytes: 128 }.bus_cycles(), 18);
+        assert_eq!(
+            BusTransaction::BlockTransfer { bytes: 128 }.bus_cycles(),
+            18
+        );
         assert_eq!(BusTransaction::ControlRegister.bus_cycles(), 3);
     }
 

@@ -147,7 +147,11 @@ impl Cache {
                 }
             }
         }
-        let state = if write { LineState::Modified } else { LineState::Shared };
+        let state = if write {
+            LineState::Modified
+        } else {
+            LineState::Shared
+        };
         set.push_back(Line { tag, state });
         CacheOutcome::Miss { victim_dirty }
     }
@@ -214,7 +218,12 @@ mod tests {
     #[test]
     fn read_then_read_hits() {
         let mut c = Cache::new(16, 2, 64);
-        assert!(matches!(c.access(0x100, false), CacheOutcome::Miss { victim_dirty: false }));
+        assert!(matches!(
+            c.access(0x100, false),
+            CacheOutcome::Miss {
+                victim_dirty: false
+            }
+        ));
         assert_eq!(c.access(0x100, false), CacheOutcome::Hit);
         assert_eq!(c.hits(), 1);
         assert_eq!(c.misses(), 1);

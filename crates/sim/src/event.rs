@@ -41,7 +41,10 @@ impl<E> PartialOrd for HeapEntry<E> {
 impl<E> Ord for HeapEntry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse order: BinaryHeap is a max-heap, we want the earliest event.
-        other.time.cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -72,7 +75,11 @@ pub struct EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty calendar at time zero.
     pub fn new() -> Self {
-        Self { heap: BinaryHeap::new(), next_seq: 0, now: Cycles::ZERO }
+        Self {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: Cycles::ZERO,
+        }
     }
 
     /// Schedules `event` at absolute time `time`.

@@ -20,7 +20,10 @@ pub struct MemoryConfig {
 impl MemoryConfig {
     /// Default configuration: 8-way interleaved, 60-cycle block access.
     pub fn new() -> Self {
-        Self { banks: 8, block_access: Cycles::new(60) }
+        Self {
+            banks: 8,
+            block_access: Cycles::new(60),
+        }
     }
 }
 
@@ -42,7 +45,11 @@ pub struct InterleavedMemory {
 impl InterleavedMemory {
     /// Creates an idle memory system.
     pub fn new(config: MemoryConfig) -> Self {
-        Self { config, banks: MultiServer::new("memory-bank", config.banks), accesses: 0 }
+        Self {
+            config,
+            banks: MultiServer::new("memory-bank", config.banks),
+            accesses: 0,
+        }
     }
 
     /// Performs a block access starting at `now`.
@@ -96,7 +103,10 @@ mod tests {
 
     #[test]
     fn more_accesses_than_banks_queue() {
-        let config = MemoryConfig { banks: 2, block_access: Cycles::new(10) };
+        let config = MemoryConfig {
+            banks: 2,
+            block_access: Cycles::new(10),
+        };
         let mut mem = InterleavedMemory::new(config);
         mem.access_block(Cycles::ZERO);
         mem.access_block(Cycles::ZERO);

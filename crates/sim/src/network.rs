@@ -21,7 +21,11 @@ impl NetworkConfig {
     /// The paper's configuration: 100-cycle latency, contention modelled at
     /// the network interfaces.
     pub fn new() -> Self {
-        Self { latency: Cycles::new(100), control_occupancy: Cycles::new(4), per_8_bytes: Cycles::new(1) }
+        Self {
+            latency: Cycles::new(100),
+            control_occupancy: Cycles::new(4),
+            per_8_bytes: Cycles::new(1),
+        }
     }
 }
 
@@ -96,7 +100,10 @@ impl Network {
     /// Panics if `src` or `dst` is not a valid node id.
     pub fn send(&mut self, now: Cycles, src: NodeId, dst: NodeId, payload_bytes: u32) -> Delivery {
         assert!(src < self.inject.len(), "source node {src} out of range");
-        assert!(dst < self.extract.len(), "destination node {dst} out of range");
+        assert!(
+            dst < self.extract.len(),
+            "destination node {dst} out of range"
+        );
         self.messages += 1;
         self.payload_bytes += u64::from(payload_bytes);
         let occupancy = self.message_occupancy(payload_bytes);
@@ -113,7 +120,10 @@ impl Network {
     /// NIC occupancy for a message carrying `payload_bytes` of data.
     pub fn message_occupancy(&self, payload_bytes: u32) -> Cycles {
         self.config.control_occupancy
-            + self.config.per_8_bytes.times(u64::from(payload_bytes.div_ceil(8)))
+            + self
+                .config
+                .per_8_bytes
+                .times(u64::from(payload_bytes.div_ceil(8)))
     }
 
     /// Total messages sent.

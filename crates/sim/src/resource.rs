@@ -129,7 +129,9 @@ pub struct MultiServer {
 impl MultiServer {
     /// Creates a pool of `count` idle servers (at least one).
     pub fn new(name: &'static str, count: usize) -> Self {
-        Self { servers: (0..count.max(1)).map(|_| Server::new(name)).collect() }
+        Self {
+            servers: (0..count.max(1)).map(|_| Server::new(name)).collect(),
+        }
     }
 
     /// Number of servers in the pool.
@@ -183,7 +185,11 @@ impl MultiServer {
         if self.servers.is_empty() || horizon == Cycles::ZERO {
             return 0.0;
         }
-        self.servers.iter().map(|s| s.utilization(horizon)).sum::<f64>() / self.servers.len() as f64
+        self.servers
+            .iter()
+            .map(|s| s.utilization(horizon))
+            .sum::<f64>()
+            / self.servers.len() as f64
     }
 
     /// Access to the individual servers (read-only), e.g. for per-server

@@ -24,7 +24,9 @@ pub struct DetRng {
 impl DetRng {
     /// Creates a generator from a seed.
     pub fn new(seed: u64) -> Self {
-        Self { state: seed.wrapping_add(0x9e37_79b9_7f4a_7c15) }
+        Self {
+            state: seed.wrapping_add(0x9e37_79b9_7f4a_7c15),
+        }
     }
 
     /// Returns the next 64-bit pseudo-random value.

@@ -16,7 +16,12 @@ pub struct Accumulator {
 impl Accumulator {
     /// Creates an empty accumulator.
     pub fn new() -> Self {
-        Self { count: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Self {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Records a sample.
@@ -105,7 +110,10 @@ pub struct Histogram {
 impl Histogram {
     /// Creates an empty histogram.
     pub fn new() -> Self {
-        Self { buckets: vec![0; 40], total: 0 }
+        Self {
+            buckets: vec![0; 40],
+            total: 0,
+        }
     }
 
     /// Records a sample.

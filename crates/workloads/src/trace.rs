@@ -28,7 +28,10 @@ pub struct Topology {
 impl Topology {
     /// Creates a topology (both dimensions clamped to at least 1).
     pub fn new(nodes: usize, cpus_per_node: usize) -> Self {
-        Self { nodes: nodes.max(1), cpus_per_node: cpus_per_node.max(1) }
+        Self {
+            nodes: nodes.max(1),
+            cpus_per_node: cpus_per_node.max(1),
+        }
     }
 
     /// Total number of compute processors.
@@ -112,16 +115,22 @@ impl Workload {
 
         let scale = scale.0.max(0.01);
         for phase in 0..params.phases {
+            #[allow(clippy::needless_range_loop)]
+            // `cpu` also salts the RNG and drives the sharing pattern, not just the index
             for cpu in 0..total_cpus {
                 let mut cpu_rng = rng.split((phase as u64) << 32 | cpu as u64);
                 let imbalanced = cpu < total_cpus.div_ceil(4);
                 let factor = if imbalanced { params.imbalance } else { 1.0 };
-                let accesses =
-                    ((params.accesses_per_cpu as f64) * scale * factor).round().max(1.0) as u64;
+                let accesses = ((params.accesses_per_cpu as f64) * scale * factor)
+                    .round()
+                    .max(1.0) as u64;
                 let mut last_remote_element: Option<(usize, u64)> = None;
                 for i in 0..accesses {
                     let compute = cpu_rng
-                        .next_range(params.compute_per_access / 2, params.compute_per_access * 3 / 2)
+                        .next_range(
+                            params.compute_per_access / 2,
+                            params.compute_per_access * 3 / 2,
+                        )
                         .max(1);
                     scripts[cpu].push(Action::Compute(compute));
                     total_compute += compute;
@@ -147,7 +156,10 @@ impl Workload {
                         last_remote_element = Some((owner, element));
                     }
                     let write = cpu_rng.chance(params.write_fraction);
-                    scripts[cpu].push(Action::Access { addr: layout.element_addr(owner, element), write });
+                    scripts[cpu].push(Action::Access {
+                        addr: layout.element_addr(owner, element),
+                        write,
+                    });
                     total_accesses += 1;
                 }
             }
@@ -156,7 +168,14 @@ impl Workload {
             }
         }
 
-        Self { app, topology, scripts, total_compute, total_accesses, remote_accesses }
+        Self {
+            app,
+            topology,
+            scripts,
+            total_compute,
+            total_accesses,
+            remote_accesses,
+        }
     }
 
     /// The application this workload models.
@@ -266,7 +285,9 @@ impl Layout {
         let footprint_bytes = params.blocks_per_cpu * 64;
         let element_stride = params.element_stride.max(8);
         let elements_per_cpu = (footprint_bytes / element_stride).max(1);
-        let pages_per_cpu = (elements_per_cpu * element_stride).div_ceil(PAGE_BYTES).max(1);
+        let pages_per_cpu = (elements_per_cpu * element_stride)
+            .div_ceil(PAGE_BYTES)
+            .max(1);
         Self {
             nodes: topology.nodes,
             cpus_per_node: topology.cpus_per_node,
@@ -321,7 +342,10 @@ mod tests {
             let script = w.script(cpu);
             assert!(!script.is_empty());
             assert_eq!(*script.last().unwrap(), Action::Barrier);
-            let barriers = script.iter().filter(|a| matches!(a, Action::Barrier)).count();
+            let barriers = script
+                .iter()
+                .filter(|a| matches!(a, Action::Barrier))
+                .count();
             assert_eq!(barriers as u32, AppKind::Em3d.params().phases);
         }
     }
@@ -344,7 +368,10 @@ mod tests {
             }
         }
         assert!(total > 0);
-        assert!(local * 10 >= total * 9, "expected >=90% local accesses, got {local}/{total}");
+        assert!(
+            local * 10 >= total * 9,
+            "expected >=90% local accesses, got {local}/{total}"
+        );
     }
 
     #[test]
@@ -359,7 +386,10 @@ mod tests {
     fn imbalanced_apps_give_more_work_to_the_first_quarter() {
         let w = small_workload(AppKind::Cholesky);
         let accesses = |cpu: usize| {
-            w.script(cpu).iter().filter(|a| matches!(a, Action::Access { .. })).count()
+            w.script(cpu)
+                .iter()
+                .filter(|a| matches!(a, Action::Access { .. }))
+                .count()
         };
         assert!(accesses(0) > 2 * accesses(w.cpus() - 1));
     }
@@ -368,7 +398,10 @@ mod tests {
     fn balanced_apps_spread_work_evenly() {
         let w = small_workload(AppKind::Fft);
         let accesses = |cpu: usize| {
-            w.script(cpu).iter().filter(|a| matches!(a, Action::Access { .. })).count()
+            w.script(cpu)
+                .iter()
+                .filter(|a| matches!(a, Action::Access { .. }))
+                .count()
         };
         let first = accesses(0);
         let last = accesses(w.cpus() - 1);
@@ -378,7 +411,10 @@ mod tests {
     #[test]
     fn uniprocessor_cycles_accounts_for_compute_and_accesses() {
         let w = small_workload(AppKind::Barnes);
-        assert_eq!(w.uniprocessor_cycles(), w.total_compute() + w.total_accesses());
+        assert_eq!(
+            w.uniprocessor_cycles(),
+            w.total_compute() + w.total_accesses()
+        );
         assert!(w.uniprocessor_cycles() > 0);
     }
 

@@ -15,7 +15,10 @@ fn main() {
         .find(|a| a.name() == requested)
         .unwrap_or(AppKind::Fft);
 
-    println!("application: {app} ({}), cluster of 8 8-way SMPs, 64-byte blocks\n", app.paper_input());
+    println!(
+        "application: {app} ({}), cluster of 8 8-way SMPs, 64-byte blocks\n",
+        app.paper_input()
+    );
 
     let machines = [
         MachineSpec::scoma(),

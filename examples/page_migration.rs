@@ -38,11 +38,17 @@ fn main() {
     // A burst of coherence traffic, a page migration in the middle, and a
     // statistics probe at the end.
     for &block in &blocks {
-        queue.enqueue(key_of(&Event::Coherence(block)), Event::Coherence(block)).unwrap();
+        queue
+            .enqueue(key_of(&Event::Coherence(block)), Event::Coherence(block))
+            .unwrap();
     }
-    queue.enqueue(SyncKey::Sequential, Event::MigratePage(page)).unwrap();
+    queue
+        .enqueue(SyncKey::Sequential, Event::MigratePage(page))
+        .unwrap();
     for &block in &blocks {
-        queue.enqueue(key_of(&Event::Coherence(block)), Event::Coherence(block)).unwrap();
+        queue
+            .enqueue(key_of(&Event::Coherence(block)), Event::Coherence(block))
+            .unwrap();
     }
     queue.enqueue(SyncKey::NoSync, Event::StatsProbe).unwrap();
 
@@ -56,7 +62,11 @@ fn main() {
         }
         round += 1;
         let names: Vec<String> = batch.iter().map(|d| format!("{:?}", d.payload)).collect();
-        println!("round {round}: {} handler(s) in parallel: {}", batch.len(), names.join(", "));
+        println!(
+            "round {round}: {} handler(s) in parallel: {}",
+            batch.len(),
+            names.join(", ")
+        );
         for dispatch in batch {
             queue.complete(dispatch.ticket).unwrap();
         }

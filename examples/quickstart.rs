@@ -37,7 +37,10 @@ fn main() {
     pool.submit_sequential(move || {
         let table = balances_for_audit.lock().expect("isolated access");
         let total: i64 = table.values().sum();
-        println!("audit snapshot: {} accounts, total balance {total}", table.len());
+        println!(
+            "audit snapshot: {} accounts, total balance {total}",
+            table.len()
+        );
     });
 
     pool.wait_idle();

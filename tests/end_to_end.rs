@@ -13,8 +13,10 @@ fn quick(machine: MachineSpec, app: AppKind) -> pdq_repro::hurricane::SimReport 
 
 #[test]
 fn table1_matches_the_paper_exactly() {
-    let totals: Vec<u64> =
-        latency::table1(BlockSize::B64).iter().map(|row| row.total().as_u64()).collect();
+    let totals: Vec<u64> = latency::table1(BlockSize::B64)
+        .iter()
+        .map(|row| row.total().as_u64())
+        .collect();
     assert_eq!(totals, vec![440, 584, 1164]);
 }
 
@@ -60,10 +62,17 @@ fn parallel_dispatch_improves_software_protocols_on_bandwidth_bound_apps() {
 fn computation_bound_applications_are_insensitive_to_protocol_speed() {
     // water-sp performs within a small margin of S-COMA on every machine.
     let scoma = quick(MachineSpec::scoma(), AppKind::WaterSp);
-    for machine in [MachineSpec::hurricane(1), MachineSpec::hurricane1(1), MachineSpec::hurricane1_mult()] {
+    for machine in [
+        MachineSpec::hurricane(1),
+        MachineSpec::hurricane1(1),
+        MachineSpec::hurricane1_mult(),
+    ] {
         let report = quick(machine, AppKind::WaterSp);
         let normalized = report.normalized_speedup(&scoma);
-        assert!(normalized > 0.85, "{machine}: water-sp normalized speedup {normalized}");
+        assert!(
+            normalized > 0.85,
+            "{machine}: water-sp normalized speedup {normalized}"
+        );
     }
 }
 

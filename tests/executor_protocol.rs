@@ -8,9 +8,7 @@ use std::sync::{Arc, Mutex};
 
 use pdq_repro::core::executor::{KeyedExecutor, PdqBuilder};
 use pdq_repro::core::SyncKey;
-use pdq_repro::dsm::{
-    Access, BlockAddr, BlockSize, DsmConfig, DsmProtocol, ProtocolEvent,
-};
+use pdq_repro::dsm::{Access, BlockAddr, BlockSize, DsmConfig, DsmProtocol, ProtocolEvent};
 
 /// Runs the protocol to quiescence by executing every handler as a job on the
 /// PDQ executor, keyed by the handler's block, and chasing the produced
@@ -40,7 +38,13 @@ fn run_on_executor(protocol: Arc<Mutex<DsmProtocol>>, initial: Vec<(usize, Proto
                     let outcome = protocol.lock().unwrap().handle(node, event);
                     let mut q = queue.lock().unwrap();
                     for out in outcome.outgoing {
-                        q.push_back((out.dst, ProtocolEvent::Incoming { src: node, msg: out.msg }));
+                        q.push_back((
+                            out.dst,
+                            ProtocolEvent::Incoming {
+                                src: node,
+                                msg: out.msg,
+                            },
+                        ));
                     }
                     for r in outcome.refaults {
                         q.push_back((
@@ -62,7 +66,10 @@ fn run_on_executor(protocol: Arc<Mutex<DsmProtocol>>, initial: Vec<(usize, Proto
 #[test]
 fn protocol_handlers_on_the_executor_keep_memory_coherent() {
     let nodes = 4;
-    let protocol = Arc::new(Mutex::new(DsmProtocol::new(DsmConfig::new(nodes, BlockSize::B64))));
+    let protocol = Arc::new(Mutex::new(DsmProtocol::new(DsmConfig::new(
+        nodes,
+        BlockSize::B64,
+    ))));
     let blocks: Vec<BlockAddr> = (0..8).map(|i| BlockAddr(1000 + i * 7)).collect();
 
     // Every node takes write ownership of every block in turn and bumps its
@@ -71,7 +78,10 @@ fn protocol_handlers_on_the_executor_keep_memory_coherent() {
         let pages: Vec<_> = blocks.iter().map(|b| b.page(BlockSize::B64)).collect();
         run_on_executor(
             Arc::clone(&protocol),
-            pages.into_iter().map(|page| (node, ProtocolEvent::PageOp { page })).collect(),
+            pages
+                .into_iter()
+                .map(|page| (node, ProtocolEvent::PageOp { page }))
+                .collect(),
         );
         run_on_executor(
             Arc::clone(&protocol),
@@ -79,13 +89,24 @@ fn protocol_handlers_on_the_executor_keep_memory_coherent() {
                 .iter()
                 .enumerate()
                 .map(|(i, b)| {
-                    (node, ProtocolEvent::AccessFault { block: *b, write: true, token: i as u64 })
+                    (
+                        node,
+                        ProtocolEvent::AccessFault {
+                            block: *b,
+                            write: true,
+                            token: i as u64,
+                        },
+                    )
                 })
                 .collect(),
         );
         let mut p = protocol.lock().unwrap();
         for block in &blocks {
-            assert_eq!(p.tag(node, *block), Access::ReadWrite, "node {node} must own {block}");
+            assert_eq!(
+                p.tag(node, *block),
+                Access::ReadWrite,
+                "node {node} must own {block}"
+            );
             let value = p.cpu_read(node, *block).expect("owner can read");
             assert!(p.cpu_write(node, *block, value + 1));
         }
@@ -99,21 +120,38 @@ fn protocol_handlers_on_the_executor_keep_memory_coherent() {
             .iter()
             .enumerate()
             .map(|(i, b)| {
-                (0usize, ProtocolEvent::AccessFault { block: *b, write: false, token: 100 + i as u64 })
+                (
+                    0usize,
+                    ProtocolEvent::AccessFault {
+                        block: *b,
+                        write: false,
+                        token: 100 + i as u64,
+                    },
+                )
             })
             .collect(),
     );
     let p = protocol.lock().unwrap();
     for block in &blocks {
-        assert_eq!(p.cpu_read(0, *block), Some(nodes as u64), "lost update on {block}");
+        assert_eq!(
+            p.cpu_read(0, *block),
+            Some(nodes as u64),
+            "lost update on {block}"
+        );
     }
 }
 
 #[test]
 fn sequential_key_events_serialize_against_block_handlers() {
     // Sanity-check the SyncKey mapping of protocol events used above.
-    let block_event = ProtocolEvent::AccessFault { block: BlockAddr(5), write: false, token: 0 };
+    let block_event = ProtocolEvent::AccessFault {
+        block: BlockAddr(5),
+        write: false,
+        token: 0,
+    };
     assert_eq!(block_event.sync_key(), SyncKey::key(5));
-    let page_event = ProtocolEvent::PageOp { page: BlockAddr(5).page(BlockSize::B64) };
+    let page_event = ProtocolEvent::PageOp {
+        page: BlockAddr(5).page(BlockSize::B64),
+    };
     assert_eq!(page_event.sync_key(), SyncKey::Sequential);
 }

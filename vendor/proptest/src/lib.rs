@@ -1,0 +1,540 @@
+//! Offline shim for the subset of `proptest` this workspace uses.
+//!
+//! The build container has no crates.io access, so this crate reimplements
+//! the pieces of proptest's API the test suites rely on: the `proptest!`,
+//! `prop_assert*!` and `prop_oneof!` macros, `Strategy` with `prop_map`,
+//! `Just`, `any::<T>()`, integer-range strategies, tuple strategies, and
+//! `proptest::collection::vec`.
+//!
+//! Unlike the real proptest there is no shrinking: a failing case panics with
+//! the case number and message. Generation is fully deterministic — the RNG
+//! is seeded from the test's module path and name plus the case index, so a
+//! failure always reproduces. Swap the workspace dependency back to the real
+//! crate when a registry is available — no caller changes needed.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// Deterministic splitmix64 generator used to drive all strategies.
+#[derive(Debug, Clone)]
+pub struct ShimRng {
+    state: u64,
+}
+
+impl ShimRng {
+    /// Creates an RNG from a raw seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Creates the RNG for one test case: the seed mixes a stable hash of the
+    /// fully-qualified test name with the case index, so every test and every
+    /// case draws an independent, reproducible stream.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self::new(h ^ (u64::from(case) << 32 | u64::from(case)))
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[lo, hi)`. Panics if the range is empty.
+    pub fn gen_range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    /// Uniform draw from `[lo, hi)` over i128, for signed ranges.
+    pub fn gen_range_i128(&mut self, lo: i128, hi: i128) -> i128 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        let span = (hi - lo) as u128;
+        lo + (u128::from(self.next_u64()) % span) as i128
+    }
+}
+
+/// Error produced by a failed `prop_assert*!`; carries the failure message.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        Self(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+pub mod test_runner {
+    //! Runner configuration (`ProptestConfig` in the prelude).
+
+    /// How many cases `proptest!` runs per property.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A configuration running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            // The real proptest defaults to 256; 64 keeps the offline suite
+            // fast while still exploring a meaningful space.
+            Self { cases: 64 }
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use super::ShimRng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut ShimRng) -> Self::Value;
+
+        /// Maps generated values through `f` (proptest's `prop_map`).
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Discards generated values failing `f`, regenerating instead
+        /// (proptest's `prop_filter`; `_whence` is a diagnostic label).
+        fn prop_filter<F>(self, _whence: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut ShimRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_filter`].
+    #[derive(Debug, Clone)]
+    pub struct Filter<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut ShimRng) -> S::Value {
+            for _ in 0..10_000 {
+                let v = self.inner.generate(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter rejected 10000 consecutive values");
+        }
+    }
+
+    /// Always produces a clone of the wrapped value (proptest's `Just`).
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut ShimRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Types with a canonical "any value" strategy (proptest's `Arbitrary`).
+    pub trait ArbitraryShim {
+        /// Draws an arbitrary value.
+        fn arbitrary(rng: &mut ShimRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_uint {
+        ($($t:ty),*) => {$(
+            impl ArbitraryShim for $t {
+                fn arbitrary(rng: &mut ShimRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl ArbitraryShim for bool {
+        fn arbitrary(rng: &mut ShimRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    #[derive(Debug, Clone)]
+    pub struct Any<T>(PhantomData<fn() -> T>);
+
+    impl<T: ArbitraryShim> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut ShimRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T` (proptest's `any::<T>()`).
+    pub fn any<T: ArbitraryShim>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    macro_rules! impl_strategy_for_unsigned_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut ShimRng) -> $t {
+                    rng.gen_range_u64(self.start as u64, self.end as u64) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut ShimRng) -> $t {
+                    rng.gen_range_u64(*self.start() as u64, *self.end() as u64 + 1) as $t
+                }
+            }
+        )*};
+    }
+    impl_strategy_for_unsigned_range!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_strategy_for_signed_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut ShimRng) -> $t {
+                    rng.gen_range_i128(self.start as i128, self.end as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut ShimRng) -> $t {
+                    rng.gen_range_i128(*self.start() as i128, *self.end() as i128 + 1) as $t
+                }
+            }
+        )*};
+    }
+    impl_strategy_for_signed_range!(i8, i16, i32, i64, isize);
+
+    macro_rules! impl_strategy_for_tuple {
+        ($($name:ident : $idx:tt),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut ShimRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_strategy_for_tuple!(A: 0);
+    impl_strategy_for_tuple!(A: 0, B: 1);
+    impl_strategy_for_tuple!(A: 0, B: 1, C: 2);
+    impl_strategy_for_tuple!(A: 0, B: 1, C: 2, D: 3);
+    impl_strategy_for_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+
+    /// Type-erased generator used by weighted unions (`prop_oneof!`).
+    pub type BoxedGen<V> = Box<dyn Fn(&mut ShimRng) -> V>;
+
+    /// Boxes any strategy into a [`BoxedGen`].
+    pub fn boxed<S: Strategy + 'static>(s: S) -> BoxedGen<S::Value> {
+        Box::new(move |rng| s.generate(rng))
+    }
+
+    /// Weighted choice between strategies of a common value type.
+    pub struct Union<V> {
+        branches: Vec<(u32, BoxedGen<V>)>,
+        total: u64,
+    }
+
+    impl<V> std::fmt::Debug for Union<V> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Union")
+                .field("branches", &self.branches.len())
+                .finish()
+        }
+    }
+
+    impl<V> Union<V> {
+        /// Builds a union from `(weight, generator)` branches.
+        pub fn new(branches: Vec<(u32, BoxedGen<V>)>) -> Self {
+            let total = branches.iter().map(|(w, _)| u64::from(*w)).sum();
+            assert!(total > 0, "prop_oneof! needs at least one positive weight");
+            Self { branches, total }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut ShimRng) -> V {
+            let mut pick = rng.gen_range_u64(0, self.total);
+            for (weight, gen) in &self.branches {
+                let weight = u64::from(*weight);
+                if pick < weight {
+                    return gen(rng);
+                }
+                pick -= weight;
+            }
+            unreachable!("weighted pick out of range")
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`proptest::collection::vec`).
+
+    use super::strategy::Strategy;
+    use super::ShimRng;
+    use std::ops::Range;
+
+    /// Strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates a `Vec` whose length is drawn from `size` and whose elements
+    /// come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut ShimRng) -> Vec<S::Value> {
+            let len = rng.gen_range_u64(self.size.start as u64, self.size.end as u64) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests. Each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over `Config::cases` generated
+/// inputs; `prop_assert*!` failures report the case number and message.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_fns! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { config = $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_fns {
+    (config = $config:expr;) => {};
+    (
+        config = $config:expr;
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::ShimRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(e) = __outcome {
+                    panic!("property failed at case {}: {}", __case, e);
+                }
+            }
+        }
+        $crate::__proptest_fns! { config = $config; $($rest)* }
+    };
+}
+
+/// Asserts a condition inside `proptest!`, failing the current case (not the
+/// whole process) with an optional formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside `proptest!`, showing both values on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{:?}` == `{:?}`", __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "{} (`{:?}` != `{:?}`)", format!($($fmt)+), __l, __r
+        );
+    }};
+}
+
+/// Asserts inequality inside `proptest!`, showing the value on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{:?}` != `{:?}`", __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "{} (both `{:?}`)", format!($($fmt)+), __l
+        );
+    }};
+}
+
+/// Weighted (`w => strategy`) or uniform choice between strategies producing
+/// a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof!($(1 => $strat),+)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = crate::ShimRng::for_case("t", 3);
+        let mut b = crate::ShimRng::for_case("t", 3);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = crate::ShimRng::for_case("t", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Ranges respect their bounds, including through `prop_map`.
+        #[test]
+        fn ranges_are_in_bounds(x in 10u64..20, y in -5i64..5, flip in any::<bool>()) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+            let _ = flip;
+        }
+
+        /// Vectors respect their size range and element strategy.
+        #[test]
+        fn vec_sizes_are_in_bounds(v in crate::collection::vec(0u8..4, 1..17)) {
+            prop_assert!(!v.is_empty() && v.len() < 17);
+            prop_assert!(v.iter().all(|&b| b < 4));
+        }
+
+        /// Weighted unions only produce values from their branches.
+        #[test]
+        fn oneof_picks_a_branch(v in prop_oneof![3 => Just(1u8), 1 => (10u8..12).prop_map(|x| x)]) {
+            prop_assert!(v == 1 || v == 10 || v == 11);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed at case")]
+    fn failing_property_reports_case() {
+        proptest! {
+            #[allow(unused)]
+            fn always_fails(x in 0u8..4) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}
