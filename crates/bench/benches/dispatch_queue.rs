@@ -46,6 +46,14 @@ fn bench_queue(c: &mut Criterion) {
             b.iter(|| churn(16, k))
         });
     }
+    // A wide window over a hot-key backlog: with the scan-based queue this
+    // cost grew linearly in the window; with per-key index chains a blocked
+    // window is skipped in O(1) regardless of its width.
+    group.bench_with_input(
+        BenchmarkId::new("wide_window_hot_keys", 256),
+        &256usize,
+        |b, &w| b.iter(|| churn(w, 2)),
+    );
     group.finish();
 }
 

@@ -1,68 +1,96 @@
 //! Micro-benchmark of the paper's motivation (Section 2 / Figure 2): the PDQ
 //! executor (in-queue synchronization) against in-handler spin locks and
-//! static multi-queue partitioning, on a contended fetch&add-style workload.
+//! static multi-queue partitioning, on a contended fetch&add-style workload,
+//! plus the sharded PDQ executor that removes the single queue mutex.
+//!
+//! Two worker counts are measured: the paper-scale 4-worker configuration and
+//! a 16-worker configuration where the single shared queue of the plain PDQ
+//! executor becomes the bottleneck and sharding pays off.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdq_bench::drive_fetch_add;
 use pdq_core::executor::{
-    KeyedExecutor, KeyedExecutorExt, MultiQueueExecutor, PdqBuilder, SpinLockExecutor,
+    KeyedExecutor, MultiQueueExecutor, PdqBuilder, ShardedPdqBuilder, SpinLockExecutor,
 };
 
 const JOBS: u64 = 4_000;
-const WORKERS: usize = 4;
 /// Number of distinct memory words (keys); small => high contention.
 const HOT_WORDS: u64 = 8;
 
+/// Same-key serialization (or the per-word lock, for the spin-lock baseline)
+/// makes the plain read-modify-write inside [`drive_fetch_add`] safe; the
+/// driver is shared with the `executor_scaling` experiment so the bench and
+/// the experiment measure the same workload.
 fn fetch_add_workload<E: KeyedExecutor>(executor: &E, words: &[Arc<AtomicU64>]) {
-    for i in 0..JOBS {
-        let word = Arc::clone(&words[(i % HOT_WORDS) as usize]);
-        executor.submit_keyed(i % HOT_WORDS, move || {
-            // Same-key serialization (or the per-word lock, for the spin-lock
-            // baseline) makes this plain read-modify-write safe.
-            let v = word.load(Ordering::Relaxed);
-            word.store(v + 1, Ordering::Relaxed);
-        });
-    }
-    executor.wait_idle();
+    drive_fetch_add(executor, JOBS, words);
 }
 
-fn words() -> Vec<Arc<AtomicU64>> {
-    (0..HOT_WORDS)
-        .map(|_| Arc::new(AtomicU64::new(0)))
-        .collect()
+fn words(n: u64) -> Vec<Arc<AtomicU64>> {
+    (0..n).map(|_| Arc::new(AtomicU64::new(0))).collect()
 }
 
-fn bench_executors(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fetch_add_4k_jobs");
+/// Shard count used for the sharded executor at a given worker count (one
+/// shard per four workers, the builder's default ratio, but explicit so the
+/// bench is self-describing).
+fn shards_for(workers: usize) -> usize {
+    workers.div_ceil(4)
+}
+
+fn bench_workers(c: &mut Criterion, group_name: &str, workers: usize, hot_words: u64) {
+    let mut group = c.benchmark_group(group_name);
     group.sample_size(10);
 
-    group.bench_function(BenchmarkId::new("pdq", WORKERS), |b| {
+    group.bench_function(BenchmarkId::new("pdq", workers), |b| {
         b.iter_batched(
-            || (PdqBuilder::new().workers(WORKERS).build(), words()),
+            || (PdqBuilder::new().workers(workers).build(), words(hot_words)),
             |(executor, words)| fetch_add_workload(&executor, &words),
             criterion::BatchSize::LargeInput,
         )
     });
 
-    group.bench_function(BenchmarkId::new("spinlock", WORKERS), |b| {
+    group.bench_function(BenchmarkId::new("sharded_pdq", workers), |b| {
         b.iter_batched(
-            || (SpinLockExecutor::new(WORKERS), words()),
+            || {
+                (
+                    ShardedPdqBuilder::new()
+                        .workers(workers)
+                        .shards(shards_for(workers))
+                        .build(),
+                    words(hot_words),
+                )
+            },
             |(executor, words)| fetch_add_workload(&executor, &words),
             criterion::BatchSize::LargeInput,
         )
     });
 
-    group.bench_function(BenchmarkId::new("multiqueue", WORKERS), |b| {
+    group.bench_function(BenchmarkId::new("spinlock", workers), |b| {
         b.iter_batched(
-            || (MultiQueueExecutor::new(WORKERS), words()),
+            || (SpinLockExecutor::new(workers), words(hot_words)),
+            |(executor, words)| fetch_add_workload(&executor, &words),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function(BenchmarkId::new("multiqueue", workers), |b| {
+        b.iter_batched(
+            || (MultiQueueExecutor::new(workers), words(hot_words)),
             |(executor, words)| fetch_add_workload(&executor, &words),
             criterion::BatchSize::LargeInput,
         )
     });
 
     group.finish();
+}
+
+fn bench_executors(c: &mut Criterion) {
+    bench_workers(c, "fetch_add_4k_jobs", 4, HOT_WORDS);
+    // 16 workers over 64 words: enough key parallelism that the queue
+    // itself, not the keys, is the point of contention.
+    bench_workers(c, "fetch_add_4k_jobs_16_workers", 16, 64);
 }
 
 criterion_group!(benches, bench_executors);

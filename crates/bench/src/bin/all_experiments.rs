@@ -1,7 +1,8 @@
 //! Runs every table and figure and writes a combined report to
 //! `experiment_results.txt` (and stdout).
 use pdq_bench::experiments::{
-    fig10, fig11, fig7, fig8, fig9, headline, render_table2, table2, workload_scale,
+    executor_scaling, fig10, fig11, fig7, fig8, fig9, headline, render_executor_scaling,
+    render_table2, table2, workload_scale,
 };
 use pdq_dsm::BlockSize;
 use std::fmt::Write as _;
@@ -38,6 +39,8 @@ fn main() {
         let _ = writeln!(out, "  {:<10} {:.2}x", app.name(), factor);
     }
     let _ = writeln!(out, "  geometric mean: {mean:.2}x (paper: 2.6x)");
+    let _ = writeln!(out);
+    let _ = writeln!(out, "{}", render_executor_scaling(&executor_scaling(scale)));
     print!("{out}");
     if let Err(e) = std::fs::write("experiment_results.txt", &out) {
         eprintln!("could not write experiment_results.txt: {e}");

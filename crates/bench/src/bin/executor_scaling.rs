@@ -1,0 +1,11 @@
+//! Sweeps worker counts over the four executors (PDQ, sharded PDQ,
+//! spin-lock, multi-queue) on a contended fetch&add workload and prints a
+//! throughput table. This is the runtime-side companion of Figure 2's
+//! motivation experiment: it shows where the single shared queue stops
+//! scaling and the sharded queue keeps going.
+use pdq_bench::experiments::{executor_scaling, render_executor_scaling, workload_scale};
+
+fn main() {
+    let result = executor_scaling(workload_scale());
+    print!("{}", render_executor_scaling(&result));
+}

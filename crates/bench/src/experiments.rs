@@ -1,5 +1,13 @@
 //! Shared experiment drivers for the table/figure binaries.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use pdq_core::executor::{
+    KeyedExecutor, KeyedExecutorExt, MultiQueueExecutor, PdqBuilder, ShardedPdqBuilder,
+    SpinLockExecutor,
+};
 use pdq_dsm::BlockSize;
 use pdq_hurricane::{simulate, ClusterConfig, MachineSpec, SimReport};
 use pdq_workloads::{AppKind, Topology, WorkloadScale};
@@ -321,6 +329,137 @@ pub fn headline(scale: WorkloadScale) -> (Vec<(AppKind, f64)>, f64) {
     (factors, mean)
 }
 
+/// Throughput of one executor at several worker counts, in jobs per second.
+#[derive(Debug, Clone)]
+pub struct ExecutorScalingSeries {
+    /// Executor label (`pdq`, `sharded-pdq`, `spinlock`, `multiqueue`).
+    pub executor: String,
+    /// Measured jobs/second, one entry per element of
+    /// [`ExecutorScalingResult::workers`].
+    pub jobs_per_sec: Vec<f64>,
+}
+
+/// The executor-scaling experiment: all four [`KeyedExecutor`]s driven by the
+/// same contended fetch&add workload across a sweep of worker counts.
+#[derive(Debug, Clone)]
+pub struct ExecutorScalingResult {
+    /// The worker counts swept.
+    pub workers: Vec<usize>,
+    /// Jobs submitted per measurement.
+    pub jobs: u64,
+    /// Number of distinct memory words (synchronization keys).
+    pub words: u64,
+    /// One series per executor.
+    pub series: Vec<ExecutorScalingSeries>,
+}
+
+/// Submits `jobs` fetch&add handlers over `cells` (the cell index is the
+/// synchronization key) and blocks until they all finish. The handler body is
+/// a plain (unsynchronized) read-modify-write — correct only if the executor
+/// honours the key contract. Shared by the `executor_scaling` experiment and
+/// the `pdq_vs_spinlock` criterion bench so both drive the same workload.
+pub fn drive_fetch_add<E: KeyedExecutor>(executor: &E, jobs: u64, cells: &[Arc<AtomicU64>]) {
+    let n = cells.len() as u64;
+    for i in 0..jobs {
+        let cell = Arc::clone(&cells[(i % n) as usize]);
+        executor.submit_keyed(i % n, move || {
+            let v = cell.load(Ordering::Relaxed);
+            cell.store(v + 1, Ordering::Relaxed);
+        });
+    }
+    executor.wait_idle();
+}
+
+/// Runs [`drive_fetch_add`] over `words` fresh memory words and returns the
+/// verified throughput in jobs per second.
+fn fetch_add_throughput<E: KeyedExecutor>(executor: &E, jobs: u64, words: u64) -> f64 {
+    let cells: Vec<Arc<AtomicU64>> = (0..words).map(|_| Arc::new(AtomicU64::new(0))).collect();
+    let start = Instant::now();
+    drive_fetch_add(executor, jobs, &cells);
+    let elapsed = start.elapsed().as_secs_f64();
+    let total: u64 = cells.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+    assert_eq!(total, jobs, "an executor lost or duplicated fetch&add jobs");
+    jobs as f64 / elapsed.max(f64::EPSILON)
+}
+
+/// The executor-scaling experiment behind the `executor_scaling` binary:
+/// throughput of the four executors on a contended fetch&add workload as
+/// workers grow. `scale` multiplies the job count (default 20 000 per
+/// measurement at scale 1.0).
+pub fn executor_scaling(scale: WorkloadScale) -> ExecutorScalingResult {
+    let workers = vec![1usize, 2, 4, 8, 16];
+    let jobs = ((20_000.0 * scale.0) as u64).max(1_000);
+    let words = 64u64;
+    let mut series = vec![
+        ExecutorScalingSeries {
+            executor: "pdq".to_string(),
+            jobs_per_sec: Vec::new(),
+        },
+        ExecutorScalingSeries {
+            executor: "sharded-pdq".to_string(),
+            jobs_per_sec: Vec::new(),
+        },
+        ExecutorScalingSeries {
+            executor: "spinlock".to_string(),
+            jobs_per_sec: Vec::new(),
+        },
+        ExecutorScalingSeries {
+            executor: "multiqueue".to_string(),
+            jobs_per_sec: Vec::new(),
+        },
+    ];
+    for &w in &workers {
+        let pdq = PdqBuilder::new().workers(w).build();
+        series[0]
+            .jobs_per_sec
+            .push(fetch_add_throughput(&pdq, jobs, words));
+        let sharded = ShardedPdqBuilder::new()
+            .workers(w)
+            .shards(w.div_ceil(4))
+            .build();
+        series[1]
+            .jobs_per_sec
+            .push(fetch_add_throughput(&sharded, jobs, words));
+        let spinlock = SpinLockExecutor::new(w);
+        series[2]
+            .jobs_per_sec
+            .push(fetch_add_throughput(&spinlock, jobs, words));
+        let multiqueue = MultiQueueExecutor::new(w);
+        series[3]
+            .jobs_per_sec
+            .push(fetch_add_throughput(&multiqueue, jobs, words));
+    }
+    ExecutorScalingResult {
+        workers,
+        jobs,
+        words,
+        series,
+    }
+}
+
+/// Renders the executor-scaling experiment as a text table (executors as
+/// rows, worker counts as columns, jobs/second in the cells).
+pub fn render_executor_scaling(result: &ExecutorScalingResult) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Executor scaling: {} fetch&add jobs over {} words (jobs/sec)\n",
+        result.jobs, result.words
+    ));
+    out.push_str(&format!("{:<12}", "executor"));
+    for w in &result.workers {
+        out.push_str(&format!(" {:>12}", format!("{w} workers")));
+    }
+    out.push('\n');
+    for s in &result.series {
+        out.push_str(&format!("{:<12}", s.executor));
+        for v in &s.jobs_per_sec {
+            out.push_str(&format!(" {:>12.0}", v));
+        }
+        out.push('\n');
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -354,6 +493,29 @@ mod tests {
         assert!(text.contains("geo-mean"));
         assert_eq!(result.apps.len(), 7);
         assert_eq!(result.series[0].normalized.len(), 7);
+    }
+
+    #[test]
+    fn fetch_add_throughput_verifies_and_reports() {
+        let pool = ShardedPdqBuilder::new().workers(2).shards(2).build();
+        let rate = fetch_add_throughput(&pool, 2_000, 16);
+        assert!(rate > 0.0);
+    }
+
+    #[test]
+    fn executor_scaling_render_lists_all_executors() {
+        let result = ExecutorScalingResult {
+            workers: vec![1, 2],
+            jobs: 100,
+            words: 8,
+            series: vec![ExecutorScalingSeries {
+                executor: "pdq".to_string(),
+                jobs_per_sec: vec![1.0, 2.0],
+            }],
+        };
+        let text = render_executor_scaling(&result);
+        assert!(text.contains("pdq"));
+        assert!(text.contains("2 workers"));
     }
 
     #[test]

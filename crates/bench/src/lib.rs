@@ -13,6 +13,7 @@
 //! | Figure 11 (block size, Hurricane-1) | `fig11` |
 //! | Headline 2.6× claim | `headline` |
 //! | Search-window ablation | `ablation_search_window` |
+//! | Executor scaling (PDQ vs. sharded vs. baselines) | `executor_scaling` |
 //! | Everything, written to a report | `all_experiments` |
 //!
 //! The amount of simulated work is controlled by the `PDQ_SCALE` environment
@@ -25,6 +26,7 @@
 pub mod experiments;
 
 pub use experiments::{
-    fig10, fig11, fig7, fig8, fig9, headline, table2, workload_scale, FigureResult, FigureSeries,
-    Table2Row,
+    drive_fetch_add, executor_scaling, fig10, fig11, fig7, fig8, fig9, headline,
+    render_executor_scaling, table2, workload_scale, ExecutorScalingResult, ExecutorScalingSeries,
+    FigureResult, FigureSeries, Table2Row,
 };

@@ -3,8 +3,16 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
+
+/// Upper bound on how long any executor thread parks before re-checking its
+/// wait condition. Every wait below already sits in a re-check loop, so this
+/// changes no semantics; it is a defensive backstop that turns a lost wakeup
+/// (a condvar signalling bug, present or future) into a bounded-latency
+/// hiccup instead of a deadlocked worker or CI job.
+const PARK_BACKSTOP: Duration = Duration::from_millis(50);
 
 use crate::config::QueueConfig;
 use crate::error::ShutdownError;
@@ -26,14 +34,18 @@ pub struct PdqExecutorStats {
     pub panicked: u64,
 }
 
-struct State {
+pub(super) struct State {
     queue: DispatchQueue<Job>,
     shutdown: bool,
     executed: u64,
     panicked: u64,
 }
 
-struct Shared {
+/// One dispatch queue plus the synchronization its worker threads park on.
+///
+/// [`PdqExecutor`] owns exactly one of these; the sharded executor owns one
+/// per shard and reuses the same submit/worker/idle machinery.
+pub(super) struct Shared {
     state: Mutex<State>,
     /// Signalled when new work arrives or a completion may unblock waiters.
     work: Condvar,
@@ -41,6 +53,100 @@ struct Shared {
     idle: Condvar,
     /// Signalled when queue space frees up (for bounded queues).
     space: Condvar,
+    /// Whether the queue has a capacity bound; unbounded executors skip the
+    /// `space` signalling entirely.
+    bounded: bool,
+}
+
+impl Shared {
+    pub(super) fn new(config: QueueConfig) -> Self {
+        Self {
+            state: Mutex::new(State {
+                queue: DispatchQueue::with_config(config),
+                shutdown: false,
+                executed: 0,
+                panicked: 0,
+            }),
+            work: Condvar::new(),
+            idle: Condvar::new(),
+            space: Condvar::new(),
+            bounded: config.capacity.is_some(),
+        }
+    }
+
+    /// Enqueues a job, blocking while the queue is at capacity.
+    pub(super) fn submit(&self, key: SyncKey, job: Job) -> Result<(), ShutdownError> {
+        let mut state = self.state.lock();
+        if state.shutdown {
+            return Err(ShutdownError);
+        }
+        let mut job = job;
+        loop {
+            match state.queue.enqueue(key, job) {
+                Ok(()) => break,
+                Err(full) => {
+                    job = full.payload;
+                    self.space.wait_for(&mut state, PARK_BACKSTOP);
+                    if state.shutdown {
+                        return Err(ShutdownError);
+                    }
+                }
+            }
+        }
+        drop(state);
+        self.work.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until the queue has nothing waiting and nothing in flight.
+    pub(super) fn wait_idle(&self) {
+        let mut state = self.state.lock();
+        while !state.queue.is_idle() {
+            self.idle.wait_for(&mut state, PARK_BACKSTOP);
+        }
+    }
+
+    /// Flags shutdown and wakes every parked worker and submitter.
+    pub(super) fn begin_shutdown(&self) {
+        {
+            let mut state = self.state.lock();
+            state.shutdown = true;
+        }
+        self.work.notify_all();
+        self.space.notify_all();
+    }
+
+    /// Number of jobs waiting (not yet dispatched).
+    pub(super) fn queued(&self) -> usize {
+        self.state.lock().queue.len()
+    }
+
+    /// Snapshot of the queue statistics and execution counters.
+    pub(super) fn snapshot(&self) -> PdqExecutorStats {
+        let state = self.state.lock();
+        PdqExecutorStats {
+            queue: state.queue.stats().clone(),
+            executed: state.executed,
+            panicked: state.panicked,
+        }
+    }
+}
+
+/// Spawns `count` worker threads running [`worker_loop`] over `shared`.
+pub(super) fn spawn_workers(
+    shared: &Arc<Shared>,
+    count: usize,
+    name_prefix: &str,
+) -> Vec<JoinHandle<()>> {
+    (0..count)
+        .map(|i| {
+            let shared = Arc::clone(shared);
+            std::thread::Builder::new()
+                .name(format!("{name_prefix}-{i}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("failed to spawn pdq worker thread")
+        })
+        .collect()
 }
 
 /// Builder for [`PdqExecutor`].
@@ -158,26 +264,8 @@ impl PdqExecutor {
     }
 
     fn with_builder(builder: &PdqBuilder) -> Self {
-        let shared = Arc::new(Shared {
-            state: Mutex::new(State {
-                queue: DispatchQueue::with_config(builder.config),
-                shutdown: false,
-                executed: 0,
-                panicked: 0,
-            }),
-            work: Condvar::new(),
-            idle: Condvar::new(),
-            space: Condvar::new(),
-        });
-        let workers = (0..builder.workers.max(1))
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("pdq-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("failed to spawn pdq worker thread")
-            })
-            .collect();
+        let shared = Arc::new(Shared::new(builder.config));
+        let workers = spawn_workers(&shared, builder.workers.max(1), "pdq-worker");
         Self { shared, workers }
     }
 
@@ -188,52 +276,23 @@ impl PdqExecutor {
     /// Returns [`ShutdownError`] if [`shutdown`](Self::shutdown) has already
     /// been called.
     pub fn try_submit(&self, key: SyncKey, job: Job) -> Result<(), ShutdownError> {
-        let mut state = self.shared.state.lock();
-        if state.shutdown {
-            return Err(ShutdownError);
-        }
-        let mut job = job;
-        loop {
-            match state.queue.enqueue(key, job) {
-                Ok(()) => break,
-                Err(full) => {
-                    job = full.payload;
-                    self.shared.space.wait(&mut state);
-                    if state.shutdown {
-                        return Err(ShutdownError);
-                    }
-                }
-            }
-        }
-        drop(state);
-        self.shared.work.notify_one();
-        Ok(())
+        self.shared.submit(key, job)
     }
 
     /// Returns a snapshot of the executor's statistics.
     pub fn stats(&self) -> PdqExecutorStats {
-        let state = self.shared.state.lock();
-        PdqExecutorStats {
-            queue: state.queue.stats().clone(),
-            executed: state.executed,
-            panicked: state.panicked,
-        }
+        self.shared.snapshot()
     }
 
     /// Number of jobs currently waiting in the queue.
     pub fn queued(&self) -> usize {
-        self.shared.state.lock().queue.len()
+        self.shared.queued()
     }
 
     /// Signals shutdown and joins all worker threads. Jobs already submitted
     /// are executed before the workers exit. Idempotent.
     pub fn shutdown(&mut self) {
-        {
-            let mut state = self.shared.state.lock();
-            state.shutdown = true;
-        }
-        self.shared.work.notify_all();
-        self.shared.space.notify_all();
+        self.shared.begin_shutdown();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
@@ -253,10 +312,7 @@ impl KeyedExecutor for PdqExecutor {
     }
 
     fn wait_idle(&self) {
-        let mut state = self.shared.state.lock();
-        while !state.queue.is_idle() {
-            self.shared.idle.wait(&mut state);
-        }
+        self.shared.wait_idle();
     }
 
     fn workers(&self) -> usize {
@@ -270,11 +326,27 @@ impl Drop for PdqExecutor {
     }
 }
 
-fn worker_loop(shared: &Shared) {
+pub(super) fn worker_loop(shared: &Shared) {
     let mut state = shared.state.lock();
     loop {
         if let Some(dispatch) = state.queue.try_dispatch() {
+            // If more entries are dispatchable right now, hand one to a
+            // parked peer instead of letting it wait for the next
+            // submit/complete signal. Targeted `notify_one` wakeups (rather
+            // than a `notify_all` herd per job) keep the handoff cost flat as
+            // workers are added: busy workers always re-check the queue
+            // before parking, so a wakeup is only ever needed when new work
+            // appears (submit), a dispatch leaves more behind (here), or a
+            // completion unblocks a successor (below).
+            let more = state.queue.has_dispatchable();
             drop(state);
+            if more {
+                shared.work.notify_one();
+            }
+            if shared.bounded {
+                // The dispatch freed one waiting slot.
+                shared.space.notify_one();
+            }
             let outcome = catch_unwind(AssertUnwindSafe(dispatch.payload));
             state = shared.state.lock();
             state
@@ -287,11 +359,16 @@ fn worker_loop(shared: &Shared) {
             }
             if state.queue.is_idle() {
                 shared.idle.notify_all();
+                // Workers parked in the shutdown-drain branch below wait on
+                // `work` for the queue to become idle.
+                shared.work.notify_all();
+            } else if state.queue.has_dispatchable() {
+                // The completion released this job's key (or a sequential
+                // barrier); this worker dispatches on its next loop
+                // iteration, and a peer is woken in case this worker is
+                // about to exit on shutdown.
+                shared.work.notify_one();
             }
-            // A completion may unblock same-key or sequential entries, and a
-            // dispatch freed queue space for bounded queues.
-            shared.work.notify_all();
-            shared.space.notify_all();
             continue;
         }
         if state.shutdown && state.queue.is_idle() {
@@ -299,7 +376,7 @@ fn worker_loop(shared: &Shared) {
         }
         if state.shutdown && state.queue.is_empty() && state.queue.in_flight() > 0 {
             // Another worker is finishing the last jobs; wait for it.
-            shared.work.wait(&mut state);
+            shared.work.wait_for(&mut state, PARK_BACKSTOP);
             continue;
         }
         if state.shutdown && !state.queue.has_dispatchable() && state.queue.in_flight() == 0 {
@@ -307,7 +384,7 @@ fn worker_loop(shared: &Shared) {
             // always eventually released), but never spin here.
             return;
         }
-        shared.work.wait(&mut state);
+        shared.work.wait_for(&mut state, PARK_BACKSTOP);
     }
 }
 

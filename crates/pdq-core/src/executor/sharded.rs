@@ -1,0 +1,703 @@
+//! The sharded PDQ executor: N independent dispatch-queue shards.
+//!
+//! [`PdqExecutor`](super::PdqExecutor) funnels every submit, dispatch, and
+//! completion through a single queue mutex, which becomes the bottleneck as
+//! workers are added. [`ShardedPdqExecutor`] splits the queue into `N`
+//! independent shards — each a full [`DispatchQueue`](crate::DispatchQueue)
+//! with its own lock, condvars, and dedicated workers — and routes user keys
+//! onto shards by hash. Because a key always lands on the same shard, the
+//! per-key guarantees (FIFO submission order, mutual exclusion) are exactly
+//! those of the single-queue executor; only cross-key dispatch order is
+//! relaxed, which the PDQ abstraction never promised in the first place.
+//!
+//! [`SyncKey::Sequential`] jobs cannot be handled inside one shard: they must
+//! run in isolation from *every* in-flight handler. They escalate to a global
+//! barrier instead: a `Sequential` stub is enqueued on every shard, so each
+//! shard's own sequential semantics drain that shard and block its younger
+//! entries; when all shards have reached their stub, the designated leader
+//! stub runs the job alone, then releases everyone. This preserves the exact
+//! barrier semantics of the paper (everything submitted before the
+//! `Sequential` job completes first; nothing submitted after it starts until
+//! it finishes) at the cost of parking one worker per shard for the duration
+//! — an acceptable price for what the paper describes as a rare operation
+//! (e.g. page allocation).
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+/// Same defensive re-check bound as the worker loops (see `pdq.rs`): barrier
+/// stubs park in condition loops, so a capped wait changes no semantics and
+/// keeps a lost wakeup from wedging a shard forever.
+const PARK_BACKSTOP: Duration = Duration::from_millis(50);
+
+use crate::config::QueueConfig;
+use crate::error::ShutdownError;
+use crate::key::SyncKey;
+use crate::stats::QueueStats;
+
+use super::pdq::{spawn_workers, Shared};
+use super::{Job, KeyedExecutor};
+
+/// Fibonacci multiplier used to spread user keys across shards (the same
+/// constant the other executors use for lock/queue routing).
+const HASH_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Statistics of a [`ShardedPdqExecutor`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardedPdqStats {
+    /// Statistics of all shard queues merged (counters summed, high-water
+    /// marks maxed).
+    pub queue: QueueStats,
+    /// Per-shard queue statistics, indexed by shard; the spread of
+    /// `dispatched` across shards shows how evenly the key hash balanced the
+    /// load.
+    pub per_shard: Vec<QueueStats>,
+    /// Jobs that ran to completion. A `Sequential` submission contributes one
+    /// barrier stub per shard (the stub on shard 0 runs the actual job).
+    pub executed: u64,
+    /// Jobs that panicked. The panic is contained; the worker keeps running
+    /// and the job's key (or the sequential barrier) is released.
+    pub panicked: u64,
+}
+
+/// Builder for [`ShardedPdqExecutor`].
+///
+/// # Examples
+///
+/// ```
+/// use pdq_core::executor::{KeyedExecutor, KeyedExecutorExt, ShardedPdqBuilder};
+///
+/// let pool = ShardedPdqBuilder::new().workers(8).shards(4).build();
+/// assert_eq!(pool.shards(), 4);
+/// pool.submit_keyed(0x100, || { /* handler */ });
+/// pool.wait_idle();
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShardedPdqBuilder {
+    workers: usize,
+    shards: Option<usize>,
+    config: QueueConfig,
+}
+
+impl ShardedPdqBuilder {
+    /// Creates a builder with one worker per available CPU (at least one),
+    /// a shard count derived from the worker count, and the default queue
+    /// configuration.
+    pub fn new() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self {
+            workers,
+            shards: None,
+            config: QueueConfig::default(),
+        }
+    }
+
+    /// Sets the total number of worker threads, distributed round-robin over
+    /// the shards. Clamped to at least one; every shard always gets at least
+    /// one dedicated worker, so the spawned total may exceed this value when
+    /// `workers < shards`.
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the number of queue shards. Clamped to at least one. Defaults to
+    /// `max(1, workers / 4)`: enough shards to spread the queue locks, while
+    /// leaving each shard several workers so distinct keys hashed onto the
+    /// same shard still run in parallel.
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = Some(shards.max(1));
+        self
+    }
+
+    /// Sets the associative search window of every shard queue.
+    #[must_use]
+    pub fn search_window(mut self, window: usize) -> Self {
+        self.config = self.config.search_window(window);
+        self
+    }
+
+    /// Bounds the number of waiting entries *per shard*; `submit` blocks when
+    /// the target shard is at its bound.
+    #[must_use]
+    pub fn capacity(mut self, capacity: usize) -> Self {
+        self.config = self.config.capacity(capacity);
+        self
+    }
+
+    /// Builds the executor and spawns its worker threads.
+    pub fn build(&self) -> ShardedPdqExecutor {
+        ShardedPdqExecutor::with_builder(self)
+    }
+}
+
+impl Default for ShardedPdqBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Coordination state for one escalated `Sequential` job: every shard parks a
+/// stub here; the leader runs the job once all shards have arrived.
+struct SeqBarrier {
+    state: Mutex<SeqBarrierState>,
+    cv: Condvar,
+    shards: usize,
+}
+
+struct SeqBarrierState {
+    arrived: usize,
+    done: bool,
+}
+
+impl SeqBarrier {
+    fn new(shards: usize) -> Arc<Self> {
+        Arc::new(Self {
+            state: Mutex::new(SeqBarrierState {
+                arrived: 0,
+                done: false,
+            }),
+            cv: Condvar::new(),
+            shards,
+        })
+    }
+
+    /// Follower stub: signal arrival (this shard is drained and blocked),
+    /// then hold the shard's sequential barrier until the leader finishes.
+    fn follow(&self) {
+        let mut st = self.state.lock();
+        st.arrived += 1;
+        self.cv.notify_all();
+        while !st.done {
+            self.cv.wait_for(&mut st, PARK_BACKSTOP);
+        }
+    }
+
+    /// Leader stub: wait for every shard to drain, run the job in global
+    /// isolation, then release the followers. A panicking job still releases
+    /// the barrier before the panic is rethrown to the worker's catch.
+    fn lead(&self, job: Job) {
+        let mut st = self.state.lock();
+        st.arrived += 1;
+        while st.arrived < self.shards && !st.done {
+            self.cv.wait_for(&mut st, PARK_BACKSTOP);
+        }
+        drop(st);
+        let outcome = catch_unwind(AssertUnwindSafe(job));
+        let mut st = self.state.lock();
+        st.done = true;
+        self.cv.notify_all();
+        drop(st);
+        if let Err(panic) = outcome {
+            resume_unwind(panic);
+        }
+    }
+
+    /// Releases any parked stubs without running the job (broadcast failed
+    /// mid-way because the executor shut down).
+    fn abort(&self) {
+        let mut st = self.state.lock();
+        st.done = true;
+        self.cv.notify_all();
+    }
+}
+
+/// A PDQ thread pool over `N` independent queue shards.
+///
+/// Provides the same programming abstraction as
+/// [`PdqExecutor`](super::PdqExecutor) — same-key jobs never run concurrently
+/// and run in submission order, [`SyncKey::Sequential`] jobs run in global
+/// isolation, [`SyncKey::NoSync`] jobs run unsynchronized — but submit,
+/// dispatch, and completion for different keys no longer serialize on a
+/// single mutex, so throughput keeps scaling when many workers hammer the
+/// queue.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::atomic::{AtomicU64, Ordering};
+/// use std::sync::Arc;
+/// use pdq_core::executor::{KeyedExecutor, KeyedExecutorExt, ShardedPdqBuilder};
+///
+/// let pool = ShardedPdqBuilder::new().workers(4).shards(2).build();
+/// let words: Vec<Arc<AtomicU64>> = (0..16).map(|_| Arc::new(AtomicU64::new(0))).collect();
+/// for i in 0..1600u64 {
+///     let word = Arc::clone(&words[(i % 16) as usize]);
+///     // The word index is the key: same-word jobs are serialized by the
+///     // owning shard, so the plain read-modify-write below is safe.
+///     pool.submit_keyed(i % 16, move || {
+///         let v = word.load(Ordering::Relaxed);
+///         word.store(v + 1, Ordering::Relaxed);
+///     });
+/// }
+/// pool.wait_idle();
+/// assert!(words.iter().all(|w| w.load(Ordering::Relaxed) == 100));
+/// ```
+pub struct ShardedPdqExecutor {
+    shards: Vec<Arc<Shared>>,
+    workers: Vec<JoinHandle<()>>,
+    /// Round-robin cursor for spraying `NoSync` jobs across shards.
+    round_robin: AtomicUsize,
+    /// Serializes barrier broadcasts so every shard sees the stubs of
+    /// concurrent `Sequential` submissions in the same order. Two broadcasts
+    /// interleaving in opposite orders on different shards would form a
+    /// circular wait: each barrier's in-flight stub on one shard blocking
+    /// the other barrier's stub that its leader needs.
+    barrier_broadcast: Mutex<()>,
+}
+
+impl std::fmt::Debug for ShardedPdqExecutor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedPdqExecutor")
+            .field("shards", &self.shards.len())
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl ShardedPdqExecutor {
+    /// Creates an executor with `workers` threads over the default shard
+    /// count and queue configuration.
+    pub fn new(workers: usize) -> Self {
+        ShardedPdqBuilder::new().workers(workers).build()
+    }
+
+    fn with_builder(builder: &ShardedPdqBuilder) -> Self {
+        let shard_count = builder
+            .shards
+            .unwrap_or_else(|| (builder.workers / 4).max(1));
+        let shards: Vec<Arc<Shared>> = (0..shard_count)
+            .map(|_| Arc::new(Shared::new(builder.config)))
+            .collect();
+        let base = builder.workers / shard_count;
+        let extra = builder.workers % shard_count;
+        let mut workers = Vec::new();
+        for (i, shard) in shards.iter().enumerate() {
+            let count = (base + usize::from(i < extra)).max(1);
+            workers.extend(spawn_workers(shard, count, &format!("pdq-shard{i}")));
+        }
+        Self {
+            shards,
+            workers,
+            round_robin: AtomicUsize::new(0),
+            barrier_broadcast: Mutex::new(()),
+        }
+    }
+
+    /// Number of queue shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_for(&self, key: u64) -> &Arc<Shared> {
+        let idx = (key.wrapping_mul(HASH_SEED) >> 32) as usize % self.shards.len();
+        &self.shards[idx]
+    }
+
+    /// Submits a job, blocking if the target shard is bounded and full.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShutdownError`] if [`shutdown`](Self::shutdown) has already
+    /// been called.
+    pub fn try_submit(&self, key: SyncKey, job: Job) -> Result<(), ShutdownError> {
+        match key {
+            SyncKey::Key(k) => self.shard_for(k).submit(key, job),
+            SyncKey::NoSync => {
+                let idx = self.round_robin.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+                self.shards[idx].submit(key, job)
+            }
+            SyncKey::Sequential => self.submit_sequential_barrier(job),
+        }
+    }
+
+    /// Escalates a `Sequential` job to a global barrier: followers first,
+    /// leader (carrying the job) last, so an error part-way leaves no stub
+    /// waiting for one that was never enqueued. The whole broadcast holds
+    /// `barrier_broadcast` so concurrent `Sequential` submissions enqueue
+    /// their stubs in the same order on every shard (see the field docs for
+    /// the deadlock this prevents).
+    fn submit_sequential_barrier(&self, job: Job) -> Result<(), ShutdownError> {
+        if self.shards.len() == 1 {
+            return self.shards[0].submit(SyncKey::Sequential, job);
+        }
+        let _broadcast = self.barrier_broadcast.lock();
+        let barrier = SeqBarrier::new(self.shards.len());
+        for shard in &self.shards[1..] {
+            let b = Arc::clone(&barrier);
+            if let Err(err) = shard.submit(SyncKey::Sequential, Box::new(move || b.follow())) {
+                barrier.abort();
+                return Err(err);
+            }
+        }
+        let b = Arc::clone(&barrier);
+        if let Err(err) = self.shards[0].submit(SyncKey::Sequential, Box::new(move || b.lead(job)))
+        {
+            barrier.abort();
+            return Err(err);
+        }
+        Ok(())
+    }
+
+    /// Returns a snapshot of the executor's statistics, merged across shards.
+    pub fn stats(&self) -> ShardedPdqStats {
+        let mut stats = ShardedPdqStats::default();
+        for shard in &self.shards {
+            let snap = shard.snapshot();
+            stats.queue.merge(&snap.queue);
+            stats.per_shard.push(snap.queue);
+            stats.executed += snap.executed;
+            stats.panicked += snap.panicked;
+        }
+        stats
+    }
+
+    /// Total number of jobs currently waiting across all shards.
+    pub fn queued(&self) -> usize {
+        self.shards.iter().map(|s| s.queued()).sum()
+    }
+
+    /// Signals shutdown and joins all worker threads. Jobs already submitted
+    /// (including pending sequential barriers) are executed before the
+    /// workers exit. Idempotent.
+    pub fn shutdown(&mut self) {
+        for shard in &self.shards {
+            shard.begin_shutdown();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl KeyedExecutor for ShardedPdqExecutor {
+    /// Submits a job.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the executor has been shut down; use
+    /// [`try_submit`](Self::try_submit) to handle that case gracefully.
+    fn submit(&self, key: SyncKey, job: Job) {
+        self.try_submit(key, job)
+            .expect("submit on a shut-down ShardedPdqExecutor");
+    }
+
+    fn wait_idle(&self) {
+        // Jobs never migrate between shards, so once a shard reports idle,
+        // everything submitted to it before this call has finished; one pass
+        // over the shards therefore covers all previously submitted jobs.
+        for shard in &self.shards {
+            shard.wait_idle();
+        }
+    }
+
+    fn workers(&self) -> usize {
+        self.workers.len()
+    }
+}
+
+impl Drop for ShardedPdqExecutor {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::KeyedExecutorExt;
+    use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn executes_all_jobs_across_shards() {
+        let pool = ShardedPdqBuilder::new().workers(8).shards(4).build();
+        let counter = Arc::new(AtomicU64::new(0));
+        for i in 0..1000u64 {
+            let counter = Arc::clone(&counter);
+            pool.submit_keyed(i % 97, move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+        let stats = pool.stats();
+        assert_eq!(stats.executed, 1000);
+        assert_eq!(stats.per_shard.len(), 4);
+        assert_eq!(
+            stats.per_shard.iter().map(|s| s.dispatched).sum::<u64>(),
+            1000
+        );
+    }
+
+    #[test]
+    fn same_key_jobs_run_in_submission_order_without_locks() {
+        let pool = ShardedPdqBuilder::new().workers(8).shards(4).build();
+        let value = Arc::new(AtomicU64::new(0));
+        for _ in 0..2000u64 {
+            let value = Arc::clone(&value);
+            pool.submit_keyed(42, move || {
+                let v = value.load(Ordering::Relaxed);
+                value.store(v + 1, Ordering::Relaxed);
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(value.load(Ordering::Relaxed), 2000);
+    }
+
+    #[test]
+    fn distinct_keys_do_run_concurrently() {
+        let pool = ShardedPdqBuilder::new().workers(4).shards(2).build();
+        let concurrent_peak = Arc::new(AtomicUsize::new(0));
+        let running = Arc::new(AtomicUsize::new(0));
+        for i in 0..64u64 {
+            let peak = Arc::clone(&concurrent_peak);
+            let running = Arc::clone(&running);
+            pool.submit_keyed(i, move || {
+                let now = running.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(2));
+                running.fetch_sub(1, Ordering::SeqCst);
+            });
+        }
+        pool.wait_idle();
+        assert!(
+            concurrent_peak.load(Ordering::SeqCst) > 1,
+            "distinct keys should execute in parallel"
+        );
+    }
+
+    #[test]
+    fn sequential_jobs_run_in_global_isolation() {
+        let pool = ShardedPdqBuilder::new().workers(8).shards(4).build();
+        let running = Arc::new(AtomicUsize::new(0));
+        let violation = Arc::new(AtomicBool::new(false));
+        for i in 0..200u64 {
+            let running = Arc::clone(&running);
+            if i % 20 == 0 {
+                let violation = Arc::clone(&violation);
+                pool.submit_sequential(move || {
+                    if running.fetch_add(1, Ordering::SeqCst) != 0 {
+                        violation.store(true, Ordering::SeqCst);
+                    }
+                    std::thread::sleep(Duration::from_micros(200));
+                    running.fetch_sub(1, Ordering::SeqCst);
+                });
+            } else {
+                pool.submit_keyed(i, move || {
+                    running.fetch_add(1, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_micros(50));
+                    running.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+        }
+        pool.wait_idle();
+        assert!(
+            !violation.load(Ordering::SeqCst),
+            "sequential handler overlapped another handler"
+        );
+        // One real sequential handler plus one stub per shard each time.
+        assert_eq!(pool.stats().queue.sequential_handlers, 10 * 4);
+    }
+
+    #[test]
+    fn sequential_is_a_barrier_between_older_and_younger_jobs() {
+        let pool = ShardedPdqBuilder::new().workers(8).shards(4).build();
+        let before_done = Arc::new(AtomicU64::new(0));
+        let barrier_saw = Arc::new(AtomicU64::new(0));
+        let after_ran_early = Arc::new(AtomicBool::new(false));
+        let barrier_finished = Arc::new(AtomicBool::new(false));
+        for i in 0..100u64 {
+            let before_done = Arc::clone(&before_done);
+            pool.submit_keyed(i, move || {
+                std::thread::sleep(Duration::from_micros(20));
+                before_done.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        {
+            let before_done = Arc::clone(&before_done);
+            let barrier_saw = Arc::clone(&barrier_saw);
+            let barrier_finished = Arc::clone(&barrier_finished);
+            pool.submit_sequential(move || {
+                barrier_saw.store(before_done.load(Ordering::SeqCst), Ordering::SeqCst);
+                barrier_finished.store(true, Ordering::SeqCst);
+            });
+        }
+        for i in 0..100u64 {
+            let after_ran_early = Arc::clone(&after_ran_early);
+            let barrier_finished = Arc::clone(&barrier_finished);
+            pool.submit_keyed(i, move || {
+                if !barrier_finished.load(Ordering::SeqCst) {
+                    after_ran_early.store(true, Ordering::SeqCst);
+                }
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(
+            barrier_saw.load(Ordering::SeqCst),
+            100,
+            "sequential job ran before all older jobs completed"
+        );
+        assert!(
+            !after_ran_early.load(Ordering::SeqCst),
+            "a younger job overtook the sequential barrier"
+        );
+    }
+
+    #[test]
+    fn concurrent_sequential_submitters_do_not_deadlock() {
+        // Regression test: without the serialized barrier broadcast, two
+        // threads submitting Sequential jobs concurrently could enqueue
+        // their stubs in opposite orders on different shards and form a
+        // circular wait.
+        let pool = Arc::new(ShardedPdqBuilder::new().workers(4).shards(4).build());
+        let counter = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let pool = Arc::clone(&pool);
+                let counter = Arc::clone(&counter);
+                std::thread::spawn(move || {
+                    for i in 0..25u64 {
+                        let counter = Arc::clone(&counter);
+                        if i % 5 == 0 {
+                            pool.submit_sequential(move || {
+                                counter.fetch_add(1, Ordering::Relaxed);
+                            });
+                        } else {
+                            pool.submit_keyed(t * 100 + i, move || {
+                                counter.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn panicking_sequential_job_releases_the_barrier() {
+        let pool = ShardedPdqBuilder::new().workers(4).shards(4).build();
+        let ran_after = Arc::new(AtomicBool::new(false));
+        pool.submit_sequential(|| panic!("sequential failure"));
+        let flag = Arc::clone(&ran_after);
+        pool.submit_keyed(1, move || flag.store(true, Ordering::SeqCst));
+        pool.wait_idle();
+        assert!(ran_after.load(Ordering::SeqCst));
+        assert_eq!(pool.stats().panicked, 1);
+    }
+
+    #[test]
+    fn panicking_job_releases_its_key() {
+        let pool = ShardedPdqBuilder::new().workers(4).shards(2).build();
+        let ran_after = Arc::new(AtomicBool::new(false));
+        pool.submit_keyed(9, || panic!("handler failure"));
+        let flag = Arc::clone(&ran_after);
+        pool.submit_keyed(9, move || flag.store(true, Ordering::SeqCst));
+        pool.wait_idle();
+        assert!(ran_after.load(Ordering::SeqCst));
+        assert_eq!(pool.stats().panicked, 1);
+    }
+
+    #[test]
+    fn every_shard_gets_at_least_one_worker() {
+        let pool = ShardedPdqBuilder::new().workers(2).shards(6).build();
+        assert_eq!(pool.shards(), 6);
+        assert_eq!(pool.workers(), 6);
+        let counter = Arc::new(AtomicU64::new(0));
+        for i in 0..600u64 {
+            let counter = Arc::clone(&counter);
+            pool.submit_keyed(i, move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::Relaxed), 600);
+    }
+
+    #[test]
+    fn single_shard_degenerates_to_plain_pdq() {
+        let pool = ShardedPdqBuilder::new().workers(2).shards(1).build();
+        let ran = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&ran);
+        pool.submit_sequential(move || flag.store(true, Ordering::SeqCst));
+        pool.wait_idle();
+        assert!(ran.load(Ordering::SeqCst));
+        assert_eq!(pool.stats().queue.sequential_handlers, 1);
+    }
+
+    #[test]
+    fn nosync_jobs_spread_round_robin() {
+        let pool = ShardedPdqBuilder::new().workers(4).shards(4).build();
+        for _ in 0..400 {
+            pool.submit_nosync(|| {});
+        }
+        pool.wait_idle();
+        let stats = pool.stats();
+        assert_eq!(stats.queue.nosync_handlers, 400);
+        for shard in &stats.per_shard {
+            assert_eq!(shard.nosync_handlers, 100);
+        }
+    }
+
+    #[test]
+    fn try_submit_after_shutdown_fails() {
+        let mut pool = ShardedPdqBuilder::new().workers(2).shards(2).build();
+        pool.submit_nosync(|| {});
+        pool.shutdown();
+        assert!(pool.try_submit(SyncKey::NoSync, Box::new(|| {})).is_err());
+        assert!(pool
+            .try_submit(SyncKey::Sequential, Box::new(|| {}))
+            .is_err());
+    }
+
+    #[test]
+    fn shutdown_drains_submitted_work_including_barriers() {
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut pool = ShardedPdqBuilder::new().workers(4).shards(2).build();
+        for i in 0..100u64 {
+            let counter = Arc::clone(&counter);
+            pool.submit_keyed(i % 7, move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        let counter2 = Arc::clone(&counter);
+        pool.submit_sequential(move || {
+            counter2.fetch_add(1, Ordering::Relaxed);
+        });
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::Relaxed), 101);
+    }
+
+    #[test]
+    fn bounded_shards_apply_backpressure_but_complete() {
+        let pool = ShardedPdqBuilder::new()
+            .workers(4)
+            .shards(2)
+            .capacity(4)
+            .build();
+        let counter = Arc::new(AtomicU64::new(0));
+        for i in 0..200u64 {
+            let counter = Arc::clone(&counter);
+            pool.submit_keyed(i % 5, move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::Relaxed), 200);
+    }
+}

@@ -1,0 +1,77 @@
+//! A minimal multiplicative hasher for the queue's integer-keyed index maps.
+//!
+//! The dispatch hot path hashes a `u64` user key (or ticket) on every
+//! enqueue/dispatch/complete. SipHash's per-call setup cost is measurable
+//! there, and HashDoS resistance buys nothing for process-internal indexes,
+//! so these aliases swap in a Fibonacci-multiply hasher (the same constant
+//! the executors use for shard/lock routing) with an xor-shift finalizer to
+//! feed well-distributed high and low bits to the table.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed through [`FastHasher`].
+pub(crate) type FastMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FastHasher>>;
+
+/// `HashSet` keyed through [`FastHasher`].
+pub(crate) type FastSet<T> = std::collections::HashSet<T, BuildHasherDefault<FastHasher>>;
+
+/// 2^64 / golden ratio; the usual Fibonacci-hashing multiplier.
+const SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Non-cryptographic `Hasher` mixing each word with one multiply and one
+/// xor-shift.
+#[derive(Debug, Default)]
+pub(crate) struct FastHasher {
+    state: u64,
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        let mixed = (self.state ^ n).wrapping_mul(SEED);
+        self.state = mixed ^ (mixed >> 31);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FastMap<u64, u32> = FastMap::default();
+        for i in 0..1000u64 {
+            m.insert(i, i as u32);
+        }
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&i), Some(&(i as u32)));
+        }
+        assert_eq!(m.len(), 1000);
+    }
+
+    #[test]
+    fn distinct_words_hash_differently() {
+        let hash = |n: u64| {
+            let mut h = FastHasher::default();
+            h.write_u64(n);
+            h.finish()
+        };
+        let mut seen: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            seen.insert(hash(i));
+        }
+        assert_eq!(seen.len(), 10_000, "trivially colliding hash");
+    }
+}

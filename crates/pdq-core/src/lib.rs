@@ -30,7 +30,10 @@
 //!   no threads attached. It is what the paper's hardware device implements
 //!   and what the discrete-event simulator in the companion crates drives.
 //! * [`executor::PdqExecutor`] — a real thread pool built on the queue, for
-//!   programs that want the abstraction directly. Two baseline executors
+//!   programs that want the abstraction directly.
+//!   [`executor::ShardedPdqExecutor`] provides the same abstraction over N
+//!   independent queue shards for workloads where the single queue mutex
+//!   becomes the bottleneck. Two baseline executors
 //!   ([`executor::SpinLockExecutor`], [`executor::MultiQueueExecutor`])
 //!   reproduce the alternatives the paper compares against.
 //!
@@ -63,6 +66,7 @@
 
 mod config;
 mod error;
+mod fasthash;
 mod key;
 mod queue;
 mod stats;
@@ -90,6 +94,7 @@ mod send_sync_tests {
         assert_send_sync::<QueueStats>();
         assert_send_sync::<DispatchQueue<u64>>();
         assert_send_sync::<executor::PdqExecutor>();
+        assert_send_sync::<executor::ShardedPdqExecutor>();
         assert_send_sync::<executor::SpinLockExecutor>();
         assert_send_sync::<executor::MultiQueueExecutor>();
     }

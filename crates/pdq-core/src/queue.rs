@@ -6,11 +6,51 @@
 //! concurrently. It is used directly by the discrete-event simulator (where
 //! "processors" are simulated) and wrapped by
 //! [`PdqExecutor`](crate::executor::PdqExecutor) for real multi-threaded use.
+//!
+//! # Dispatch is indexed, not scanned
+//!
+//! The paper's hardware sketch performs an associative search over the first
+//! `search_window` entries on every dispatch attempt. An earlier revision of
+//! this module did exactly that in software: an `O(search_window)` scan per
+//! attempt, which dominates the hot path when the window is full of blocked
+//! entries (one hot key ⇒ every attempt scans and rejects the whole window).
+//!
+//! The current implementation maintains the dispatch decision *incrementally*
+//! instead:
+//!
+//! * waiting entries live in a slab ([`Vec`] of slots with a free list) and
+//!   are linked into one global FIFO list (enqueue order) via intrusive
+//!   `prev`/`next` indices;
+//! * every user key has a FIFO **index chain** through its waiting entries
+//!   (`next_same_key`), headed by a `key → chain` hash map, so "the oldest
+//!   waiting entry for key *k*" is one lookup;
+//! * a **ready set** (ordered by enqueue sequence number) holds exactly the
+//!   in-window entries that are dispatchable ignoring sequential barriers:
+//!   `NoSync` entries, and chain heads whose key is not held by an in-flight
+//!   handler;
+//! * the bounded search window of the hardware model is tracked as a moving
+//!   prefix of the FIFO list (`in_window` flag per entry); one entry enters
+//!   the window whenever an in-window entry dispatches.
+//!
+//! `enqueue`, `try_dispatch` and `complete` each update these indexes in
+//! `O(log w)` (`w` = ready entries, bounded by the window), so dispatch cost
+//! is independent of queue depth and of how many blocked entries sit in the
+//! window. The only remaining linear walks are bounded by the search window
+//! and happen on paths where the scan-based semantics require positional
+//! information: counting the blocked entries ahead of a chosen entry (for
+//! [`QueueStats`] parity with the original scan) and handling a waiting
+//! [`SyncKey::Sequential`] barrier. The observable behaviour — dispatch
+//! order, per-key FIFO, barrier semantics, window bounding, and every
+//! statistics counter — is identical to the scan implementation; the
+//! `queue_stats_regression` integration test locks the counters down against
+//! a reference scan.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 use crate::config::QueueConfig;
 use crate::error::{QueueFullError, UnknownTicketError};
+use crate::fasthash::{FastMap, FastSet};
 use crate::key::SyncKey;
 use crate::stats::QueueStats;
 use crate::ticket::{Ticket, TicketCounter};
@@ -27,10 +67,31 @@ pub struct Dispatch<T> {
     pub payload: T,
 }
 
+/// A waiting entry in the slab, threaded onto the global FIFO list and (for
+/// user keys) its key's FIFO chain.
 #[derive(Debug, Clone)]
-struct Pending<T> {
+struct Entry<T> {
+    /// Global enqueue sequence number; total order over all entries ever
+    /// enqueued, used to order the ready set.
+    seq: u64,
     key: SyncKey,
     payload: T,
+    /// Previous waiting entry in enqueue order.
+    prev: Option<usize>,
+    /// Next waiting entry in enqueue order.
+    next: Option<usize>,
+    /// Next (younger) waiting entry with the same user key.
+    next_same_key: Option<usize>,
+    /// Whether this entry is within the first `search_window` waiting
+    /// entries and therefore visible to dispatch.
+    in_window: bool,
+}
+
+/// Head and tail of one user key's FIFO chain of waiting entries.
+#[derive(Debug, Clone, Copy)]
+struct KeyChain {
+    head: usize,
+    tail: usize,
 }
 
 /// A queue that synchronizes handlers *before* dispatch.
@@ -64,9 +125,33 @@ struct Pending<T> {
 /// ```
 #[derive(Debug, Clone)]
 pub struct DispatchQueue<T> {
-    pending: VecDeque<Pending<T>>,
-    in_flight: HashMap<Ticket, SyncKey>,
-    active_keys: HashSet<u64>,
+    /// Entry slab; `None` slots are free and tracked in `free`.
+    slots: Vec<Option<Entry<T>>>,
+    free: Vec<usize>,
+    /// Oldest waiting entry.
+    head: Option<usize>,
+    /// Youngest waiting entry.
+    tail: Option<usize>,
+    /// Number of waiting entries.
+    waiting: usize,
+    next_seq: u64,
+    /// Per-user-key FIFO chains through the waiting entries.
+    chains: FastMap<u64, KeyChain>,
+    /// Waiting `Sequential` entries, oldest first.
+    sequential_waiting: VecDeque<usize>,
+    /// In-window entries that are dispatchable ignoring sequential barriers,
+    /// as a min-heap on `(seq, slot)`. Readiness is monotone — an entry, once
+    /// ready, stays ready until it dispatches, and dispatch always takes the
+    /// oldest — so a heap (cheaper constants than an ordered set) suffices.
+    ready: BinaryHeap<Reverse<(u64, usize)>>,
+    /// Youngest in-window entry; the window is the prefix of the FIFO list
+    /// ending here.
+    window_tail: Option<usize>,
+    /// Number of in-window entries; invariant:
+    /// `in_window == min(search_window, waiting)`.
+    in_window: usize,
+    in_flight: FastMap<Ticket, SyncKey>,
+    active_keys: FastSet<u64>,
     sequential_running: bool,
     config: QueueConfig,
     tickets: TicketCounter,
@@ -86,9 +171,19 @@ impl<T> DispatchQueue<T> {
             ..config
         };
         Self {
-            pending: VecDeque::new(),
-            in_flight: HashMap::new(),
-            active_keys: HashSet::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: None,
+            tail: None,
+            waiting: 0,
+            next_seq: 0,
+            chains: FastMap::default(),
+            sequential_waiting: VecDeque::new(),
+            ready: BinaryHeap::new(),
+            window_tail: None,
+            in_window: 0,
+            in_flight: FastMap::default(),
+            active_keys: FastSet::default(),
             sequential_running: false,
             config,
             tickets: TicketCounter::default(),
@@ -103,12 +198,12 @@ impl<T> DispatchQueue<T> {
 
     /// Number of entries waiting (enqueued but not yet dispatched).
     pub fn len(&self) -> usize {
-        self.pending.len()
+        self.waiting
     }
 
     /// Returns `true` if no entries are waiting.
     pub fn is_empty(&self) -> bool {
-        self.pending.is_empty()
+        self.waiting == 0
     }
 
     /// Number of handlers currently in flight (dispatched, not completed).
@@ -118,7 +213,7 @@ impl<T> DispatchQueue<T> {
 
     /// Returns `true` when nothing is waiting and nothing is in flight.
     pub fn is_idle(&self) -> bool {
-        self.pending.is_empty() && self.in_flight.is_empty()
+        self.waiting == 0 && self.in_flight.is_empty()
     }
 
     /// Returns `true` while a `Sequential` handler is executing.
@@ -137,6 +232,110 @@ impl<T> DispatchQueue<T> {
         self.stats = QueueStats::new();
     }
 
+    fn slot(&self, id: usize) -> &Entry<T> {
+        self.slots[id].as_ref().expect("slot must be occupied")
+    }
+
+    fn slot_mut(&mut self, id: usize) -> &mut Entry<T> {
+        self.slots[id].as_mut().expect("slot must be occupied")
+    }
+
+    /// Inserts `id` into the ready set if it is dispatchable ignoring
+    /// sequential barriers. Must only be called for in-window entries.
+    fn mark_ready_if_dispatchable(&mut self, id: usize) {
+        let entry = self.slot(id);
+        debug_assert!(entry.in_window);
+        let ready = match entry.key {
+            SyncKey::NoSync => true,
+            SyncKey::Key(k) => {
+                !self.active_keys.contains(&k) && self.chains.get(&k).map(|c| c.head) == Some(id)
+            }
+            SyncKey::Sequential => false,
+        };
+        if ready {
+            let seq = entry.seq;
+            self.ready.push(Reverse((seq, id)));
+        }
+    }
+
+    /// Number of waiting entries older than `id`. Bounded by the search
+    /// window for entries dispatch considers; used only to keep
+    /// [`QueueStats`] identical to the original scan implementation.
+    fn position_of(&self, id: usize) -> usize {
+        let mut n = 0;
+        let mut cur = self.slot(id).prev;
+        while let Some(p) = cur {
+            n += 1;
+            cur = self.slot(p).prev;
+        }
+        n
+    }
+
+    /// Unlinks a waiting entry from the slab, the FIFO list, its key chain,
+    /// the sequential list, the ready set, and the window. Does **not**
+    /// refill the window; callers do that after updating key activation so
+    /// the admitted entry's readiness is computed against the new state.
+    fn remove_waiting(&mut self, id: usize) -> Entry<T> {
+        let entry = self.slots[id].take().expect("slot must be occupied");
+        self.free.push(id);
+        match entry.prev {
+            Some(p) => self.slot_mut(p).next = entry.next,
+            None => self.head = entry.next,
+        }
+        match entry.next {
+            Some(n) => self.slot_mut(n).prev = entry.prev,
+            None => self.tail = entry.prev,
+        }
+        self.waiting -= 1;
+        // Only the oldest ready entry ever dispatches, so a removed entry is
+        // either the heap minimum or (a Sequential entry) not in the heap.
+        if self.ready.peek() == Some(&Reverse((entry.seq, id))) {
+            self.ready.pop();
+        }
+        match entry.key {
+            SyncKey::Key(k) => match entry.next_same_key {
+                Some(n) => {
+                    self.chains
+                        .get_mut(&k)
+                        .expect("waiting key entry must have a chain")
+                        .head = n;
+                }
+                None => {
+                    self.chains.remove(&k);
+                }
+            },
+            SyncKey::Sequential => {
+                debug_assert_eq!(self.sequential_waiting.front(), Some(&id));
+                self.sequential_waiting.pop_front();
+            }
+            SyncKey::NoSync => {}
+        }
+        if entry.in_window {
+            if self.window_tail == Some(id) {
+                self.window_tail = entry.prev;
+            }
+            self.in_window -= 1;
+        }
+        entry
+    }
+
+    /// Admits the next waiting entry into the search window, if any.
+    fn refill_window(&mut self) {
+        if self.in_window >= self.config.search_window {
+            return;
+        }
+        let next = match self.window_tail {
+            Some(t) => self.slot(t).next,
+            None => self.head,
+        };
+        if let Some(id) = next {
+            self.slot_mut(id).in_window = true;
+            self.window_tail = Some(id);
+            self.in_window += 1;
+            self.mark_ready_if_dispatchable(id);
+        }
+    }
+
     /// Appends an entry to the queue.
     ///
     /// # Errors
@@ -146,14 +345,58 @@ impl<T> DispatchQueue<T> {
     /// already waiting.
     pub fn enqueue(&mut self, key: SyncKey, payload: T) -> Result<(), QueueFullError<T>> {
         if let Some(cap) = self.config.capacity {
-            if self.pending.len() >= cap {
+            if self.waiting >= cap {
                 self.stats.rejected_full += 1;
                 return Err(QueueFullError { key, payload });
             }
         }
-        self.pending.push_back(Pending { key, payload });
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let entry = Entry {
+            seq,
+            key,
+            payload,
+            prev: self.tail,
+            next: None,
+            next_same_key: None,
+            in_window: false,
+        };
+        let id = match self.free.pop() {
+            Some(id) => {
+                self.slots[id] = Some(entry);
+                id
+            }
+            None => {
+                self.slots.push(Some(entry));
+                self.slots.len() - 1
+            }
+        };
+        match self.tail {
+            Some(t) => self.slot_mut(t).next = Some(id),
+            None => self.head = Some(id),
+        }
+        self.tail = Some(id);
+        self.waiting += 1;
+        match key {
+            SyncKey::Key(k) => match self.chains.get_mut(&k) {
+                Some(chain) => {
+                    let old_tail = chain.tail;
+                    chain.tail = id;
+                    self.slot_mut(old_tail).next_same_key = Some(id);
+                }
+                None => {
+                    self.chains.insert(k, KeyChain { head: id, tail: id });
+                }
+            },
+            SyncKey::Sequential => self.sequential_waiting.push_back(id),
+            SyncKey::NoSync => {}
+        }
+        // The window is a prefix of the FIFO list: when it is not full, every
+        // waiting entry is already in it, so the refill admits exactly the
+        // entry just linked at the tail.
+        self.refill_window();
         self.stats.enqueued += 1;
-        self.stats.max_queue_len = self.stats.max_queue_len.max(self.pending.len());
+        self.stats.max_queue_len = self.stats.max_queue_len.max(self.waiting);
         Ok(())
     }
 
@@ -175,47 +418,64 @@ impl<T> DispatchQueue<T> {
             return None;
         }
 
-        let window = self.config.search_window.min(self.pending.len());
-        let mut seen_keys: HashSet<u64> = HashSet::new();
-        let mut chosen: Option<usize> = None;
+        // The oldest waiting Sequential entry is a barrier, but only once it
+        // is inside the search window (outside, the scan never reached it).
+        let barrier = self
+            .sequential_waiting
+            .front()
+            .copied()
+            .filter(|&s| self.slot(s).in_window);
 
-        for idx in 0..window {
-            let key = self.pending[idx].key;
-            match key {
-                SyncKey::Sequential => {
-                    if idx == 0 && self.in_flight.is_empty() {
-                        chosen = Some(idx);
-                    } else {
-                        // Barrier: nothing younger than the sequential entry
-                        // may dispatch until it has executed.
-                        self.stats.sequential_stalls += 1;
+        let chosen = match barrier {
+            None => match self.ready.peek().map(|&Reverse(top)| top) {
+                Some((_, id)) => {
+                    // Every in-window entry older than the oldest ready entry
+                    // is a blocked user-key entry; the scan counted each as a
+                    // key conflict before choosing this one.
+                    self.stats.key_conflicts += self.position_of(id) as u64;
+                    id
+                }
+                None => {
+                    // No barrier and nothing ready: every in-window entry is
+                    // a user-key entry blocked on an in-flight key.
+                    self.stats.key_conflicts += self.in_window as u64;
+                    self.stats.empty_dispatches += 1;
+                    return None;
+                }
+            },
+            Some(s) => {
+                let barrier_seq = self.slot(s).seq;
+                match self.ready.peek().map(|&Reverse(top)| top) {
+                    // An entry older than the barrier is dispatchable.
+                    Some((seq, id)) if seq < barrier_seq => {
+                        self.stats.key_conflicts += self.position_of(id) as u64;
+                        id
                     }
-                    break;
-                }
-                SyncKey::NoSync => {
-                    chosen = Some(idx);
-                    break;
-                }
-                SyncKey::Key(k) => {
-                    if self.active_keys.contains(&k) {
-                        self.stats.key_conflicts += 1;
-                        seen_keys.insert(k);
-                    } else if seen_keys.contains(&k) {
-                        self.stats.order_holds += 1;
-                    } else {
-                        chosen = Some(idx);
-                        break;
+                    _ => {
+                        if self.head == Some(s) {
+                            if self.in_flight.is_empty() {
+                                // Sequential entry at the head of an idle
+                                // queue: dispatch it.
+                                s
+                            } else {
+                                self.stats.sequential_stalls += 1;
+                                self.stats.empty_dispatches += 1;
+                                return None;
+                            }
+                        } else {
+                            // Blocked entries ahead of the barrier, then the
+                            // barrier itself stalls the scan.
+                            self.stats.key_conflicts += self.position_of(s) as u64;
+                            self.stats.sequential_stalls += 1;
+                            self.stats.empty_dispatches += 1;
+                            return None;
+                        }
                     }
                 }
             }
-        }
-
-        let Some(idx) = chosen else {
-            self.stats.empty_dispatches += 1;
-            return None;
         };
 
-        let entry = self.pending.remove(idx).expect("index within bounds");
+        let entry = self.remove_waiting(chosen);
         let ticket = self.tickets.next();
         match entry.key {
             SyncKey::Key(k) => {
@@ -230,6 +490,9 @@ impl<T> DispatchQueue<T> {
                 self.stats.nosync_handlers += 1;
             }
         }
+        // Refill after activating the key so the admitted entry's readiness
+        // reflects the dispatch that just happened.
+        self.refill_window();
         self.in_flight.insert(ticket, entry.key);
         self.stats.dispatched += 1;
         self.stats.max_in_flight = self.stats.max_in_flight.max(self.in_flight.len());
@@ -267,6 +530,15 @@ impl<T> DispatchQueue<T> {
             SyncKey::Key(k) => {
                 let removed = self.active_keys.remove(&k);
                 debug_assert!(removed, "completed key must have been active");
+                // The oldest waiting entry for the key (if visible in the
+                // window) becomes dispatchable.
+                if let Some(chain) = self.chains.get(&k) {
+                    let head = chain.head;
+                    if self.slot(head).in_window {
+                        let seq = self.slot(head).seq;
+                        self.ready.push(Reverse((seq, head)));
+                    }
+                }
             }
             SyncKey::Sequential => {
                 self.sequential_running = false;
@@ -283,35 +555,46 @@ impl<T> DispatchQueue<T> {
         if self.sequential_running {
             return false;
         }
-        let window = self.config.search_window.min(self.pending.len());
-        let mut seen_keys: HashSet<u64> = HashSet::new();
-        for idx in 0..window {
-            match self.pending[idx].key {
-                SyncKey::Sequential => {
-                    return idx == 0 && self.in_flight.is_empty();
-                }
-                SyncKey::NoSync => return true,
-                SyncKey::Key(k) => {
-                    if self.active_keys.contains(&k) || seen_keys.contains(&k) {
-                        seen_keys.insert(k);
-                    } else {
-                        return true;
-                    }
-                }
-            }
+        let barrier = self
+            .sequential_waiting
+            .front()
+            .copied()
+            .filter(|&s| self.slot(s).in_window);
+        match barrier {
+            None => !self.ready.is_empty(),
+            Some(s) => match self.ready.peek() {
+                Some(&Reverse((seq, _))) if seq < self.slot(s).seq => true,
+                _ => self.head == Some(s) && self.in_flight.is_empty(),
+            },
         }
-        false
     }
 
     /// Iterates over the keys of waiting entries in FIFO order.
     pub fn pending_keys(&self) -> impl Iterator<Item = SyncKey> + '_ {
-        self.pending.iter().map(|p| p.key)
+        std::iter::successors(self.head, move |&id| self.slot(id).next)
+            .map(move |id| self.slot(id).key)
     }
 
     /// Removes every waiting entry and returns their payloads in FIFO order.
     /// In-flight handlers are unaffected.
     pub fn drain_pending(&mut self) -> Vec<(SyncKey, T)> {
-        self.pending.drain(..).map(|p| (p.key, p.payload)).collect()
+        let mut out = Vec::with_capacity(self.waiting);
+        let mut cur = self.head;
+        while let Some(id) = cur {
+            let entry = self.slots[id].take().expect("slot must be occupied");
+            self.free.push(id);
+            cur = entry.next;
+            out.push((entry.key, entry.payload));
+        }
+        self.head = None;
+        self.tail = None;
+        self.waiting = 0;
+        self.chains.clear();
+        self.sequential_waiting.clear();
+        self.ready.clear();
+        self.window_tail = None;
+        self.in_window = 0;
+        out
     }
 }
 
@@ -506,6 +789,24 @@ mod tests {
     }
 
     #[test]
+    fn drain_pending_then_reuse_preserves_semantics() {
+        let mut q = DispatchQueue::new();
+        keyed(&mut q, 1, 10);
+        let a = q.try_dispatch().unwrap();
+        keyed(&mut q, 1, 11);
+        keyed(&mut q, 2, 12);
+        q.enqueue(SyncKey::Sequential, 13).unwrap();
+        assert_eq!(q.drain_pending().len(), 3);
+        // Key 1 is still active (in flight); a new entry for it must wait.
+        keyed(&mut q, 1, 14);
+        keyed(&mut q, 3, 15);
+        assert_eq!(q.try_dispatch().unwrap().payload, 15);
+        assert!(q.try_dispatch().is_none());
+        q.complete(a.ticket).unwrap();
+        assert_eq!(q.try_dispatch().unwrap().payload, 14);
+    }
+
+    #[test]
     fn stats_track_dispatch_counts() {
         let mut q = DispatchQueue::new();
         for i in 0..5 {
@@ -529,5 +830,51 @@ mod tests {
         q.enqueue(SyncKey::Sequential, 1).unwrap();
         let keys: Vec<SyncKey> = q.pending_keys().collect();
         assert_eq!(keys, vec![SyncKey::key(1), SyncKey::Sequential]);
+    }
+
+    #[test]
+    fn slab_slots_are_reused_across_churn() {
+        // Heavy churn must not grow the slab beyond the high-water mark of
+        // simultaneously waiting entries.
+        let mut q = DispatchQueue::new();
+        for round in 0..1000u32 {
+            keyed(&mut q, u64::from(round % 3), round);
+            if let Some(d) = q.try_dispatch() {
+                q.complete(d.ticket).unwrap();
+            }
+        }
+        while let Some(d) = q.try_dispatch() {
+            q.complete(d.ticket).unwrap();
+        }
+        assert!(q.is_idle());
+        assert!(
+            q.slots.len() <= q.stats().max_queue_len,
+            "slab grew to {} slots for a peak of {} waiting entries",
+            q.slots.len(),
+            q.stats().max_queue_len
+        );
+    }
+
+    #[test]
+    fn sequential_outside_window_is_not_a_barrier() {
+        // Window of 2: [k1(blocked), k1(blocked)] then a Sequential outside
+        // the window. The scan never reaches the Sequential, so dispatch just
+        // reports the window as blocked.
+        let mut q = DispatchQueue::with_config(QueueConfig::new().search_window(2));
+        keyed(&mut q, 1, 10);
+        let a = q.try_dispatch().unwrap();
+        keyed(&mut q, 1, 11);
+        keyed(&mut q, 1, 12);
+        q.enqueue(SyncKey::Sequential, 13).unwrap();
+        let stalls_before = q.stats().sequential_stalls;
+        assert!(q.try_dispatch().is_none());
+        assert_eq!(
+            q.stats().sequential_stalls,
+            stalls_before,
+            "an out-of-window Sequential entry must not stall the scan"
+        );
+        // Completing 10 makes 11 dispatchable; the Sequential still waits.
+        q.complete(a.ticket).unwrap();
+        assert_eq!(q.try_dispatch().unwrap().payload, 11);
     }
 }

@@ -19,11 +19,17 @@ pub struct QueueStats {
     pub dispatched: u64,
     /// Handlers completed.
     pub completed: u64,
-    /// Dispatch scans that skipped an entry because its user key was already
-    /// dispatched (the entry would have busy-waited under in-handler locking).
+    /// Entries a dispatch attempt held back because their user key was held
+    /// by an in-flight handler (each such entry would have busy-waited under
+    /// in-handler locking). Counted per attempt: an entry blocked across
+    /// several attempts is counted once per attempt, exactly as the paper's
+    /// associative window scan would have touched it.
     pub key_conflicts: u64,
-    /// Dispatch scans that skipped an entry to preserve per-key FIFO order
-    /// (an older entry with the same key was still waiting).
+    /// Entries a dispatch attempt held back purely to preserve per-key FIFO
+    /// order (an older entry with the same, not currently active, key was
+    /// still waiting). Retained for compatibility with the scan-based
+    /// implementation, whose first-waiter-dispatches rule left this counter
+    /// at zero; the indexed implementation preserves that behaviour.
     pub order_holds: u64,
     /// Dispatch attempts that found no dispatchable entry.
     pub empty_dispatches: u64,

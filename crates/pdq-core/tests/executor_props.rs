@@ -1,12 +1,15 @@
 //! Property tests for the executors: same-key jobs execute in FIFO
-//! (submission) order and never concurrently, across random key mixes and
-//! worker counts, for all three [`KeyedExecutor`] implementations.
+//! (submission) order and never concurrently, across random key mixes,
+//! worker counts, and shard counts, for all four [`KeyedExecutor`]
+//! implementations; plus the global-barrier property of `Sequential` jobs on
+//! the sharded executor.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use pdq_core::executor::{
-    KeyedExecutor, KeyedExecutorExt, MultiQueueExecutor, PdqBuilder, SpinLockExecutor,
+    KeyedExecutor, KeyedExecutorExt, MultiQueueExecutor, PdqBuilder, ShardedPdqBuilder,
+    SpinLockExecutor,
 };
 use proptest::prelude::*;
 
@@ -137,5 +140,80 @@ proptest! {
         let pool = MultiQueueExecutor::new(workers);
         let submitted = drive(&pool, &keys, &observed);
         check(submitted, &observed, "MultiQueueExecutor")?;
+    }
+
+    /// The sharded PDQ executor must uphold the same-key FIFO/exclusivity
+    /// contract for every combination of worker count and shard count: a key
+    /// always hashes onto the same shard, and that shard's queue serializes
+    /// it.
+    #[test]
+    fn sharded_pdq_same_key_jobs_are_fifo_and_exclusive(
+        workers in 1usize..9,
+        shards in 1usize..9,
+        keys in proptest::collection::vec(any::<u8>(), 1..250),
+    ) {
+        let observed = Observed::new();
+        let pool = ShardedPdqBuilder::new().workers(workers).shards(shards).build();
+        let submitted = drive(&pool, &keys, &observed);
+        check(submitted, &observed, &format!("ShardedPdqExecutor({shards} shards)"))?;
+    }
+
+    /// A `Sequential` job on the sharded executor is a *global* barrier:
+    /// every job submitted before it finishes before it starts, and every
+    /// job submitted after it starts after it finishes — across all shards,
+    /// for any shard count.
+    #[test]
+    fn sharded_pdq_sequential_is_a_global_barrier(
+        workers in 1usize..9,
+        shards in 1usize..9,
+        jobs in proptest::collection::vec((any::<u8>(), 0u8..12), 1..120),
+    ) {
+        let pool = ShardedPdqBuilder::new().workers(workers).shards(shards).build();
+        // Per-job (start, end) stamps from a global logical clock.
+        let clock = Arc::new(AtomicU64::new(1));
+        let stamps: Arc<Vec<Mutex<(u64, u64)>>> =
+            Arc::new((0..jobs.len()).map(|_| Mutex::new((0, 0))).collect());
+        let mut sequential_indices = Vec::new();
+        for (idx, &(key, roll)) in jobs.iter().enumerate() {
+            let clock = Arc::clone(&clock);
+            let stamps = Arc::clone(&stamps);
+            let body = move || {
+                let start = clock.fetch_add(1, Ordering::SeqCst);
+                // Enough work that overlap would be observable.
+                for _ in 0..200 {
+                    std::hint::spin_loop();
+                }
+                let end = clock.fetch_add(1, Ordering::SeqCst);
+                *stamps[idx].lock().unwrap() = (start, end);
+            };
+            // Roughly one job in twelve is a barrier.
+            if roll == 0 {
+                sequential_indices.push(idx);
+                pool.submit_sequential(body);
+            } else {
+                pool.submit_keyed(u64::from(key), body);
+            }
+        }
+        pool.wait_idle();
+        for &s in &sequential_indices {
+            let (s_start, s_end) = *stamps[s].lock().unwrap();
+            prop_assert!(s_start > 0, "sequential job {} never ran", s);
+            for (i, stamp) in stamps.iter().enumerate() {
+                let (start, end) = *stamp.lock().unwrap();
+                if i < s {
+                    prop_assert!(
+                        end < s_start,
+                        "job {} (ended {}) overlapped the start of sequential job {} ({})",
+                        i, end, s, s_start
+                    );
+                } else if i > s {
+                    prop_assert!(
+                        start > s_end,
+                        "job {} (started {}) overtook sequential job {} (ended {})",
+                        i, start, s, s_end
+                    );
+                }
+            }
+        }
     }
 }

@@ -9,6 +9,10 @@
 //! iterations, reporting mean ns/iter on stdout. There are no statistical
 //! analyses, plots, or baselines. Swap the workspace dependency back to the
 //! real crate when a registry is available — no caller changes needed.
+//!
+//! The `PDQ_BENCH_MAX_ITERS` environment variable caps the measured
+//! iterations per benchmark (clamped to at least 1), so CI can smoke-run a
+//! bench suite in seconds: `PDQ_BENCH_MAX_ITERS=1 cargo bench ...`.
 
 #![warn(missing_docs)]
 
@@ -134,6 +138,20 @@ pub struct BenchmarkGroup<'a> {
     _criterion: &'a mut Criterion,
 }
 
+/// Resolves the measured-iteration budget for one benchmark: the group's
+/// sample size, capped at 25 to keep offline runs short, further capped by
+/// the `PDQ_BENCH_MAX_ITERS` environment variable when set (smoke runs).
+fn iteration_budget(sample_size: usize) -> u32 {
+    let capped = sample_size.min(25) as u32;
+    match std::env::var("PDQ_BENCH_MAX_ITERS")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+    {
+        Some(max) => capped.min(max.max(1)),
+        None => capped,
+    }
+}
+
 impl BenchmarkGroup<'_> {
     /// Sets the number of measured iterations per benchmark (criterion's
     /// sample count; the shim uses it as the iteration budget, capped at 25
@@ -149,7 +167,7 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
-        let mut bencher = Bencher::with_iters(self.sample_size.min(25) as u32);
+        let mut bencher = Bencher::with_iters(iteration_budget(self.sample_size));
         f(&mut bencher);
         bencher.report(&self.name, &id.id);
         self
@@ -166,7 +184,7 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let id = id.into();
-        let mut bencher = Bencher::with_iters(self.sample_size.min(25) as u32);
+        let mut bencher = Bencher::with_iters(iteration_budget(self.sample_size));
         f(&mut bencher, input);
         bencher.report(&self.name, &id.id);
         self
@@ -240,8 +258,31 @@ macro_rules! criterion_main {
 mod tests {
     use super::*;
 
+    /// Serializes the tests that read or write `PDQ_BENCH_MAX_ITERS`, since
+    /// the test runner executes tests in parallel and the environment is
+    /// process-global.
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    /// Runs `f` with `PDQ_BENCH_MAX_ITERS` unset, restoring any inherited
+    /// value afterwards, so the iteration-count assertions hold even when
+    /// the test process was started with the cap exported.
+    fn without_env_cap<R>(f: impl FnOnce() -> R) -> R {
+        let saved = std::env::var("PDQ_BENCH_MAX_ITERS").ok();
+        std::env::remove_var("PDQ_BENCH_MAX_ITERS");
+        let out = f();
+        if let Some(v) = saved {
+            std::env::set_var("PDQ_BENCH_MAX_ITERS", v);
+        }
+        out
+    }
+
     #[test]
     fn bench_function_measures_and_reports() {
+        let _env = ENV_LOCK.lock().unwrap();
+        without_env_cap(bench_function_measures_and_reports_body);
+    }
+
+    fn bench_function_measures_and_reports_body() {
         let mut c = Criterion::default();
         let mut group = c.benchmark_group("shim_test");
         group.sample_size(3);
@@ -256,6 +297,11 @@ mod tests {
 
     #[test]
     fn iter_batched_runs_setup_per_iteration() {
+        let _env = ENV_LOCK.lock().unwrap();
+        without_env_cap(iter_batched_runs_setup_per_iteration_body);
+    }
+
+    fn iter_batched_runs_setup_per_iteration_body() {
         let mut c = Criterion::default();
         let mut group = c.benchmark_group("shim_test");
         group.sample_size(2);
@@ -277,5 +323,21 @@ mod tests {
     fn benchmark_id_formats() {
         assert_eq!(BenchmarkId::new("window", 16).id, "window/16");
         assert_eq!(BenchmarkId::from_parameter(7).id, "7");
+    }
+
+    #[test]
+    fn iteration_budget_honours_env_cap() {
+        let _env = ENV_LOCK.lock().unwrap();
+        without_env_cap(|| {
+            assert_eq!(iteration_budget(10), 10);
+            assert_eq!(iteration_budget(100), 25);
+            std::env::set_var("PDQ_BENCH_MAX_ITERS", "2");
+            assert_eq!(iteration_budget(10), 2);
+            std::env::set_var("PDQ_BENCH_MAX_ITERS", "0");
+            assert_eq!(iteration_budget(10), 1, "cap is clamped to at least one");
+            std::env::set_var("PDQ_BENCH_MAX_ITERS", "not-a-number");
+            assert_eq!(iteration_budget(10), 10, "unparsable cap is ignored");
+            std::env::remove_var("PDQ_BENCH_MAX_ITERS");
+        });
     }
 }
