@@ -1,25 +1,7 @@
 //! Ablation: impact of the PDQ associative search window (Section 3.2).
-use pdq_bench::experiments::workload_scale;
-use pdq_hurricane::{simulate, ClusterConfig, MachineSpec};
-use pdq_workloads::AppKind;
+use pdq_bench::{run, Experiment};
+use std::process::ExitCode;
 
-fn main() {
-    let scale = workload_scale();
-    println!("Search-window ablation: Hurricane 4pp, fft, 8 x 8-way SMPs");
-    println!(
-        "{:<8} {:>12} {:>18} {:>14}",
-        "window", "speedup", "mean dispatch wait", "key conflicts"
-    );
-    for window in [1usize, 2, 4, 8, 16, 64] {
-        let mut cfg = ClusterConfig::baseline(MachineSpec::hurricane(4));
-        cfg.search_window = window;
-        let report = simulate(cfg, AppKind::Fft, scale);
-        println!(
-            "{:<8} {:>12.2} {:>18.1} {:>14}",
-            window,
-            report.speedup(),
-            report.mean_dispatch_wait,
-            report.queue_stats.key_conflicts
-        );
-    }
+fn main() -> ExitCode {
+    run(Experiment::AblationSearchWindow)
 }

@@ -1,48 +1,8 @@
 //! Runs every table and figure and writes a combined report to
 //! `experiment_results.txt` (and stdout).
-use pdq_bench::experiments::{
-    executor_scaling, fig10, fig11, fig7, fig8, fig9, headline, render_executor_scaling,
-    render_table2, table2, workload_scale,
-};
-use pdq_dsm::BlockSize;
-use std::fmt::Write as _;
+use pdq_bench::{run, Experiment};
+use std::process::ExitCode;
 
-fn main() {
-    let scale = workload_scale();
-    let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "PDQ reproduction: all experiments (workload scale {})\n",
-        scale.0
-    );
-    let _ = writeln!(
-        out,
-        "{}",
-        pdq_hurricane::latency::render_table1(BlockSize::B64)
-    );
-    let _ = writeln!(out, "{}", render_table2(&table2(scale)));
-    for (name, (top, bottom)) in [
-        ("fig7", fig7(scale)),
-        ("fig8", fig8(scale)),
-        ("fig9", fig9(scale)),
-        ("fig10", fig10(scale)),
-        ("fig11", fig11(scale)),
-    ] {
-        let _ = writeln!(out, "[{name}]\n{}\n{}", top.render(), bottom.render());
-    }
-    let (factors, mean) = headline(scale);
-    let _ = writeln!(
-        out,
-        "Headline: Hurricane-1 Mult vs Hurricane-1 1pp on 4 x 16-way SMPs"
-    );
-    for (app, factor) in factors {
-        let _ = writeln!(out, "  {:<10} {:.2}x", app.name(), factor);
-    }
-    let _ = writeln!(out, "  geometric mean: {mean:.2}x (paper: 2.6x)");
-    let _ = writeln!(out);
-    let _ = writeln!(out, "{}", render_executor_scaling(&executor_scaling(scale)));
-    print!("{out}");
-    if let Err(e) = std::fs::write("experiment_results.txt", &out) {
-        eprintln!("could not write experiment_results.txt: {e}");
-    }
+fn main() -> ExitCode {
+    run(Experiment::All)
 }

@@ -3,9 +3,9 @@
 //! throughput table. This is the runtime-side companion of Figure 2's
 //! motivation experiment: it shows where the single shared queue stops
 //! scaling and the sharded queue keeps going.
-use pdq_bench::experiments::{executor_scaling, render_executor_scaling, workload_scale};
+use pdq_bench::{run, Experiment};
+use std::process::ExitCode;
 
-fn main() {
-    let result = executor_scaling(workload_scale());
-    print!("{}", render_executor_scaling(&result));
+fn main() -> ExitCode {
+    run(Experiment::ExecutorScaling)
 }

@@ -1,8 +1,7 @@
 //! Reproduces Figure 10: block-size impact on Hurricane.
-use pdq_bench::experiments::{fig10, workload_scale};
+use pdq_bench::{run, Experiment};
+use std::process::ExitCode;
 
-fn main() {
-    let (top, bottom) = fig10(workload_scale());
-    println!("{}", top.render());
-    println!("{}", bottom.render());
+fn main() -> ExitCode {
+    run(Experiment::Fig10)
 }

@@ -1,8 +1,7 @@
 //! Reproduces Figure 7: baseline comparison on a cluster of 8 8-way SMPs.
-use pdq_bench::experiments::{fig7, workload_scale};
+use pdq_bench::{run, Experiment};
+use std::process::ExitCode;
 
-fn main() {
-    let (top, bottom) = fig7(workload_scale());
-    println!("{}", top.render());
-    println!("{}", bottom.render());
+fn main() -> ExitCode {
+    run(Experiment::Fig7)
 }

@@ -1,8 +1,7 @@
 //! Reproduces Figure 9: clustering-degree impact on Hurricane-1.
-use pdq_bench::experiments::{fig9, workload_scale};
+use pdq_bench::{run, Experiment};
+use std::process::ExitCode;
 
-fn main() {
-    let (top, bottom) = fig9(workload_scale());
-    println!("{}", top.render());
-    println!("{}", bottom.render());
+fn main() -> ExitCode {
+    run(Experiment::Fig9)
 }

@@ -1,12 +1,8 @@
 //! Reproduces the headline claim: Hurricane-1 Mult on 4 x 16-way SMPs
 //! improves performance ~2.6x over a single dedicated protocol processor.
-use pdq_bench::experiments::{headline, workload_scale};
+use pdq_bench::{run, Experiment};
+use std::process::ExitCode;
 
-fn main() {
-    let (factors, mean) = headline(workload_scale());
-    println!("Hurricane-1 Mult vs. Hurricane-1 1pp on a cluster of 4 16-way SMPs");
-    for (app, factor) in &factors {
-        println!("  {:<10} {:.2}x", app.name(), factor);
-    }
-    println!("geometric mean improvement: {mean:.2}x (paper reports 2.6x)");
+fn main() -> ExitCode {
+    run(Experiment::Headline)
 }

@@ -1,0 +1,10 @@
+//! The large-grid sweep: every machine x every application on a 64-node x
+//! 16-way cluster (1024 compute processors), replicated over independently
+//! seeded workloads — the scale the sequential harness could not reach,
+//! demonstrated on the parallel sweep engine.
+use pdq_bench::{run, Experiment};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    run(Experiment::Sweep)
+}

@@ -1,7 +1,7 @@
 //! Reproduces Table 1: remote read miss latency breakdown.
-use pdq_dsm::BlockSize;
+use pdq_bench::{run, Experiment};
+use std::process::ExitCode;
 
-fn main() {
-    println!("{}", pdq_hurricane::latency::render_table1(BlockSize::B64));
-    println!("Paper totals: S-COMA 440, Hurricane 584, Hurricane-1 1164 (400-MHz cycles).");
+fn main() -> ExitCode {
+    run(Experiment::Table1)
 }

@@ -1,7 +1,7 @@
 //! Reproduces Table 2: applications and S-COMA speedups on 8 x 8-way SMPs.
-use pdq_bench::experiments::{render_table2, table2, workload_scale};
+use pdq_bench::{run, Experiment};
+use std::process::ExitCode;
 
-fn main() {
-    let rows = table2(workload_scale());
-    println!("{}", render_table2(&rows));
+fn main() -> ExitCode {
+    run(Experiment::Table2)
 }

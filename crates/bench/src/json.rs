@@ -1,0 +1,217 @@
+//! Minimal JSON emission for experiment results.
+//!
+//! The build environment has no registry access, so instead of `serde` the
+//! harness hand-rolls the one direction it needs: an owned [`JsonValue`] tree
+//! rendered to pretty-printed UTF-8. Every experiment knows how to convert
+//! its result type into a `JsonValue`; the shared runner writes the tree to
+//! the path given by `--json` or `PDQ_JSON`.
+
+use std::fmt::Write as _;
+
+/// An owned JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null` (also the rendering of non-finite numbers).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number; NaN and infinities render as `null` (JSON has no spelling
+    /// for them).
+    Num(f64),
+    /// An unsigned integer, kept exact (large counters exceed the 2^53
+    /// range `f64` can represent losslessly).
+    Uint(u64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object; insertion order is preserved.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Builds an object from `(key, value)` pairs.
+    pub fn object(pairs: Vec<(&str, JsonValue)>) -> JsonValue {
+        JsonValue::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Builds an array by converting each element.
+    pub fn array<T: Into<JsonValue>, I: IntoIterator<Item = T>>(items: I) -> JsonValue {
+        JsonValue::Array(items.into_iter().map(Into::into).collect())
+    }
+
+    /// Renders the value as pretty-printed JSON (two-space indent, trailing
+    /// newline).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Num(n) => {
+                if n.is_finite() {
+                    let _ = write!(out, "{n}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Uint(n) => {
+                let _ = write!(out, "{n}");
+            }
+            JsonValue::Str(s) => write_escaped(out, s),
+            JsonValue::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                newline_indent(out, indent);
+                out.push(']');
+            }
+            JsonValue::Object(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                }
+                newline_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: usize) {
+    out.push('\n');
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for JsonValue {
+    fn from(v: bool) -> Self {
+        JsonValue::Bool(v)
+    }
+}
+
+impl From<f64> for JsonValue {
+    fn from(v: f64) -> Self {
+        JsonValue::Num(v)
+    }
+}
+
+impl From<u64> for JsonValue {
+    fn from(v: u64) -> Self {
+        JsonValue::Uint(v)
+    }
+}
+
+impl From<usize> for JsonValue {
+    fn from(v: usize) -> Self {
+        JsonValue::Uint(v as u64)
+    }
+}
+
+impl From<&str> for JsonValue {
+    fn from(v: &str) -> Self {
+        JsonValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for JsonValue {
+    fn from(v: String) -> Self {
+        JsonValue::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(JsonValue::Null.render(), "null\n");
+        assert_eq!(JsonValue::Bool(true).render(), "true\n");
+        assert_eq!(JsonValue::Num(1.5).render(), "1.5\n");
+        assert_eq!(JsonValue::Num(f64::NAN).render(), "null\n");
+        assert_eq!(JsonValue::Uint(u64::MAX).render(), "18446744073709551615\n");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let v = JsonValue::from("a \"b\"\n\\ \u{1}");
+        assert_eq!(v.render(), "\"a \\\"b\\\"\\n\\\\ \\u0001\"\n");
+    }
+
+    #[test]
+    fn empty_containers_stay_compact() {
+        assert_eq!(JsonValue::Array(vec![]).render(), "[]\n");
+        assert_eq!(JsonValue::Object(vec![]).render(), "{}\n");
+    }
+
+    #[test]
+    fn nested_structure_is_indented() {
+        let v = JsonValue::object(vec![
+            ("name", "fig7".into()),
+            ("values", JsonValue::array([1.0f64, 2.0])),
+        ]);
+        let text = v.render();
+        assert_eq!(
+            text,
+            "{\n  \"name\": \"fig7\",\n  \"values\": [\n    1,\n    2\n  ]\n}\n"
+        );
+    }
+
+    #[test]
+    fn insertion_order_is_preserved() {
+        let v = JsonValue::object(vec![
+            ("z", 1u64.into()),
+            ("a", 2u64.into()),
+            ("m", 3u64.into()),
+        ]);
+        let text = v.render();
+        let z = text.find("\"z\"").unwrap();
+        let a = text.find("\"a\"").unwrap();
+        let m = text.find("\"m\"").unwrap();
+        assert!(z < a && a < m);
+    }
+}

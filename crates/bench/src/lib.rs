@@ -14,19 +14,32 @@
 //! | Headline 2.6× claim | `headline` |
 //! | Search-window ablation | `ablation_search_window` |
 //! | Executor scaling (PDQ vs. sharded vs. baselines) | `executor_scaling` |
+//! | 64-node × 16-way machine × app grid | `sweep` |
 //! | Everything, written to a report | `all_experiments` |
 //!
-//! The amount of simulated work is controlled by the `PDQ_SCALE` environment
-//! variable (default 1.0); smaller values run faster with noisier results.
-//! Criterion micro-benchmarks of the PDQ runtime against its baselines live
-//! under `benches/`.
+//! Every binary is a one-line call into [`runner::run`], which hands the
+//! experiment's simulation grid to the [`sweep::SweepEngine`]: cells run in
+//! parallel on a `ShardedPdqExecutor` (the reproduction's own runtime — the
+//! experiment grid is its first real multi-core workload) and results are
+//! memoized so shared baselines are simulated once per process. All binaries
+//! accept `--json [PATH]` (or `PDQ_JSON=PATH`) to emit structured JSON next
+//! to the text tables, `PDQ_SCALE` to scale the simulated work (default 1.0),
+//! and `PDQ_WORKERS` to pin the sweep worker count. Criterion
+//! micro-benchmarks of the PDQ runtime against its baselines live under
+//! `benches/`.
 
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod json;
+pub mod runner;
+pub mod sweep;
 
 pub use experiments::{
-    drive_fetch_add, executor_scaling, fig10, fig11, fig7, fig8, fig9, headline,
-    render_executor_scaling, table2, workload_scale, ExecutorScalingResult, ExecutorScalingSeries,
-    FigureResult, FigureSeries, Table2Row,
+    ablation_search_window, drive_fetch_add, executor_scaling, fig10, fig11, fig7, fig8, fig9,
+    headline, render_executor_scaling, render_table2, sweep_grid, table2, table2_json,
+    workload_scale, AblationResult, AblationRow, ExecutorScalingResult, ExecutorScalingSeries,
+    FigureResult, FigureSeries, HeadlineResult, SweepGridResult, Table2Row,
 };
+pub use runner::{run, Experiment};
+pub use sweep::{SimJob, SweepEngine, SweepStats};

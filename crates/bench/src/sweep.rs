@@ -1,0 +1,370 @@
+//! The parallel sweep engine: the experiment grid as a PDQ workload.
+//!
+//! Every figure and table of the paper is a grid of independent simulation
+//! cells keyed by configuration — exactly the keyed-parallelism shape the
+//! PDQ abstraction exists for. [`SweepEngine`] dogfoods the runtime on its
+//! own evaluation: each cell is a [`SimJob`], jobs are submitted to a
+//! [`ShardedPdqExecutor`] keyed by the job's configuration hash, and finished
+//! [`SimReport`]s are memoized in a concurrent cache so a baseline that five
+//! figures share is simulated once per sweep instead of once per figure.
+//!
+//! # Determinism
+//!
+//! A parallel sweep reproduces a sequential one exactly. The guarantee rests
+//! on three properties, each pinned by tests:
+//!
+//! 1. [`simulate`] is a pure function of `(config, app, scale)`: the workload
+//!    trace is derived deterministically from the job tuple *on the worker
+//!    thread*, and every downstream random choice draws from the job's own
+//!    explicitly seeded stream (no shared mutable state, enforced by the
+//!    `Send + Sync` assertions in `pdq-hurricane`).
+//! 2. Identical jobs share a sync key, so the PDQ serializes them: the first
+//!    simulates and fills the cache, the rest observe the cached report.
+//! 3. The cache is keyed by the full job value, never by its hash alone, so
+//!    hash collisions between distinct cells merely serialize them.
+//!
+//! `sweep_determinism` in `crates/bench/tests/` runs the same grid at one
+//! worker and at N ≥ 4 workers and asserts the reports are identical.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use pdq_core::executor::{KeyedExecutor, KeyedExecutorExt, ShardedPdqBuilder, ShardedPdqExecutor};
+use pdq_core::FastHasher;
+use pdq_dsm::BlockSize;
+use pdq_hurricane::{simulate, ClusterConfig, MachineSpec, SimReport};
+use pdq_workloads::{AppKind, Topology, WorkloadScale};
+
+/// One cell of an experiment grid: everything needed to reproduce one
+/// simulation, as plain data.
+///
+/// A `SimJob` is simultaneously the work description shipped to a worker
+/// thread, the memoization key of the sweep cache, and (hashed) the PDQ sync
+/// key that routes duplicate cells onto the same shard. Two jobs are the
+/// same cell exactly when every field matches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SimJob {
+    /// The machine being simulated.
+    pub machine: MachineSpec,
+    /// The application workload.
+    pub app: AppKind,
+    /// Cluster shape (nodes × compute processors per node).
+    pub topology: Topology,
+    /// Coherence block size.
+    pub block_size: BlockSize,
+    /// Workload scale factor.
+    pub scale: WorkloadScale,
+    /// Workload generation seed.
+    pub seed: u64,
+    /// Associative search window of each node's PDQ.
+    pub search_window: usize,
+}
+
+impl SimJob {
+    /// A job for `machine` running `app` at `scale` on the paper's baseline
+    /// configuration (8 × 8-way SMPs, 64-byte blocks, default seed and
+    /// search window).
+    pub fn new(machine: MachineSpec, app: AppKind, scale: WorkloadScale) -> Self {
+        let base = ClusterConfig::baseline(machine);
+        Self {
+            machine,
+            app,
+            topology: base.topology,
+            block_size: base.block_size,
+            scale,
+            seed: base.seed,
+            search_window: base.search_window,
+        }
+    }
+
+    /// Replaces the topology, keeping everything else.
+    #[must_use]
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Replaces the block size, keeping everything else.
+    #[must_use]
+    pub fn with_block_size(mut self, block_size: BlockSize) -> Self {
+        self.block_size = block_size;
+        self
+    }
+
+    /// Replaces the workload seed, keeping everything else.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the PDQ search window, keeping everything else.
+    #[must_use]
+    pub fn with_search_window(mut self, search_window: usize) -> Self {
+        self.search_window = search_window;
+        self
+    }
+
+    /// The cluster configuration this job simulates.
+    pub fn config(&self) -> ClusterConfig {
+        let mut cfg = ClusterConfig::baseline(self.machine)
+            .with_topology(self.topology)
+            .with_block_size(self.block_size)
+            .with_seed(self.seed);
+        cfg.search_window = self.search_window;
+        cfg
+    }
+
+    /// Runs the cell on the calling thread: generates the workload from the
+    /// job tuple and simulates it.
+    pub fn run(&self) -> SimReport {
+        simulate(self.config(), self.app, self.scale)
+    }
+
+    /// The job's configuration hash, used as its PDQ sync key.
+    ///
+    /// Identical cells always collide (same fields ⇒ same hash), so the
+    /// executor serializes them and the second becomes a cache hit. Distinct
+    /// cells that happen to collide merely lose parallelism, never
+    /// correctness: the cache is keyed by the full job value. Hashed through
+    /// the queue's own deterministic [`FastHasher`] — `DefaultHasher`'s
+    /// per-process random keys would make job routing irreproducible.
+    pub fn key(&self) -> u64 {
+        let mut hasher = FastHasher::default();
+        self.hash(&mut hasher);
+        hasher.finish()
+    }
+}
+
+/// Cache counters of a [`SweepEngine`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Jobs answered from the cache (either skipped at submission because the
+    /// report already existed, or resolved by a worker that found the report
+    /// computed by an earlier duplicate).
+    pub hits: u64,
+    /// Jobs that actually ran a simulation. Across the engine's lifetime this
+    /// equals the number of distinct cells simulated: every unique
+    /// configuration is simulated exactly once.
+    pub misses: u64,
+    /// Reports currently memoized.
+    pub entries: usize,
+}
+
+/// The memoized results shared between the driver and the workers.
+#[derive(Debug, Default)]
+struct Cache {
+    reports: Mutex<HashMap<SimJob, SimReport>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Runs experiment grids on a [`ShardedPdqExecutor`] with memoized results.
+///
+/// # Examples
+///
+/// ```
+/// use pdq_bench::sweep::{SimJob, SweepEngine};
+/// use pdq_hurricane::MachineSpec;
+/// use pdq_workloads::{AppKind, Topology, WorkloadScale};
+///
+/// let engine = SweepEngine::with_workers(2);
+/// let job = SimJob::new(MachineSpec::scoma(), AppKind::Fft, WorkloadScale(0.05))
+///     .with_topology(Topology::new(2, 2));
+/// let reports = engine.run(&[job, job]);
+/// assert_eq!(reports[0], reports[1]);
+/// let stats = engine.stats();
+/// assert_eq!(stats.misses, 1); // the duplicate cell was simulated once
+/// ```
+#[derive(Debug)]
+pub struct SweepEngine {
+    executor: ShardedPdqExecutor,
+    cache: Arc<Cache>,
+    workers: usize,
+}
+
+impl SweepEngine {
+    /// Creates an engine with one worker per available CPU, overridable with
+    /// the `PDQ_WORKERS` environment variable.
+    pub fn new() -> Self {
+        let workers = std::env::var("PDQ_WORKERS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        Self::with_workers(workers)
+    }
+
+    /// Creates an engine with exactly `workers` worker threads (clamped to at
+    /// least one). `with_workers(1)` is the sequential reference the
+    /// determinism test compares parallel sweeps against.
+    pub fn with_workers(workers: usize) -> Self {
+        let workers = workers.max(1);
+        Self {
+            executor: ShardedPdqBuilder::new().workers(workers).build(),
+            cache: Arc::new(Cache::default()),
+            workers,
+        }
+    }
+
+    /// Number of worker threads simulating cells.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs every job in `jobs` and returns their reports in the same order.
+    ///
+    /// Cells not yet cached are submitted to the executor keyed by their
+    /// configuration hash and simulated in parallel; duplicate and previously
+    /// simulated cells are served from the cache. The call blocks until all
+    /// reports are available.
+    pub fn run(&self, jobs: &[SimJob]) -> Vec<SimReport> {
+        for &job in jobs {
+            if self.cache.reports.lock().contains_key(&job) {
+                self.cache.hits.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            let cache = Arc::clone(&self.cache);
+            self.executor.submit_keyed(job.key(), move || {
+                if cache.reports.lock().contains_key(&job) {
+                    // An identical job earlier in the batch got here first
+                    // (the shared sync key serialized us behind it).
+                    cache.hits.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                // Simulate outside the cache lock: only the insert is
+                // critical, and other cells must keep completing meanwhile.
+                let report = job.run();
+                cache.reports.lock().insert(job, report);
+                cache.misses.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        self.executor.wait_idle();
+        let reports = self.cache.reports.lock();
+        jobs.iter()
+            .map(|job| {
+                reports
+                    .get(job)
+                    .unwrap_or_else(|| {
+                        // The executor contains worker panics (it only counts
+                        // them), so a missing report means this cell's
+                        // simulation panicked; name the cell instead of
+                        // letting the invariant read like a cache bug.
+                        panic!(
+                            "simulation panicked on a worker thread, no report produced: {job:?}"
+                        )
+                    })
+                    .clone()
+            })
+            .collect()
+    }
+
+    /// Runs a single cell (through the cache like any other sweep).
+    pub fn run_one(&self, job: SimJob) -> SimReport {
+        self.run(std::slice::from_ref(&job))
+            .pop()
+            .expect("one job in, one report out")
+    }
+
+    /// Snapshot of the cache counters.
+    pub fn stats(&self) -> SweepStats {
+        SweepStats {
+            hits: self.cache.hits.load(Ordering::Relaxed),
+            misses: self.cache.misses.load(Ordering::Relaxed),
+            entries: self.cache.reports.lock().len(),
+        }
+    }
+}
+
+impl Default for SweepEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_job(machine: MachineSpec, app: AppKind) -> SimJob {
+        SimJob::new(machine, app, WorkloadScale(0.05)).with_topology(Topology::new(2, 2))
+    }
+
+    #[test]
+    fn job_round_trips_through_its_config() {
+        let job = SimJob::new(MachineSpec::hurricane(2), AppKind::Fft, WorkloadScale(0.5))
+            .with_topology(Topology::new(4, 16))
+            .with_block_size(BlockSize::B128)
+            .with_seed(7)
+            .with_search_window(8);
+        let cfg = job.config();
+        assert_eq!(cfg.machine, MachineSpec::hurricane(2));
+        assert_eq!(cfg.topology, Topology::new(4, 16));
+        assert_eq!(cfg.block_size, BlockSize::B128);
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.search_window, 8);
+    }
+
+    #[test]
+    fn baseline_job_matches_the_baseline_config() {
+        let job = SimJob::new(MachineSpec::scoma(), AppKind::Fft, WorkloadScale::full());
+        assert_eq!(job.config(), ClusterConfig::baseline(MachineSpec::scoma()));
+    }
+
+    #[test]
+    fn identical_jobs_share_a_key_and_distinct_jobs_rarely_do() {
+        let a = quick_job(MachineSpec::scoma(), AppKind::Fft);
+        assert_eq!(a.key(), a.key());
+        let b = quick_job(MachineSpec::hurricane(2), AppKind::Fft);
+        let c = quick_job(MachineSpec::scoma(), AppKind::Radix);
+        assert_ne!(a.key(), b.key());
+        assert_ne!(a.key(), c.key());
+        assert_ne!(a.key(), a.with_seed(1).key());
+        assert_ne!(a.key(), a.with_search_window(4).key());
+    }
+
+    #[test]
+    fn engine_runs_jobs_and_memoizes() {
+        let engine = SweepEngine::with_workers(2);
+        let a = quick_job(MachineSpec::scoma(), AppKind::Fft);
+        let b = quick_job(MachineSpec::hurricane(2), AppKind::Fft);
+        let first = engine.run(&[a, b]);
+        assert_eq!(first.len(), 2);
+        assert_eq!(engine.stats().misses, 2);
+        assert_eq!(engine.stats().hits, 0);
+
+        // Re-running the same cells is pure cache.
+        let second = engine.run(&[a, b, a]);
+        assert_eq!(second[0], first[0]);
+        assert_eq!(second[1], first[1]);
+        assert_eq!(second[2], first[0]);
+        let stats = engine.stats();
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.hits, 3);
+        assert_eq!(stats.entries, 2);
+    }
+
+    #[test]
+    fn duplicate_cells_within_one_batch_simulate_once() {
+        let engine = SweepEngine::with_workers(4);
+        let job = quick_job(MachineSpec::hurricane1(2), AppKind::Radix);
+        let reports = engine.run(&[job; 6]);
+        assert!(reports.windows(2).all(|w| w[0] == w[1]));
+        let stats = engine.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 5);
+    }
+
+    #[test]
+    fn engine_reports_match_direct_simulation() {
+        let engine = SweepEngine::with_workers(3);
+        let job = quick_job(MachineSpec::hurricane1_mult(), AppKind::Em3d);
+        assert_eq!(engine.run_one(job), job.run());
+    }
+}

@@ -1,0 +1,146 @@
+//! The keystone property of the sweep engine: a parallel sweep produces
+//! reports identical to the sequential path, and every unique cell is
+//! simulated exactly once per engine.
+
+use pdq_bench::experiments::{headline, hurricane1_machines, hurricane_machines, run_figure};
+use pdq_bench::sweep::{SimJob, SweepEngine};
+use pdq_dsm::BlockSize;
+use pdq_hurricane::{simulate, ClusterConfig, MachineSpec, SimReport};
+use pdq_workloads::{AppKind, Topology, WorkloadScale};
+
+const SCALE: WorkloadScale = WorkloadScale(0.05);
+
+/// A small but non-trivial grid: every machine family, three apps, two
+/// topologies, two block sizes, two seeds.
+fn grid() -> Vec<SimJob> {
+    let machines = [
+        MachineSpec::scoma(),
+        MachineSpec::hurricane(2),
+        MachineSpec::hurricane1(2),
+        MachineSpec::hurricane1_mult(),
+    ];
+    let apps = [AppKind::Fft, AppKind::Radix, AppKind::WaterSp];
+    let mut jobs = Vec::new();
+    for machine in machines {
+        for app in apps {
+            for topology in [Topology::new(2, 2), Topology::new(4, 2)] {
+                for block_size in [BlockSize::B32, BlockSize::B64] {
+                    for seed in [0x5eed, 7] {
+                        jobs.push(
+                            SimJob::new(machine, app, SCALE)
+                                .with_topology(topology)
+                                .with_block_size(block_size)
+                                .with_seed(seed),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    jobs
+}
+
+#[test]
+fn parallel_sweep_reproduces_the_sequential_sweep_exactly() {
+    let jobs = grid();
+    let sequential = SweepEngine::with_workers(1).run(&jobs);
+    let parallel = SweepEngine::with_workers(4).run(&jobs);
+    assert_eq!(sequential.len(), parallel.len());
+    for ((job, seq), par) in jobs.iter().zip(&sequential).zip(&parallel) {
+        assert_eq!(seq, par, "worker count changed the report of {job:?}");
+        // Belt and braces: the rendered reports are byte-identical too.
+        assert_eq!(format!("{seq:?}"), format!("{par:?}"));
+    }
+}
+
+#[test]
+fn sweep_reports_match_direct_sequential_simulation() {
+    let jobs = &grid()[..12];
+    let reports = SweepEngine::with_workers(4).run(jobs);
+    for (job, report) in jobs.iter().zip(&reports) {
+        let direct = simulate(job.config(), job.app, job.scale);
+        assert_eq!(
+            report, &direct,
+            "engine diverged from simulate() on {job:?}"
+        );
+    }
+}
+
+#[test]
+fn figure_sweeps_simulate_each_unique_cell_exactly_once() {
+    let engine = SweepEngine::with_workers(4);
+    let topology = Topology::new(2, 2);
+    // The two panels of a figure share their S-COMA reference cells, exactly
+    // like fig7 does on the real topology.
+    let top = run_figure(
+        &engine,
+        "top",
+        &hurricane_machines(),
+        topology,
+        BlockSize::B64,
+        SCALE,
+    );
+    let stats = engine.stats();
+    // 7 S-COMA reference cells + 3 Hurricane machines x 7 apps, all unique.
+    assert_eq!(stats.misses, 28);
+    assert_eq!(stats.hits, 0);
+
+    let bottom = run_figure(
+        &engine,
+        "bottom",
+        &hurricane1_machines(),
+        topology,
+        BlockSize::B64,
+        SCALE,
+    );
+    let stats = engine.stats();
+    // The bottom panel reuses the 7 reference cells and adds 4 x 7 new ones.
+    assert_eq!(stats.misses, 28 + 28);
+    assert_eq!(stats.hits, 7);
+    assert_eq!(top.scoma_speedup, bottom.scoma_speedup);
+}
+
+#[test]
+fn run_figure_matches_the_sequential_reference_implementation() {
+    let engine = SweepEngine::with_workers(4);
+    let machines = [MachineSpec::hurricane(2), MachineSpec::hurricane1(2)];
+    let topology = Topology::new(2, 2);
+    let figure = run_figure(&engine, "ref", &machines, topology, BlockSize::B64, SCALE);
+
+    // The pre-engine driver, verbatim: simulate the reference then each
+    // machine, strictly in order on this thread.
+    let config = |machine: MachineSpec| {
+        ClusterConfig::baseline(machine)
+            .with_topology(topology)
+            .with_block_size(BlockSize::B64)
+    };
+    let reference: Vec<SimReport> = AppKind::all()
+        .into_iter()
+        .map(|app| simulate(config(MachineSpec::scoma()), app, SCALE))
+        .collect();
+    for (machine, series) in machines.iter().zip(&figure.series) {
+        for ((app, scoma), normalized) in AppKind::all()
+            .into_iter()
+            .zip(&reference)
+            .zip(&series.normalized)
+        {
+            let report = simulate(config(*machine), app, SCALE);
+            assert_eq!(
+                report.normalized_speedup(scoma),
+                *normalized,
+                "figure cell ({machine}, {app:?}) diverged from the sequential driver"
+            );
+        }
+    }
+    for (scoma, speedup) in reference.iter().zip(&figure.scoma_speedup) {
+        assert_eq!(scoma.speedup(), *speedup);
+    }
+}
+
+#[test]
+fn headline_is_deterministic_across_engines_and_worker_counts() {
+    let a = headline(&SweepEngine::with_workers(1), SCALE);
+    let b = headline(&SweepEngine::with_workers(4), SCALE);
+    assert_eq!(a.geo_mean, b.geo_mean);
+    assert_eq!(a.factors, b.factors);
+}

@@ -30,6 +30,15 @@ const LOCAL_ACCESS_COST: u64 = 1;
 ///
 /// This is the main entry point used by the experiment harness; construct a
 /// [`ClusterSim`] directly to reuse a pre-generated [`Workload`].
+///
+/// `simulate` is a pure function of its three arguments: the workload is
+/// derived deterministically from `(app, config.topology, scale,
+/// config.seed)` right here on the calling thread, and every stochastic
+/// choice downstream draws from that explicitly seeded stream — there is no
+/// global or thread-local state. Calls with equal arguments therefore return
+/// equal reports from any thread, which is what lets the sweep engine in
+/// `pdq-bench` fan simulation cells out across a `ShardedPdqExecutor` and
+/// still reproduce a sequential sweep exactly.
 pub fn simulate(config: ClusterConfig, app: AppKind, scale: WorkloadScale) -> SimReport {
     let workload = Workload::generate(app, config.topology, scale, config.seed);
     ClusterSim::new(config, workload).run()

@@ -38,3 +38,16 @@ mod metrics;
 pub use cluster::{simulate, ClusterSim};
 pub use config::{ClusterConfig, MachineSpec, ProtocolScheduling};
 pub use metrics::SimReport;
+
+// The sweep engine in `pdq-bench` ships configurations to worker threads and
+// reports back; [`simulate`] itself must stay a pure function of its
+// arguments. Keep that property checked at compile time: if a future change
+// threads an `Rc`, raw pointer, or thread-local handle through these types,
+// this block stops building.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ClusterConfig>();
+    assert_send_sync::<MachineSpec>();
+    assert_send_sync::<SimReport>();
+    assert_send_sync::<ClusterSim>();
+};

@@ -8,7 +8,11 @@ use pdq_sim::Cycles;
 use crate::config::ClusterConfig;
 
 /// The result of one cluster simulation run.
-#[derive(Debug, Clone)]
+///
+/// Reports compare with `==` field by field; the sweep engine's determinism
+/// test relies on this to check that a parallel sweep reproduces the
+/// sequential reports exactly.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
     /// The configuration that was simulated.
     pub config: ClusterConfig,

@@ -5,7 +5,10 @@
 //! there, and HashDoS resistance buys nothing for process-internal indexes,
 //! so these aliases swap in a Fibonacci-multiply hasher (the same constant
 //! the executors use for shard/lock routing) with an xor-shift finalizer to
-//! feed well-distributed high and low bits to the table.
+//! feed well-distributed high and low bits to the table. [`FastHasher`]
+//! itself is exported: unlike `DefaultHasher` it is deterministic across
+//! processes, which callers (the `pdq-bench` sweep engine) rely on for
+//! reproducible key derivation.
 
 use std::hash::{BuildHasherDefault, Hasher};
 
@@ -20,8 +23,13 @@ const SEED: u64 = 0x9e37_79b9_7f4a_7c15;
 
 /// Non-cryptographic `Hasher` mixing each word with one multiply and one
 /// xor-shift.
+///
+/// Public because deterministic hashing is part of the executor family's
+/// contract: the sweep engine in `pdq-bench` hashes job descriptions through
+/// this hasher to derive PDQ sync keys, so identical jobs map to identical
+/// keys run after run — `DefaultHasher`'s per-process random keys would not.
 #[derive(Debug, Default)]
-pub(crate) struct FastHasher {
+pub struct FastHasher {
     state: u64,
 }
 

@@ -76,6 +76,7 @@ pub mod executor;
 
 pub use config::{QueueConfig, DEFAULT_SEARCH_WINDOW};
 pub use error::{QueueFullError, ShutdownError, UnknownTicketError};
+pub use fasthash::FastHasher;
 pub use key::SyncKey;
 pub use queue::{Dispatch, DispatchQueue};
 pub use stats::QueueStats;

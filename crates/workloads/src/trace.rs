@@ -6,6 +6,12 @@
 //! barriers separating phases. Scripts are generated up front from a seeded
 //! deterministic RNG, so a `(application, topology, scale, seed)` tuple always
 //! produces exactly the same workload.
+//!
+//! Generation is a pure function of those four values and touches no shared
+//! state, so the sweep engine in `pdq-bench` materializes each workload *on
+//! the worker thread that simulates it* rather than in the driver — the
+//! tuple is the job description, the trace never crosses a thread boundary,
+//! and a parallel sweep reproduces the sequential one bit for bit.
 
 use pdq_sim::DetRng;
 
@@ -68,7 +74,12 @@ pub enum Action {
 
 /// Scaling factor applied to the number of accesses per processor; use values
 /// below 1.0 for quick tests and above 1.0 for longer runs.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// The scale is part of the sweep engine's cache key, so equality and hashing
+/// go through a canonical bit pattern: `0.0` and `-0.0` compare (and hash)
+/// equal, and a NaN scale equals itself — the reflexivity `HashMap` requires,
+/// which the IEEE-754 derive would violate.
+#[derive(Debug, Clone, Copy)]
 pub struct WorkloadScale(pub f64);
 
 impl WorkloadScale {
@@ -80,6 +91,29 @@ impl WorkloadScale {
     /// A reduced scale for unit tests.
     pub fn quick() -> Self {
         WorkloadScale(0.15)
+    }
+
+    /// The canonical bit pattern used for equality and hashing.
+    fn canonical_bits(self) -> u64 {
+        if self.0 == 0.0 {
+            0.0f64.to_bits()
+        } else {
+            self.0.to_bits()
+        }
+    }
+}
+
+impl PartialEq for WorkloadScale {
+    fn eq(&self, other: &Self) -> bool {
+        self.canonical_bits() == other.canonical_bits()
+    }
+}
+
+impl Eq for WorkloadScale {}
+
+impl std::hash::Hash for WorkloadScale {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.canonical_bits().hash(state);
     }
 }
 
@@ -314,6 +348,22 @@ mod tests {
 
     fn small_workload(app: AppKind) -> Workload {
         Workload::generate(app, Topology::new(4, 2), WorkloadScale::quick(), 42)
+    }
+
+    #[test]
+    fn workload_scale_is_a_well_behaved_hash_key() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let hash = |s: WorkloadScale| {
+            let mut h = DefaultHasher::new();
+            s.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(WorkloadScale(0.0), WorkloadScale(-0.0));
+        assert_eq!(hash(WorkloadScale(0.0)), hash(WorkloadScale(-0.0)));
+        assert_eq!(WorkloadScale(f64::NAN), WorkloadScale(f64::NAN));
+        assert_ne!(WorkloadScale(0.5), WorkloadScale(1.0));
+        assert_ne!(hash(WorkloadScale(0.5)), hash(WorkloadScale(1.0)));
     }
 
     #[test]

@@ -1,0 +1,67 @@
+//! Property tests for `DetRng` stream splitting: the sweep engine's per-job
+//! determinism rests on `(seed, stream)` pairs giving independent,
+//! reproducible streams.
+
+use pdq_repro::sim::DetRng;
+use proptest::prelude::*;
+
+/// First `n` values of a stream.
+fn prefix(mut rng: DetRng, n: usize) -> Vec<u64> {
+    (0..n).map(|_| rng.next_u64()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The same `(seed, stream)` pair always produces the identical stream.
+    #[test]
+    fn same_pair_same_stream(seed in 0u64..u64::MAX, stream in 0u64..u64::MAX) {
+        prop_assert_eq!(
+            prefix(DetRng::stream(seed, stream), 32),
+            prefix(DetRng::stream(seed, stream), 32)
+        );
+    }
+
+    /// Distinct stream indices under one seed produce streams that diverge
+    /// within a short prefix (they are distinct generators, not shifted
+    /// copies of each other).
+    #[test]
+    fn distinct_streams_have_distinct_prefixes(
+        seed in 0u64..u64::MAX,
+        a in 0u64..10_000,
+        offset in 1u64..10_000,
+    ) {
+        let b = a + offset;
+        let pa = prefix(DetRng::stream(seed, a), 8);
+        let pb = prefix(DetRng::stream(seed, b), 8);
+        prop_assert_ne!(&pa, &pb);
+        // No lag-correlation either: stream b must not be stream a shifted
+        // by one (a failure mode of additive stream derivation).
+        prop_assert_ne!(&pa[1..], &pb[..7]);
+    }
+
+    /// Distinct seeds produce distinct streams for the same stream index.
+    #[test]
+    fn distinct_seeds_have_distinct_prefixes(
+        seed in 0u64..u64::MAX,
+        offset in 1u64..10_000,
+        stream in 0u64..10_000,
+    ) {
+        prop_assert_ne!(
+            prefix(DetRng::stream(seed, stream), 8),
+            prefix(DetRng::stream(seed.wrapping_add(offset), stream), 8)
+        );
+    }
+
+    /// Stateful `split` and stateless `stream` coexist: a split child is
+    /// reproducible given the parent's history.
+    #[test]
+    fn split_children_remain_reproducible(seed in 0u64..u64::MAX, salt in 0u64..1_000) {
+        let mut parent1 = DetRng::new(seed);
+        let mut parent2 = DetRng::new(seed);
+        prop_assert_eq!(
+            prefix(parent1.split(salt), 16),
+            prefix(parent2.split(salt), 16)
+        );
+    }
+}
