@@ -3,6 +3,10 @@
 //! static multi-queue partitioning, on a contended fetch&add-style workload,
 //! plus the sharded PDQ executor that removes the single queue mutex.
 //!
+//! Every executor is built through the `build_executor` registry and driven
+//! through the `Executor` trait, so a newly registered executor is measured
+//! here without touching this bench.
+//!
 //! Two worker counts are measured: the paper-scale 4-worker configuration and
 //! a 16-worker configuration where the single shared queue of the plain PDQ
 //! executor becomes the bottleneck and sharding pays off.
@@ -11,10 +15,8 @@ use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pdq_bench::drive_fetch_add;
-use pdq_core::executor::{
-    KeyedExecutor, MultiQueueExecutor, PdqBuilder, ShardedPdqBuilder, SpinLockExecutor,
-};
+use pdq_bench::{drive_fetch_add, scaling_spec};
+use pdq_core::executor::{build_executor, Executor, EXECUTOR_NAMES};
 
 const JOBS: u64 = 4_000;
 /// Number of distinct memory words (keys); small => high contention.
@@ -24,7 +26,7 @@ const HOT_WORDS: u64 = 8;
 /// makes the plain read-modify-write inside [`drive_fetch_add`] safe; the
 /// driver is shared with the `executor_scaling` experiment so the bench and
 /// the experiment measure the same workload.
-fn fetch_add_workload<E: KeyedExecutor>(executor: &E, words: &[Arc<AtomicU64>]) {
+fn fetch_add_workload(executor: &dyn Executor, words: &[Arc<AtomicU64>]) {
     drive_fetch_add(executor, JOBS, words);
 }
 
@@ -32,56 +34,25 @@ fn words(n: u64) -> Vec<Arc<AtomicU64>> {
     (0..n).map(|_| Arc::new(AtomicU64::new(0))).collect()
 }
 
-/// Shard count used for the sharded executor at a given worker count (one
-/// shard per four workers, the builder's default ratio, but explicit so the
-/// bench is self-describing).
-fn shards_for(workers: usize) -> usize {
-    workers.div_ceil(4)
-}
-
 fn bench_workers(c: &mut Criterion, group_name: &str, workers: usize, hot_words: u64) {
     let mut group = c.benchmark_group(group_name);
     group.sample_size(10);
 
-    group.bench_function(BenchmarkId::new("pdq", workers), |b| {
-        b.iter_batched(
-            || (PdqBuilder::new().workers(workers).build(), words(hot_words)),
-            |(executor, words)| fetch_add_workload(&executor, &words),
-            criterion::BatchSize::LargeInput,
-        )
-    });
-
-    group.bench_function(BenchmarkId::new("sharded_pdq", workers), |b| {
-        b.iter_batched(
-            || {
-                (
-                    ShardedPdqBuilder::new()
-                        .workers(workers)
-                        .shards(shards_for(workers))
-                        .build(),
-                    words(hot_words),
-                )
-            },
-            |(executor, words)| fetch_add_workload(&executor, &words),
-            criterion::BatchSize::LargeInput,
-        )
-    });
-
-    group.bench_function(BenchmarkId::new("spinlock", workers), |b| {
-        b.iter_batched(
-            || (SpinLockExecutor::new(workers), words(hot_words)),
-            |(executor, words)| fetch_add_workload(&executor, &words),
-            criterion::BatchSize::LargeInput,
-        )
-    });
-
-    group.bench_function(BenchmarkId::new("multiqueue", workers), |b| {
-        b.iter_batched(
-            || (MultiQueueExecutor::new(workers), words(hot_words)),
-            |(executor, words)| fetch_add_workload(&executor, &words),
-            criterion::BatchSize::LargeInput,
-        )
-    });
+    for name in EXECUTOR_NAMES {
+        group.bench_function(BenchmarkId::new(name, workers), |b| {
+            b.iter_batched(
+                || {
+                    (
+                        build_executor(name, &scaling_spec(name, workers))
+                            .expect("registry names build"),
+                        words(hot_words),
+                    )
+                },
+                |(executor, words)| fetch_add_workload(&*executor, &words),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
 
     group.finish();
 }

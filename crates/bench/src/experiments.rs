@@ -11,10 +11,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use pdq_core::executor::{
-    KeyedExecutor, KeyedExecutorExt, MultiQueueExecutor, PdqBuilder, ShardedPdqBuilder,
-    SpinLockExecutor,
-};
+use pdq_core::executor::{build_executor, Executor, ExecutorExt, ExecutorSpec, EXECUTOR_NAMES};
 use pdq_dsm::BlockSize;
 use pdq_hurricane::{MachineSpec, SimReport};
 use pdq_sim::DetRng;
@@ -24,14 +21,16 @@ use crate::json::JsonValue;
 use crate::sweep::{SimJob, SweepEngine, SweepStats};
 
 /// Reads the workload scale from the `PDQ_SCALE` environment variable
-/// (default 1.0). Values are clamped to `[0.05, 4.0]`.
+/// (default 1.0, valid `[0.05, 4.0]`), with the same strict rules as the
+/// experiment binaries.
+///
+/// # Panics
+///
+/// Panics on a malformed or out-of-range value; the binaries validate the
+/// environment up front (`pdq_bench::runner::EnvConfig::from_env`) and
+/// print a clean error instead. Only `PDQ_SCALE` is read here.
 pub fn workload_scale() -> WorkloadScale {
-    let scale = std::env::var("PDQ_SCALE")
-        .ok()
-        .and_then(|v| v.parse::<f64>().ok())
-        .unwrap_or(1.0)
-        .clamp(0.05, 4.0);
-    WorkloadScale(scale)
+    crate::runner::env_scale().unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// One machine's series in a figure: its normalized speedup per application.
@@ -761,8 +760,8 @@ pub struct ExecutorScalingSeries {
     pub jobs_per_sec: Vec<f64>,
 }
 
-/// The executor-scaling experiment: all four [`KeyedExecutor`]s driven by the
-/// same contended fetch&add workload across a sweep of worker counts.
+/// The executor-scaling experiment: every registered [`Executor`] driven by
+/// the same contended fetch&add workload across a sweep of worker counts.
 #[derive(Debug, Clone)]
 pub struct ExecutorScalingResult {
     /// The worker counts swept.
@@ -808,7 +807,7 @@ impl ExecutorScalingResult {
 /// a plain (unsynchronized) read-modify-write — correct only if the executor
 /// honours the key contract. Shared by the `executor_scaling` experiment and
 /// the `pdq_vs_spinlock` criterion bench so both drive the same workload.
-pub fn drive_fetch_add<E: KeyedExecutor>(executor: &E, jobs: u64, cells: &[Arc<AtomicU64>]) {
+pub fn drive_fetch_add<E: Executor + ?Sized>(executor: &E, jobs: u64, cells: &[Arc<AtomicU64>]) {
     let n = cells.len() as u64;
     for i in 0..jobs {
         let cell = Arc::clone(&cells[(i % n) as usize]);
@@ -817,12 +816,12 @@ pub fn drive_fetch_add<E: KeyedExecutor>(executor: &E, jobs: u64, cells: &[Arc<A
             cell.store(v + 1, Ordering::Relaxed);
         });
     }
-    executor.wait_idle();
+    executor.flush();
 }
 
 /// Runs [`drive_fetch_add`] over `words` fresh memory words and returns the
 /// verified throughput in jobs per second.
-fn fetch_add_throughput<E: KeyedExecutor>(executor: &E, jobs: u64, words: u64) -> f64 {
+fn fetch_add_throughput<E: Executor + ?Sized>(executor: &E, jobs: u64, words: u64) -> f64 {
     let cells: Vec<Arc<AtomicU64>> = (0..words).map(|_| Arc::new(AtomicU64::new(0))).collect();
     let start = Instant::now();
     drive_fetch_add(executor, jobs, &cells);
@@ -832,53 +831,44 @@ fn fetch_add_throughput<E: KeyedExecutor>(executor: &E, jobs: u64, words: u64) -
     jobs as f64 / elapsed.max(f64::EPSILON)
 }
 
+/// The construction spec used for one executor measurement at a given worker
+/// count: the sharded executor gets one shard per four workers (its builder
+/// default, explicit so the experiments are self-describing). Shared by the
+/// `executor_scaling` experiment and the `pdq_vs_spinlock` criterion bench so
+/// both measure identically configured executors.
+pub fn scaling_spec(name: &str, workers: usize) -> ExecutorSpec {
+    let spec = ExecutorSpec::new(workers);
+    if name == "sharded-pdq" {
+        spec.shards(workers.div_ceil(4))
+    } else {
+        spec
+    }
+}
+
 /// The executor-scaling experiment behind the `executor_scaling` binary:
-/// throughput of the four executors on a contended fetch&add workload as
-/// workers grow. `scale` multiplies the job count (default 20 000 per
-/// measurement at scale 1.0).
+/// throughput of every registered executor on a contended fetch&add workload
+/// as workers grow. `scale` multiplies the job count (default 20 000 per
+/// measurement at scale 1.0). The executors are built purely through the
+/// [`build_executor`] registry, so a newly registered executor shows up here
+/// without touching this experiment.
 pub fn executor_scaling(scale: WorkloadScale) -> ExecutorScalingResult {
     let workers = vec![1usize, 2, 4, 8, 16];
     let jobs = ((20_000.0 * scale.0) as u64).max(1_000);
     let words = 64u64;
-    let mut series = vec![
-        ExecutorScalingSeries {
-            executor: "pdq".to_string(),
-            jobs_per_sec: Vec::new(),
-        },
-        ExecutorScalingSeries {
-            executor: "sharded-pdq".to_string(),
-            jobs_per_sec: Vec::new(),
-        },
-        ExecutorScalingSeries {
-            executor: "spinlock".to_string(),
-            jobs_per_sec: Vec::new(),
-        },
-        ExecutorScalingSeries {
-            executor: "multiqueue".to_string(),
-            jobs_per_sec: Vec::new(),
-        },
-    ];
-    for &w in &workers {
-        let pdq = PdqBuilder::new().workers(w).build();
-        series[0]
-            .jobs_per_sec
-            .push(fetch_add_throughput(&pdq, jobs, words));
-        let sharded = ShardedPdqBuilder::new()
-            .workers(w)
-            .shards(w.div_ceil(4))
-            .build();
-        series[1]
-            .jobs_per_sec
-            .push(fetch_add_throughput(&sharded, jobs, words));
-        let spinlock = SpinLockExecutor::new(w);
-        series[2]
-            .jobs_per_sec
-            .push(fetch_add_throughput(&spinlock, jobs, words));
-        let multiqueue = MultiQueueExecutor::new(w);
-        series[3]
-            .jobs_per_sec
-            .push(fetch_add_throughput(&multiqueue, jobs, words));
-    }
+    let series = EXECUTOR_NAMES
+        .iter()
+        .map(|name| ExecutorScalingSeries {
+            executor: name.to_string(),
+            jobs_per_sec: workers
+                .iter()
+                .map(|&w| {
+                    let pool =
+                        build_executor(name, &scaling_spec(name, w)).expect("registry names build");
+                    fetch_add_throughput(&*pool, jobs, words)
+                })
+                .collect(),
+        })
+        .collect();
     ExecutorScalingResult {
         workers,
         jobs,
@@ -982,8 +972,9 @@ mod tests {
 
     #[test]
     fn fetch_add_throughput_verifies_and_reports() {
-        let pool = ShardedPdqBuilder::new().workers(2).shards(2).build();
-        let rate = fetch_add_throughput(&pool, 2_000, 16);
+        let pool = build_executor("sharded-pdq", &ExecutorSpec::new(2).shards(2))
+            .expect("sharded-pdq is registered");
+        let rate = fetch_add_throughput(&*pool, 2_000, 16);
         assert!(rate > 0.0);
     }
 

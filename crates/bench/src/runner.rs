@@ -13,8 +13,7 @@ use pdq_workloads::WorkloadScale;
 
 use crate::experiments::{
     ablation_search_window, executor_scaling, fig10, fig11, fig7, fig8, fig9, headline,
-    render_executor_scaling, render_table2, sweep_grid, table2, table2_json, workload_scale,
-    FigureResult,
+    render_executor_scaling, render_table2, sweep_grid, table2, table2_json, FigureResult,
 };
 use crate::json::JsonValue;
 use crate::sweep::SweepEngine;
@@ -87,9 +86,10 @@ impl Experiment {
     }
 }
 
-/// Runs one experiment end to end: parse the command line, run the
-/// simulations on a shared [`SweepEngine`], print the text tables, and write
-/// JSON when requested. This is the whole body of every experiment binary.
+/// Runs one experiment end to end: parse the command line, validate the
+/// environment, run the simulations on a shared [`SweepEngine`], print the
+/// text tables, and write JSON when requested. This is the whole body of
+/// every experiment binary.
 pub fn run(experiment: Experiment) -> ExitCode {
     let json_path = match parse_args(experiment, std::env::args().skip(1)) {
         Ok(Parsed::Run(path)) => {
@@ -105,12 +105,21 @@ pub fn run(experiment: Experiment) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // A malformed environment fails loudly up front: silently falling back to
+    // defaults would run a different experiment than the one asked for.
+    let env = match EnvConfig::from_env() {
+        Ok(env) => env,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
     // Table 1 is pure latency arithmetic; don't spin up a worker pool for it.
     let engine = match experiment {
         Experiment::Table1 => SweepEngine::with_workers(1),
-        _ => SweepEngine::new(),
+        _ => SweepEngine::with_workers(env.workers_or_default()),
     };
-    let (text, json) = execute(experiment, &engine, workload_scale());
+    let (text, json) = execute_with(experiment, &engine, env.scale, env.replicates);
     print!("{text}");
     if experiment == Experiment::All {
         if let Err(e) = std::fs::write("experiment_results.txt", &text) {
@@ -121,7 +130,7 @@ pub fn run(experiment: Experiment) -> ExitCode {
     if let Some(path) = json_path {
         let document = JsonValue::object(vec![
             ("experiment", experiment.name().into()),
-            ("scale", workload_scale().0.into()),
+            ("scale", env.scale.0.into()),
             ("workers", engine.workers().into()),
             ("results", json),
         ]);
@@ -134,6 +143,93 @@ pub fn run(experiment: Experiment) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// The validated environment of an experiment run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnvConfig {
+    /// `PDQ_WORKERS`: sweep worker threads (`None` = one per CPU).
+    pub workers: Option<usize>,
+    /// `PDQ_SCALE`: workload scale factor.
+    pub scale: WorkloadScale,
+    /// `PDQ_REPLICATES`: sweep-grid replicates.
+    pub replicates: usize,
+}
+
+impl EnvConfig {
+    /// Reads and validates `PDQ_WORKERS`, `PDQ_SCALE`, and `PDQ_REPLICATES`.
+    /// Malformed or out-of-range values are rejected with a message naming
+    /// the variable, the offending value, and the accepted range — never
+    /// silently replaced with a default.
+    pub fn from_env() -> Result<Self, String> {
+        Ok(Self {
+            workers: env_workers()?,
+            scale: env_scale()?,
+            replicates: env_replicates()?,
+        })
+    }
+
+    fn workers_or_default(&self) -> usize {
+        self.workers.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+    }
+}
+
+/// Validates one environment value: `None`/empty means unset, anything else
+/// must parse as a `T` inside `[lo, hi]`. Pure function of its arguments so
+/// the rejection rules are unit-testable without touching the process
+/// environment.
+fn parse_env_value<T: std::str::FromStr + PartialOrd + std::fmt::Display + Copy>(
+    name: &str,
+    raw: Option<&str>,
+    lo: T,
+    hi: T,
+) -> Result<Option<T>, String> {
+    let raw = match raw {
+        Some(v) if !v.is_empty() => v,
+        _ => return Ok(None),
+    };
+    let value: T = raw
+        .parse()
+        .map_err(|_| format!("{name}={raw} is not a valid number (expected {lo}..={hi})"))?;
+    // Negated >= / <= (rather than < / >) so a NaN scale fails the range
+    // check instead of slipping past both comparisons.
+    if !(value >= lo && value <= hi) {
+        return Err(format!(
+            "{name}={raw} is out of range (expected {lo}..={hi})"
+        ));
+    }
+    Ok(Some(value))
+}
+
+/// Reads and validates environment variable `name` within `[lo, hi]`.
+fn env_parse<T: std::str::FromStr + PartialOrd + std::fmt::Display + Copy>(
+    name: &str,
+    lo: T,
+    hi: T,
+) -> Result<Option<T>, String> {
+    parse_env_value(name, std::env::var(name).ok().as_deref(), lo, hi)
+}
+
+/// `PDQ_WORKERS` as a validated worker count in `1..=512`.
+pub(crate) fn env_workers() -> Result<Option<usize>, String> {
+    env_parse("PDQ_WORKERS", 1usize, 512usize)
+}
+
+/// `PDQ_SCALE` as a validated workload scale in `[0.05, 4.0]` (default 1.0).
+pub(crate) fn env_scale() -> Result<WorkloadScale, String> {
+    Ok(WorkloadScale(
+        env_parse("PDQ_SCALE", 0.05f64, 4.0f64)?.unwrap_or(1.0),
+    ))
+}
+
+/// `PDQ_REPLICATES` as a validated sweep-grid replicate count in `1..=16`
+/// (default 2).
+fn env_replicates() -> Result<usize, String> {
+    Ok(env_parse("PDQ_REPLICATES", 1usize, 16usize)?.unwrap_or(2))
 }
 
 /// Outcome of argument parsing.
@@ -170,9 +266,10 @@ fn parse_args(
                      Writes the experiment's results as JSON to PATH (default\n\
                      {}.json) in addition to the text tables. Environment:\n\
                      PDQ_JSON=PATH same as --json PATH; PDQ_SCALE=F workload\n\
-                     scale in [0.05, 4.0]; PDQ_WORKERS=N sweep worker threads;\n\
-                     PDQ_REPLICATES=N sweep-grid replicates (clamped to\n\
-                     [1, 16], default 2).",
+                     scale in [0.05, 4.0]; PDQ_WORKERS=N sweep worker threads\n\
+                     in 1..=512; PDQ_REPLICATES=N sweep-grid replicates in\n\
+                     1..=16 (default 2). Malformed or out-of-range values are\n\
+                     rejected, not silently replaced.",
                     experiment.name(),
                     experiment.name(),
                 )));
@@ -181,22 +278,6 @@ fn parse_args(
         }
     }
     Ok(Parsed::Run(json_path))
-}
-
-/// Number of sweep-grid replicates from `PDQ_REPLICATES` (default 2,
-/// clamped to `[1, 16]` — also stated in the `--help` text). Warns when the
-/// requested value was reduced so a silently halved sweep cannot pass for
-/// the full one.
-fn grid_replicates() -> usize {
-    let requested = std::env::var("PDQ_REPLICATES")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .unwrap_or(2);
-    let clamped = requested.clamp(1, 16);
-    if clamped != requested {
-        eprintln!("PDQ_REPLICATES={requested} clamped to {clamped} (supported range 1..=16)");
-    }
-    clamped
 }
 
 /// Renders a two-panel figure as text.
@@ -209,12 +290,24 @@ fn figure_json(top: &FigureResult, bottom: &FigureResult) -> JsonValue {
     JsonValue::object(vec![("top", top.to_json()), ("bottom", bottom.to_json())])
 }
 
-/// Runs the experiment's simulations on `engine` at `scale` and returns the
-/// text report plus the JSON payload.
+/// Runs the experiment's simulations on `engine` at `scale` with the default
+/// two sweep-grid replicates. See [`execute_with`].
 pub fn execute(
     experiment: Experiment,
     engine: &SweepEngine,
     scale: WorkloadScale,
+) -> (String, JsonValue) {
+    execute_with(experiment, engine, scale, 2)
+}
+
+/// Runs the experiment's simulations on `engine` at `scale` (with
+/// `replicates` sweep-grid replicates) and returns the text report plus the
+/// JSON payload.
+pub fn execute_with(
+    experiment: Experiment,
+    engine: &SweepEngine,
+    scale: WorkloadScale,
+    replicates: usize,
 ) -> (String, JsonValue) {
     match experiment {
         Experiment::Table1 => {
@@ -261,7 +354,7 @@ pub fn execute(
             (render_executor_scaling(&result), result.to_json())
         }
         Experiment::Sweep => {
-            let result = sweep_grid(engine, scale, grid_replicates());
+            let result = sweep_grid(engine, scale, replicates);
             (result.render(), result.to_json())
         }
         Experiment::All => {
@@ -271,7 +364,7 @@ pub fn execute(
             );
             let mut sections: Vec<(&str, JsonValue)> = Vec::new();
             for part in Experiment::ALL_PARTS {
-                let (part_text, part_json) = execute(part, engine, scale);
+                let (part_text, part_json) = execute_with(part, engine, scale, replicates);
                 text.push_str(&format!("[{}]\n{}\n", part.name(), part_text));
                 sections.push((part.name(), part_json));
             }
@@ -358,6 +451,43 @@ mod tests {
         );
         assert!(parse(&["--bogus"]).is_err());
         assert!(matches!(parse(&["--help"]), Ok(Parsed::Help(_))));
+    }
+
+    #[test]
+    fn env_values_are_validated_not_silently_defaulted() {
+        // Unset / empty fall back to "not provided".
+        assert_eq!(parse_env_value("PDQ_WORKERS", None, 1usize, 512), Ok(None));
+        assert_eq!(
+            parse_env_value("PDQ_WORKERS", Some(""), 1usize, 512),
+            Ok(None)
+        );
+        // Well-formed, in-range values pass through.
+        assert_eq!(
+            parse_env_value("PDQ_WORKERS", Some("8"), 1usize, 512),
+            Ok(Some(8))
+        );
+        assert_eq!(
+            parse_env_value("PDQ_SCALE", Some("0.25"), 0.05f64, 4.0),
+            Ok(Some(0.25))
+        );
+        // Malformed values are rejected with the variable name and range.
+        let err = parse_env_value("PDQ_WORKERS", Some("four"), 1usize, 512).unwrap_err();
+        assert!(err.contains("PDQ_WORKERS=four"), "{err}");
+        assert!(err.contains("1..=512"), "{err}");
+        let err = parse_env_value("PDQ_SCALE", Some("fast"), 0.05f64, 4.0).unwrap_err();
+        assert!(err.contains("not a valid number"), "{err}");
+        // Out-of-range values are rejected, not clamped.
+        let err = parse_env_value("PDQ_REPLICATES", Some("0"), 1usize, 16).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+        let err = parse_env_value("PDQ_REPLICATES", Some("99"), 1usize, 16).unwrap_err();
+        assert!(err.contains("PDQ_REPLICATES=99"), "{err}");
+        let err = parse_env_value("PDQ_SCALE", Some("9.5"), 0.05f64, 4.0).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+        // NaN parses as an f64 but must not satisfy the range check.
+        let err = parse_env_value("PDQ_SCALE", Some("NaN"), 0.05f64, 4.0).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+        // Negative worker counts are malformed for an unsigned parse.
+        assert!(parse_env_value("PDQ_WORKERS", Some("-2"), 1usize, 512).is_err());
     }
 
     #[test]

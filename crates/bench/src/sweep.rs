@@ -3,10 +3,11 @@
 //! Every figure and table of the paper is a grid of independent simulation
 //! cells keyed by configuration — exactly the keyed-parallelism shape the
 //! PDQ abstraction exists for. [`SweepEngine`] dogfoods the runtime on its
-//! own evaluation: each cell is a [`SimJob`], jobs are submitted to a
-//! [`ShardedPdqExecutor`] keyed by the job's configuration hash, and finished
-//! [`SimReport`]s are memoized in a concurrent cache so a baseline that five
-//! figures share is simulated once per sweep instead of once per figure.
+//! own evaluation: each cell is a [`SimJob`], jobs are submitted through the
+//! [`Executor`] trait (a sharded PDQ executor by default) keyed by the job's
+//! configuration hash, and finished [`SimReport`]s are memoized in a
+//! concurrent cache so a baseline that five figures share is simulated once
+//! per sweep instead of once per figure.
 //!
 //! # Determinism
 //!
@@ -32,7 +33,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use pdq_core::executor::{KeyedExecutor, KeyedExecutorExt, ShardedPdqBuilder, ShardedPdqExecutor};
+use pdq_core::executor::{build_executor, Executor, ExecutorExt, ExecutorSpec};
 use pdq_core::FastHasher;
 use pdq_dsm::BlockSize;
 use pdq_hurricane::{simulate, ClusterConfig, MachineSpec, SimReport};
@@ -162,7 +163,10 @@ struct Cache {
     misses: AtomicU64,
 }
 
-/// Runs experiment grids on a [`ShardedPdqExecutor`] with memoized results.
+/// Runs experiment grids on an [`Executor`] with memoized results.
+///
+/// The engine consumes its executor purely through the trait, so any
+/// registered executor can host a sweep; the default is `"sharded-pdq"`.
 ///
 /// # Examples
 ///
@@ -181,7 +185,7 @@ struct Cache {
 /// ```
 #[derive(Debug)]
 pub struct SweepEngine {
-    executor: ShardedPdqExecutor,
+    executor: Box<dyn Executor>,
     cache: Arc<Cache>,
     workers: usize,
 }
@@ -189,10 +193,15 @@ pub struct SweepEngine {
 impl SweepEngine {
     /// Creates an engine with one worker per available CPU, overridable with
     /// the `PDQ_WORKERS` environment variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `PDQ_WORKERS` is set to a malformed or out-of-range
+    /// value; the experiment binaries validate the variable up front (in
+    /// `pdq_bench::runner`) and print a clean error instead.
     pub fn new() -> Self {
-        let workers = std::env::var("PDQ_WORKERS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
+        let workers = crate::runner::env_workers()
+            .unwrap_or_else(|e| panic!("{e}"))
             .unwrap_or_else(|| {
                 std::thread::available_parallelism()
                     .map(|n| n.get())
@@ -202,12 +211,23 @@ impl SweepEngine {
     }
 
     /// Creates an engine with exactly `workers` worker threads (clamped to at
-    /// least one). `with_workers(1)` is the sequential reference the
-    /// determinism test compares parallel sweeps against.
+    /// least one) on the default `"sharded-pdq"` executor. `with_workers(1)`
+    /// is the sequential reference the determinism test compares parallel
+    /// sweeps against.
     pub fn with_workers(workers: usize) -> Self {
         let workers = workers.max(1);
+        let executor = build_executor("sharded-pdq", &ExecutorSpec::new(workers))
+            .expect("sharded-pdq is a registered executor");
+        Self::with_executor(executor)
+    }
+
+    /// Creates an engine on an explicit executor (any [`Executor`]
+    /// implementation, e.g. from [`build_executor`]). The engine's reported
+    /// worker count is the executor's own, so the two can never disagree.
+    pub fn with_executor(executor: Box<dyn Executor>) -> Self {
+        let workers = executor.workers();
         Self {
-            executor: ShardedPdqBuilder::new().workers(workers).build(),
+            executor,
             cache: Arc::new(Cache::default()),
             workers,
         }
@@ -216,6 +236,11 @@ impl SweepEngine {
     /// Number of worker threads simulating cells.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// The registry name of the executor hosting this engine's sweeps.
+    pub fn executor_name(&self) -> &'static str {
+        self.executor.name()
     }
 
     /// Runs every job in `jobs` and returns their reports in the same order.

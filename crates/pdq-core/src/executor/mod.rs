@@ -1,86 +1,456 @@
 //! Multi-threaded executors.
 //!
-//! Four executors share the [`KeyedExecutor`] interface so they can be
+//! Four executors implement the core [`Executor`] trait so they can be
 //! compared head-to-head (this is the motivation experiment of the paper,
-//! Section 2):
+//! Section 2) and driven interchangeably by benchmarks, the sweep engine,
+//! and server workloads:
 //!
-//! * [`PdqExecutor`] — the paper's proposal: one shared queue, handlers are
-//!   synchronized *in the queue* before dispatch. Workers never block inside a
-//!   handler.
-//! * [`ShardedPdqExecutor`] — the same abstraction over N independent queue
-//!   shards (keys are hashed onto shards, `Sequential` escalates to a global
-//!   barrier), so submit/dispatch/complete no longer serialize on one queue
-//!   mutex and throughput keeps scaling with workers.
-//! * [`SpinLockExecutor`] — the conventional alternative: one shared queue,
-//!   workers acquire a per-key spin lock *inside* the handler (Figure 2,
-//!   right). Conflicting handlers busy-wait on the lock.
-//! * [`MultiQueueExecutor`] — static partitioning: keys are hashed onto one
-//!   queue per worker and each worker only serves its own queue (the
-//!   multiple-protocol-queues model the paper argues against; Michael et al.
-//!   observed it suffers from load imbalance). Unlike the sharded PDQ
-//!   executor, a queue here has exactly one worker, and `Sequential` gets
-//!   only a weaker pinned-to-one-worker guarantee.
+//! * [`PdqExecutor`] (`"pdq"`) — the paper's proposal: one shared queue,
+//!   handlers are synchronized *in the queue* before dispatch. Workers never
+//!   block inside a handler.
+//! * [`ShardedPdqExecutor`] (`"sharded-pdq"`) — the same abstraction over N
+//!   independent queue shards (keys are hashed onto shards, `Sequential`
+//!   escalates to a global barrier), so submit/dispatch/complete no longer
+//!   serialize on one queue mutex and throughput keeps scaling with workers.
+//! * [`SpinLockExecutor`] (`"spinlock"`) — the conventional alternative: one
+//!   shared queue, workers acquire a per-key spin lock *inside* the handler
+//!   (Figure 2, right). Conflicting handlers busy-wait on the lock.
+//! * [`MultiQueueExecutor`] (`"multiqueue"`) — static partitioning: keys are
+//!   hashed onto one queue per worker and each worker only serves its own
+//!   queue (the multiple-protocol-queues model the paper argues against;
+//!   Michael et al. observed it suffers from load imbalance). Unlike the
+//!   sharded PDQ executor, a queue here has exactly one worker, and
+//!   `Sequential` gets only a weaker pinned-to-one-worker guarantee.
+//!
+//! The quoted names are the registry keys of [`build_executor`]; adding a
+//! fifth executor means implementing [`Executor`] and listing it there —
+//! every consumer that goes through the trait picks it up unchanged.
+//!
+//! The [`completion`] module provides the notification layer shared by all
+//! executors: per-job completion slots (blocking waits, futures, callbacks)
+//! and the FIFO submission waiters behind bounded-queue backpressure.
 
+pub mod completion;
 mod multiqueue;
 mod pdq;
 mod sharded;
 mod spinlock;
 
+pub use completion::{attach, block_on, CompletionHandle, JobStatus, SubmitFuture, SubmitWaiter};
 pub use multiqueue::{MultiQueueExecutor, MultiQueueStats};
 pub use pdq::{PdqBuilder, PdqExecutor, PdqExecutorStats};
 pub use sharded::{ShardedPdqBuilder, ShardedPdqExecutor, ShardedPdqStats};
 pub use spinlock::{SpinLockExecutor, SpinLockStats};
 
+use std::sync::Arc;
+
+use crate::error::ShutdownError;
 use crate::key::SyncKey;
+use crate::stats::QueueStats;
 
 /// A unit of work submitted to an executor.
 pub type Job = Box<dyn FnOnce() + Send + 'static>;
 
-/// Common interface of the three executors, used by benchmarks and tests to
-/// drive them interchangeably.
-pub trait KeyedExecutor {
-    /// Submits a job annotated with a synchronization key.
-    ///
-    /// Jobs with equal user keys are executed in submission order and never
-    /// concurrently with each other. The executor's guarantees for
-    /// [`SyncKey::Sequential`] and [`SyncKey::NoSync`] match the
-    /// [`DispatchQueue`](crate::DispatchQueue) semantics where supported; the
-    /// baseline executors treat `Sequential` as a single global key and
-    /// `NoSync` as "no lock".
-    fn submit(&self, key: SyncKey, job: Job);
+/// Error returned by [`Executor::try_submit`]. Both variants hand the job
+/// back to the caller so it can be retried, rerouted, or dropped.
+pub enum TrySubmitError {
+    /// The executor's queue is bounded and at capacity right now (or other
+    /// submissions are already parked waiting for space).
+    WouldBlock(Job),
+    /// The executor has been shut down and accepts no further work.
+    Shutdown(Job),
+}
 
-    /// Blocks until every job submitted so far has finished executing.
-    fn wait_idle(&self);
+impl TrySubmitError {
+    /// Consumes the error and returns the rejected job.
+    pub fn into_job(self) -> Job {
+        match self {
+            TrySubmitError::WouldBlock(job) | TrySubmitError::Shutdown(job) => job,
+        }
+    }
+
+    /// Whether the submission failed because the queue is full (as opposed
+    /// to the executor having shut down).
+    pub fn is_would_block(&self) -> bool {
+        matches!(self, TrySubmitError::WouldBlock(_))
+    }
+}
+
+impl std::fmt::Debug for TrySubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrySubmitError::WouldBlock(_) => f.write_str("TrySubmitError::WouldBlock(..)"),
+            TrySubmitError::Shutdown(_) => f.write_str("TrySubmitError::Shutdown(..)"),
+        }
+    }
+}
+
+impl std::fmt::Display for TrySubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrySubmitError::WouldBlock(_) => {
+                f.write_str("executor queue is at capacity; job returned to caller")
+            }
+            TrySubmitError::Shutdown(_) => {
+                f.write_str("executor has been shut down; job returned to caller")
+            }
+        }
+    }
+}
+
+/// Aggregate statistics every [`Executor`] can report.
+///
+/// Executor-specific fields are zero / `None` where they do not apply (only
+/// the PDQ family has a [`QueueStats`], only the spin-lock baseline
+/// busy-waits, only the multi-queue baseline counts spurious wakeups); the
+/// richer concrete stats types remain available on the concrete executors.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecutorStats {
+    /// Jobs that ran to completion.
+    pub executed: u64,
+    /// Jobs that panicked (contained; the worker keeps running and the job's
+    /// key is released).
+    pub panicked: u64,
+    /// Jobs currently waiting: queued but not yet dispatched, plus
+    /// submissions parked behind a full bounded queue.
+    pub queued: usize,
+    /// Merged dispatch-queue statistics (PDQ-family executors only).
+    pub queue: Option<QueueStats>,
+    /// Iterations spent busy-waiting on contended in-handler locks
+    /// ([`SpinLockExecutor`] only).
+    pub spin_iterations: u64,
+    /// Times a worker or idle-waiter woke up and found nothing to do
+    /// ([`MultiQueueExecutor`] only; the PDQ executors use targeted wakeups).
+    pub spurious_wakeups: u64,
+}
+
+/// The common interface of every executor: keyed submission with optional
+/// backpressure, idle flushing, shutdown, and statistics.
+///
+/// Jobs with equal user keys are executed in submission order (except the
+/// spin-lock baseline, which only guarantees mutual exclusion) and never
+/// concurrently with each other. The guarantees for
+/// [`SyncKey::Sequential`] and [`SyncKey::NoSync`] match the
+/// [`DispatchQueue`](crate::DispatchQueue) semantics where supported; the
+/// baseline executors treat `Sequential` as a single global key and `NoSync`
+/// as "no lock".
+///
+/// Bounded executors exert backpressure: [`try_submit`](Self::try_submit)
+/// fails fast with [`TrySubmitError::WouldBlock`], [`submit`](Self::submit)
+/// parks the calling thread, and [`ExecutorExt::submit_async`] parks the
+/// submitting *future*. Parked submissions are admitted strictly in FIFO
+/// order. The capacity bound applies to the dispatch queue itself; parked
+/// submissions additionally occupy the overflow list, whose size equals the
+/// number of submissions the caller has in flight (blocked threads plus
+/// not-yet-admitted futures) — an async producer that keeps creating
+/// `submit_async` futures without awaiting any of them therefore buffers
+/// one parked job per outstanding future.
+pub trait Executor: Send + Sync + std::fmt::Debug {
+    /// The executor's registry name (see [`build_executor`]).
+    fn name(&self) -> &'static str;
 
     /// Number of worker threads.
     fn workers(&self) -> usize;
+
+    /// Submits a job without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`TrySubmitError::WouldBlock`] if the queue is bounded and full (the
+    /// job is handed back); [`TrySubmitError::Shutdown`] after
+    /// [`shutdown`](Self::shutdown).
+    ///
+    /// The sharded executor accepts `Sequential` submissions unconditionally
+    /// (the barrier stubs use the parked-admission path), so `WouldBlock` is
+    /// only returned for `Key`/`NoSync` jobs there.
+    fn try_submit(&self, key: SyncKey, job: Job) -> Result<(), TrySubmitError>;
+
+    /// Submits a job, transferring ownership immediately and signalling
+    /// `waiter` once the job has been admitted into the queue (or aborted by
+    /// shutdown). Never blocks the caller: if the queue is full the
+    /// submission is parked in the executor's FIFO overflow list and
+    /// admitted by a worker when space frees up.
+    ///
+    /// This is the building block behind [`submit`](Self::submit) and
+    /// [`ExecutorExt::submit_async`]; most callers want those instead.
+    fn submit_queued(&self, key: SyncKey, job: Job, waiter: Arc<SubmitWaiter>);
+
+    /// Blocks until every job submitted so far has finished executing.
+    fn flush(&self);
+
+    /// Signals shutdown and joins all worker threads. Jobs already in the
+    /// queue are executed first; submissions still parked behind a full
+    /// queue are dropped and their waiters aborted. Idempotent.
+    fn shutdown(&mut self);
+
+    /// Snapshot of the executor's aggregate statistics.
+    fn stats(&self) -> ExecutorStats;
+
+    /// Submits a job, blocking while a bounded queue is at capacity.
+    ///
+    /// The fast path is a plain [`try_submit`](Self::try_submit) — no
+    /// waiter is allocated unless the queue is actually full (FIFO fairness
+    /// is preserved: `try_submit` refuses whenever earlier submissions are
+    /// already parked, so this path cannot barge past them).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShutdownError`] if the executor has been (or is being) shut
+    /// down before the job could be admitted.
+    fn submit(&self, key: SyncKey, job: Job) -> Result<(), ShutdownError> {
+        match self.try_submit(key, job) {
+            Ok(()) => Ok(()),
+            Err(TrySubmitError::Shutdown(_)) => Err(ShutdownError),
+            Err(TrySubmitError::WouldBlock(job)) => {
+                let waiter = SubmitWaiter::new();
+                self.submit_queued(key, job, Arc::clone(&waiter));
+                waiter.wait()
+            }
+        }
+    }
 }
 
-/// Convenience extension methods for [`KeyedExecutor`] implementations.
-pub trait KeyedExecutorExt: KeyedExecutor {
+/// Convenience extension methods for [`Executor`] implementations.
+pub trait ExecutorExt: Executor {
     /// Submits a closure with a user key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the executor has been shut down; use
+    /// [`Executor::try_submit`] to handle that case gracefully.
     fn submit_keyed<F>(&self, key: u64, f: F)
     where
         F: FnOnce() + Send + 'static,
     {
-        self.submit(SyncKey::key(key), Box::new(f));
+        self.submit(SyncKey::key(key), Box::new(f))
+            .expect("submit on a shut-down executor");
     }
 
     /// Submits a closure that must run in isolation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the executor has been shut down.
     fn submit_sequential<F>(&self, f: F)
     where
         F: FnOnce() + Send + 'static,
     {
-        self.submit(SyncKey::Sequential, Box::new(f));
+        self.submit(SyncKey::Sequential, Box::new(f))
+            .expect("submit on a shut-down executor");
     }
 
     /// Submits a closure that needs no synchronization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the executor has been shut down.
     fn submit_nosync<F>(&self, f: F)
     where
         F: FnOnce() + Send + 'static,
     {
-        self.submit(SyncKey::NoSync, Box::new(f));
+        self.submit(SyncKey::NoSync, Box::new(f))
+            .expect("submit on a shut-down executor");
+    }
+
+    /// Submits a closure and returns a [`CompletionHandle`] resolved when it
+    /// finishes. Blocks while a bounded queue is at capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the executor has been shut down.
+    fn submit_handle<F>(&self, key: SyncKey, f: F) -> CompletionHandle
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let (job, handle) = completion::attach(Box::new(f));
+        self.submit(key, job)
+            .expect("submit on a shut-down executor");
+        handle
+    }
+
+    /// Submits a closure asynchronously: the returned [`SubmitFuture`] stays
+    /// pending while the submission is parked behind a full bounded queue
+    /// (backpressure without blocking a thread) and resolves with the job's
+    /// [`JobStatus`] once the handler has run.
+    ///
+    /// The job is handed to the executor immediately; dropping the future
+    /// does not cancel it.
+    fn submit_async<F>(&self, key: SyncKey, f: F) -> SubmitFuture
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let (job, handle) = completion::attach(Box::new(f));
+        let waiter = SubmitWaiter::new();
+        self.submit_queued(key, job, Arc::clone(&waiter));
+        SubmitFuture::new(waiter, handle)
+    }
+
+    /// Blocks until every job submitted so far has finished executing.
+    /// Alias for [`Executor::flush`], kept for readability at call sites
+    /// that predate the trait.
+    fn wait_idle(&self) {
+        self.flush();
     }
 }
 
-impl<E: KeyedExecutor + ?Sized> KeyedExecutorExt for E {}
+impl<E: Executor + ?Sized> ExecutorExt for E {}
+
+/// Registry names of the built-in executors, in the order benchmarks report
+/// them. [`build_executor`] accepts exactly these names; a new executor is
+/// added by implementing [`Executor`] and extending this list plus the
+/// `match` in [`build_executor`].
+pub const EXECUTOR_NAMES: [&str; 4] = ["pdq", "sharded-pdq", "spinlock", "multiqueue"];
+
+/// Construction parameters for [`build_executor`], with each executor using
+/// the subset that applies to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecutorSpec {
+    /// Number of worker threads (clamped to at least 1).
+    pub workers: usize,
+    /// Queue shard count (`"sharded-pdq"` only; defaults to the builder's
+    /// worker-derived count).
+    pub shards: Option<usize>,
+    /// Bound on waiting submissions (per queue/shard where the executor has
+    /// several); `None` means unbounded.
+    pub capacity: Option<usize>,
+    /// Associative search window of the dispatch queue (PDQ family only).
+    pub search_window: Option<usize>,
+}
+
+impl ExecutorSpec {
+    /// A spec with `workers` threads, no capacity bound, and executor
+    /// defaults everywhere else.
+    pub fn new(workers: usize) -> Self {
+        Self {
+            workers,
+            shards: None,
+            capacity: None,
+            search_window: None,
+        }
+    }
+
+    /// Sets the shard count (used by `"sharded-pdq"`).
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = Some(shards);
+        self
+    }
+
+    /// Bounds the number of waiting submissions.
+    #[must_use]
+    pub fn capacity(mut self, capacity: usize) -> Self {
+        self.capacity = Some(capacity);
+        self
+    }
+
+    /// Sets the dispatch-queue search window (PDQ family).
+    #[must_use]
+    pub fn search_window(mut self, window: usize) -> Self {
+        self.search_window = Some(window);
+        self
+    }
+}
+
+/// Builds one of the built-in executors by registry name (see
+/// [`EXECUTOR_NAMES`]). Returns `None` for an unknown name.
+///
+/// This is the single construction point consumed by the benchmarks, the
+/// sweep engine, and the `protocol_server` workload, so a fifth executor
+/// becomes available everywhere by registering it here.
+pub fn build_executor(name: &str, spec: &ExecutorSpec) -> Option<Box<dyn Executor>> {
+    Some(match name {
+        "pdq" => {
+            let mut b = PdqBuilder::new().workers(spec.workers);
+            if let Some(w) = spec.search_window {
+                b = b.search_window(w);
+            }
+            if let Some(c) = spec.capacity {
+                b = b.capacity(c);
+            }
+            Box::new(b.build())
+        }
+        "sharded-pdq" => {
+            let mut b = ShardedPdqBuilder::new().workers(spec.workers);
+            if let Some(s) = spec.shards {
+                b = b.shards(s);
+            }
+            if let Some(w) = spec.search_window {
+                b = b.search_window(w);
+            }
+            if let Some(c) = spec.capacity {
+                b = b.capacity(c);
+            }
+            Box::new(b.build())
+        }
+        "spinlock" => Box::new(SpinLockExecutor::with_capacity(spec.workers, spec.capacity)),
+        "multiqueue" => Box::new(MultiQueueExecutor::with_capacity(
+            spec.workers,
+            spec.capacity,
+        )),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn factory_builds_every_registered_executor() {
+        for name in EXECUTOR_NAMES {
+            let mut pool = build_executor(name, &ExecutorSpec::new(2).capacity(8))
+                .unwrap_or_else(|| panic!("registry name {name} did not build"));
+            assert_eq!(pool.name(), name);
+            assert_eq!(pool.workers(), 2);
+            let counter = Arc::new(AtomicU64::new(0));
+            for i in 0..100u64 {
+                let counter = Arc::clone(&counter);
+                pool.submit_keyed(i % 5, move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            pool.flush();
+            assert_eq!(counter.load(Ordering::Relaxed), 100, "{name} lost jobs");
+            assert_eq!(pool.stats().executed, 100, "{name} stats disagree");
+            pool.shutdown();
+        }
+    }
+
+    #[test]
+    fn factory_rejects_unknown_names() {
+        assert!(build_executor("bogus", &ExecutorSpec::new(1)).is_none());
+    }
+
+    #[test]
+    fn try_submit_error_hands_the_job_back() {
+        let err = TrySubmitError::WouldBlock(Box::new(|| {}));
+        assert!(err.is_would_block());
+        assert!(format!("{err:?}").contains("WouldBlock"));
+        assert!(err.to_string().contains("capacity"));
+        let _job = err.into_job();
+        let err = TrySubmitError::Shutdown(Box::new(|| {}));
+        assert!(!err.is_would_block());
+        assert!(err.to_string().contains("shut down"));
+    }
+
+    #[test]
+    fn submit_async_resolves_on_every_executor() {
+        for name in EXECUTOR_NAMES {
+            let pool = build_executor(name, &ExecutorSpec::new(2)).unwrap();
+            let counter = Arc::new(AtomicU64::new(0));
+            let futures: Vec<_> = (0..20u64)
+                .map(|i| {
+                    let counter = Arc::clone(&counter);
+                    pool.submit_async(SyncKey::key(i % 3), move || {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    })
+                })
+                .collect();
+            for fut in futures {
+                assert_eq!(block_on(fut), Ok(JobStatus::Done), "{name}");
+            }
+            assert_eq!(counter.load(Ordering::Relaxed), 20, "{name}");
+        }
+    }
+}

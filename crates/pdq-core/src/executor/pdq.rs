@@ -1,5 +1,6 @@
 //! The PDQ thread-pool executor.
 
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -15,12 +16,12 @@ use parking_lot::{Condvar, Mutex};
 const PARK_BACKSTOP: Duration = Duration::from_millis(50);
 
 use crate::config::QueueConfig;
-use crate::error::ShutdownError;
 use crate::key::SyncKey;
 use crate::queue::DispatchQueue;
 use crate::stats::QueueStats;
 
-use super::{Job, KeyedExecutor};
+use super::completion::SubmitWaiter;
+use super::{Executor, ExecutorStats, Job, TrySubmitError};
 
 /// Statistics of a [`PdqExecutor`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -34,8 +35,20 @@ pub struct PdqExecutorStats {
     pub panicked: u64,
 }
 
+/// A submission parked behind a full bounded queue, waiting for admission.
+struct Parked {
+    key: SyncKey,
+    job: Job,
+    waiter: Arc<SubmitWaiter>,
+}
+
 pub(super) struct State {
     queue: DispatchQueue<Job>,
+    /// FIFO of submissions that found the queue at capacity. Workers admit
+    /// from the front whenever a dispatch frees a slot; because every
+    /// submission goes to the back of this list while it is non-empty, later
+    /// submissions can never barge past earlier parked ones.
+    overflow: VecDeque<Parked>,
     shutdown: bool,
     executed: u64,
     panicked: u64,
@@ -49,13 +62,8 @@ pub(super) struct Shared {
     state: Mutex<State>,
     /// Signalled when new work arrives or a completion may unblock waiters.
     work: Condvar,
-    /// Signalled when the queue becomes idle (for [`PdqExecutor::wait_idle`]).
+    /// Signalled when the queue becomes idle (for [`PdqExecutor::flush`]).
     idle: Condvar,
-    /// Signalled when queue space frees up (for bounded queues).
-    space: Condvar,
-    /// Whether the queue has a capacity bound; unbounded executors skip the
-    /// `space` signalling entirely.
-    bounded: bool,
 }
 
 impl Shared {
@@ -63,62 +71,104 @@ impl Shared {
         Self {
             state: Mutex::new(State {
                 queue: DispatchQueue::with_config(config),
+                overflow: VecDeque::new(),
                 shutdown: false,
                 executed: 0,
                 panicked: 0,
             }),
             work: Condvar::new(),
             idle: Condvar::new(),
-            space: Condvar::new(),
-            bounded: config.capacity.is_some(),
         }
     }
 
-    /// Enqueues a job, blocking while the queue is at capacity.
-    pub(super) fn submit(&self, key: SyncKey, job: Job) -> Result<(), ShutdownError> {
+    /// Non-blocking submit: enqueues now or hands the job back.
+    pub(super) fn try_submit(&self, key: SyncKey, job: Job) -> Result<(), TrySubmitError> {
         let mut state = self.state.lock();
         if state.shutdown {
-            return Err(ShutdownError);
+            return Err(TrySubmitError::Shutdown(job));
         }
-        let mut job = job;
-        loop {
-            match state.queue.enqueue(key, job) {
-                Ok(()) => break,
-                Err(full) => {
-                    job = full.payload;
-                    self.space.wait_for(&mut state, PARK_BACKSTOP);
-                    if state.shutdown {
-                        return Err(ShutdownError);
-                    }
-                }
+        if !state.overflow.is_empty() {
+            // Earlier submissions are already parked; refusing keeps FIFO
+            // admission intact.
+            return Err(TrySubmitError::WouldBlock(job));
+        }
+        match state.queue.enqueue(key, job) {
+            Ok(()) => {
+                drop(state);
+                self.work.notify_one();
+                Ok(())
             }
+            Err(full) => Err(TrySubmitError::WouldBlock(full.payload)),
         }
-        drop(state);
-        self.work.notify_one();
-        Ok(())
     }
 
-    /// Blocks until the queue has nothing waiting and nothing in flight.
+    /// Queued submit: enqueues now (admitting `waiter` immediately) or parks
+    /// the submission in the overflow FIFO. Never blocks the caller.
+    pub(super) fn submit_queued(&self, key: SyncKey, job: Job, waiter: Arc<SubmitWaiter>) {
+        let mut state = self.state.lock();
+        if state.shutdown {
+            drop(state);
+            waiter.abort();
+            return;
+        }
+        if state.overflow.is_empty() {
+            match state.queue.enqueue(key, job) {
+                Ok(()) => {
+                    drop(state);
+                    waiter.admit();
+                    self.work.notify_one();
+                }
+                Err(full) => {
+                    state.overflow.push_back(Parked {
+                        key,
+                        job: full.payload,
+                        waiter,
+                    });
+                }
+            }
+        } else {
+            state.overflow.push_back(Parked { key, job, waiter });
+        }
+    }
+
+    /// Blocks until the queue has nothing waiting, nothing parked, and
+    /// nothing in flight.
     pub(super) fn wait_idle(&self) {
         let mut state = self.state.lock();
-        while !state.queue.is_idle() {
+        while !(state.queue.is_idle() && state.overflow.is_empty()) {
             self.idle.wait_for(&mut state, PARK_BACKSTOP);
         }
     }
 
-    /// Flags shutdown and wakes every parked worker and submitter.
+    /// Flags shutdown, drops parked submissions (aborting their waiters),
+    /// and wakes every parked worker.
     pub(super) fn begin_shutdown(&self) {
-        {
+        let parked: Vec<Parked> = {
             let mut state = self.state.lock();
             state.shutdown = true;
+            state.overflow.drain(..).collect()
+        };
+        for p in parked {
+            // Dropping the job resolves any attached completion slot as
+            // Aborted; the waiter tells blocking/async submitters.
+            drop(p.job);
+            p.waiter.abort();
         }
         self.work.notify_all();
-        self.space.notify_all();
     }
 
-    /// Number of jobs waiting (not yet dispatched).
+    /// Whether shutdown has begun. Exact, not racy, for trait callers:
+    /// `shutdown` takes `&mut self`, so it can never overlap a `&self`
+    /// submission call.
+    pub(super) fn is_shutdown(&self) -> bool {
+        self.state.lock().shutdown
+    }
+
+    /// Number of jobs waiting (not yet dispatched), including parked
+    /// submissions.
     pub(super) fn queued(&self) -> usize {
-        self.state.lock().queue.len()
+        let state = self.state.lock();
+        state.queue.len() + state.overflow.len()
     }
 
     /// Snapshot of the queue statistics and execution counters.
@@ -154,11 +204,11 @@ pub(super) fn spawn_workers(
 /// # Examples
 ///
 /// ```
-/// use pdq_core::executor::{KeyedExecutor, KeyedExecutorExt, PdqBuilder};
+/// use pdq_core::executor::{Executor, ExecutorExt, PdqBuilder};
 ///
 /// let pool = PdqBuilder::new().workers(2).search_window(8).build();
 /// pool.submit_keyed(0x100, || { /* handler */ });
-/// pool.wait_idle();
+/// pool.flush();
 /// ```
 #[derive(Debug, Clone)]
 pub struct PdqBuilder {
@@ -194,8 +244,8 @@ impl PdqBuilder {
         self
     }
 
-    /// Bounds the number of waiting entries; `submit` blocks when the bound is
-    /// reached.
+    /// Bounds the number of waiting entries; `submit` blocks (and
+    /// `submit_async` parks the future) when the bound is reached.
     #[must_use]
     pub fn capacity(mut self, capacity: usize) -> Self {
         self.config = self.config.capacity(capacity);
@@ -228,7 +278,7 @@ impl Default for PdqBuilder {
 /// ```
 /// use std::sync::atomic::{AtomicU64, Ordering};
 /// use std::sync::Arc;
-/// use pdq_core::executor::{KeyedExecutor, KeyedExecutorExt, PdqBuilder};
+/// use pdq_core::executor::{Executor, ExecutorExt, PdqBuilder};
 ///
 /// let pool = PdqBuilder::new().workers(4).build();
 /// let counter = Arc::new(AtomicU64::new(0));
@@ -240,7 +290,7 @@ impl Default for PdqBuilder {
 ///         counter.store(v + i, Ordering::Relaxed);
 ///     });
 /// }
-/// pool.wait_idle();
+/// pool.flush();
 /// assert_eq!(counter.load(Ordering::Relaxed), (0..100).sum::<u64>());
 /// ```
 pub struct PdqExecutor {
@@ -269,54 +319,55 @@ impl PdqExecutor {
         Self { shared, workers }
     }
 
-    /// Submits a job, blocking if the queue is bounded and full.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`ShutdownError`] if [`shutdown`](Self::shutdown) has already
-    /// been called.
-    pub fn try_submit(&self, key: SyncKey, job: Job) -> Result<(), ShutdownError> {
-        self.shared.submit(key, job)
-    }
-
-    /// Returns a snapshot of the executor's statistics.
-    pub fn stats(&self) -> PdqExecutorStats {
+    /// Returns a snapshot of the executor's detailed statistics.
+    pub fn pdq_stats(&self) -> PdqExecutorStats {
         self.shared.snapshot()
     }
 
-    /// Number of jobs currently waiting in the queue.
+    /// Number of jobs currently waiting in the queue (including parked
+    /// submissions).
     pub fn queued(&self) -> usize {
         self.shared.queued()
     }
+}
 
-    /// Signals shutdown and joins all worker threads. Jobs already submitted
-    /// are executed before the workers exit. Idempotent.
-    pub fn shutdown(&mut self) {
+impl Executor for PdqExecutor {
+    fn name(&self) -> &'static str {
+        "pdq"
+    }
+
+    fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    fn try_submit(&self, key: SyncKey, job: Job) -> Result<(), TrySubmitError> {
+        self.shared.try_submit(key, job)
+    }
+
+    fn submit_queued(&self, key: SyncKey, job: Job, waiter: Arc<SubmitWaiter>) {
+        self.shared.submit_queued(key, job, waiter);
+    }
+
+    fn flush(&self) {
+        self.shared.wait_idle();
+    }
+
+    fn shutdown(&mut self) {
         self.shared.begin_shutdown();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
     }
-}
 
-impl KeyedExecutor for PdqExecutor {
-    /// Submits a job.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the executor has been shut down; use
-    /// [`try_submit`](Self::try_submit) to handle that case gracefully.
-    fn submit(&self, key: SyncKey, job: Job) {
-        self.try_submit(key, job)
-            .expect("submit on a shut-down PdqExecutor");
-    }
-
-    fn wait_idle(&self) {
-        self.shared.wait_idle();
-    }
-
-    fn workers(&self) -> usize {
-        self.workers.len()
+    fn stats(&self) -> ExecutorStats {
+        let snap = self.shared.snapshot();
+        ExecutorStats {
+            executed: snap.executed,
+            panicked: snap.panicked,
+            queued: self.shared.queued(),
+            queue: Some(snap.queue),
+            ..ExecutorStats::default()
+        }
     }
 }
 
@@ -330,22 +381,39 @@ pub(super) fn worker_loop(shared: &Shared) {
     let mut state = shared.state.lock();
     loop {
         if let Some(dispatch) = state.queue.try_dispatch() {
+            // The dispatch freed a waiting slot: admit parked submissions in
+            // FIFO order while the queue has room. Doing it in the same
+            // critical section as the dispatch means there is never a window
+            // where the queue has space but a parked submission waits.
+            let mut admitted: Vec<Arc<SubmitWaiter>> = Vec::new();
+            while let Some(parked) = state.overflow.pop_front() {
+                match state.queue.enqueue(parked.key, parked.job) {
+                    Ok(()) => admitted.push(parked.waiter),
+                    Err(full) => {
+                        state.overflow.push_front(Parked {
+                            key: parked.key,
+                            job: full.payload,
+                            waiter: parked.waiter,
+                        });
+                        break;
+                    }
+                }
+            }
             // If more entries are dispatchable right now, hand one to a
             // parked peer instead of letting it wait for the next
             // submit/complete signal. Targeted `notify_one` wakeups (rather
             // than a `notify_all` herd per job) keep the handoff cost flat as
             // workers are added: busy workers always re-check the queue
             // before parking, so a wakeup is only ever needed when new work
-            // appears (submit), a dispatch leaves more behind (here), or a
-            // completion unblocks a successor (below).
+            // appears (submit or admission), a dispatch leaves more behind
+            // (here), or a completion unblocks a successor (below).
             let more = state.queue.has_dispatchable();
             drop(state);
+            for waiter in admitted {
+                waiter.admit();
+            }
             if more {
                 shared.work.notify_one();
-            }
-            if shared.bounded {
-                // The dispatch freed one waiting slot.
-                shared.space.notify_one();
             }
             let outcome = catch_unwind(AssertUnwindSafe(dispatch.payload));
             state = shared.state.lock();
@@ -357,7 +425,7 @@ pub(super) fn worker_loop(shared: &Shared) {
                 Ok(()) => state.executed += 1,
                 Err(_) => state.panicked += 1,
             }
-            if state.queue.is_idle() {
+            if state.queue.is_idle() && state.overflow.is_empty() {
                 shared.idle.notify_all();
                 // Workers parked in the shutdown-drain branch below wait on
                 // `work` for the queue to become idle.
@@ -391,7 +459,7 @@ pub(super) fn worker_loop(shared: &Shared) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::executor::KeyedExecutorExt;
+    use crate::executor::ExecutorExt;
     use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
     use std::sync::Arc;
     use std::time::Duration;
@@ -406,8 +474,9 @@ mod tests {
                 counter.fetch_add(1, Ordering::Relaxed);
             });
         }
-        pool.wait_idle();
+        pool.flush();
         assert_eq!(counter.load(Ordering::Relaxed), 1000);
+        assert_eq!(pool.pdq_stats().executed, 1000);
         assert_eq!(pool.stats().executed, 1000);
     }
 
@@ -427,7 +496,7 @@ mod tests {
                 in_handler.store(false, Ordering::SeqCst);
             });
         }
-        pool.wait_idle();
+        pool.flush();
         assert!(
             !overlap.load(Ordering::SeqCst),
             "same-key handlers overlapped"
@@ -447,7 +516,7 @@ mod tests {
                 value.store(v + 1, Ordering::Relaxed);
             });
         }
-        pool.wait_idle();
+        pool.flush();
         assert_eq!(value.load(Ordering::Relaxed), 2000);
     }
 
@@ -466,7 +535,7 @@ mod tests {
                 running.fetch_sub(1, Ordering::SeqCst);
             });
         }
-        pool.wait_idle();
+        pool.flush();
         assert!(
             concurrent_peak.load(Ordering::SeqCst) > 1,
             "distinct keys should execute in parallel"
@@ -497,12 +566,12 @@ mod tests {
                 });
             }
         }
-        pool.wait_idle();
+        pool.flush();
         assert!(
             !violation.load(Ordering::SeqCst),
             "sequential handler overlapped another"
         );
-        assert_eq!(pool.stats().queue.sequential_handlers, 20);
+        assert_eq!(pool.pdq_stats().queue.sequential_handlers, 20);
     }
 
     #[test]
@@ -512,10 +581,10 @@ mod tests {
         pool.submit_keyed(9, || panic!("handler failure"));
         let flag = Arc::clone(&ran_after);
         pool.submit_keyed(9, move || flag.store(true, Ordering::SeqCst));
-        pool.wait_idle();
+        pool.flush();
         assert!(ran_after.load(Ordering::SeqCst));
-        assert_eq!(pool.stats().panicked, 1);
-        assert_eq!(pool.stats().executed, 1);
+        assert_eq!(pool.pdq_stats().panicked, 1);
+        assert_eq!(pool.pdq_stats().executed, 1);
     }
 
     #[test]
@@ -523,7 +592,38 @@ mod tests {
         let mut pool = PdqBuilder::new().workers(1).build();
         pool.submit_nosync(|| {});
         pool.shutdown();
-        assert!(pool.try_submit(SyncKey::NoSync, Box::new(|| {})).is_err());
+        let err = pool
+            .try_submit(SyncKey::NoSync, Box::new(|| {}))
+            .expect_err("submit after shutdown must fail");
+        assert!(!err.is_would_block());
+        assert!(pool.submit(SyncKey::NoSync, Box::new(|| {})).is_err());
+    }
+
+    #[test]
+    fn try_submit_on_a_full_queue_would_block() {
+        // One worker, capacity 1: gate the worker, fill the slot, and the
+        // next try_submit must hand the job back instead of blocking.
+        let gate = Arc::new(AtomicBool::new(false));
+        let pool = PdqBuilder::new().workers(1).capacity(1).build();
+        let g = Arc::clone(&gate);
+        pool.submit_keyed(0, move || {
+            while !g.load(Ordering::SeqCst) {
+                std::thread::yield_now();
+            }
+        });
+        // Wait until the gate job is dispatched (in flight, not waiting).
+        while pool.queued() > 0 {
+            std::thread::yield_now();
+        }
+        pool.submit(SyncKey::key(1), Box::new(|| {}))
+            .expect("fills the single waiting slot");
+        let err = pool
+            .try_submit(SyncKey::key(2), Box::new(|| {}))
+            .expect_err("queue is full");
+        assert!(err.is_would_block());
+        gate.store(true, Ordering::SeqCst);
+        pool.flush();
+        assert_eq!(pool.pdq_stats().executed, 2);
     }
 
     #[test]
@@ -550,14 +650,14 @@ mod tests {
                 counter.fetch_add(1, Ordering::Relaxed);
             });
         }
-        pool.wait_idle();
+        pool.flush();
         assert_eq!(counter.load(Ordering::Relaxed), 200);
     }
 
     #[test]
     fn wait_idle_on_empty_pool_returns_immediately() {
         let pool = PdqExecutor::new(1);
-        pool.wait_idle();
+        pool.flush();
         assert_eq!(pool.workers(), 1);
     }
 }

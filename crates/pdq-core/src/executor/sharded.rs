@@ -23,7 +23,7 @@
 //! (e.g. page allocation).
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -36,12 +36,12 @@ use parking_lot::{Condvar, Mutex};
 const PARK_BACKSTOP: Duration = Duration::from_millis(50);
 
 use crate::config::QueueConfig;
-use crate::error::ShutdownError;
 use crate::key::SyncKey;
 use crate::stats::QueueStats;
 
+use super::completion::SubmitWaiter;
 use super::pdq::{spawn_workers, Shared};
-use super::{Job, KeyedExecutor};
+use super::{Executor, ExecutorStats, Job, TrySubmitError};
 
 /// Fibonacci multiplier used to spread user keys across shards (the same
 /// constant the other executors use for lock/queue routing).
@@ -70,12 +70,12 @@ pub struct ShardedPdqStats {
 /// # Examples
 ///
 /// ```
-/// use pdq_core::executor::{KeyedExecutor, KeyedExecutorExt, ShardedPdqBuilder};
+/// use pdq_core::executor::{Executor, ExecutorExt, ShardedPdqBuilder};
 ///
 /// let pool = ShardedPdqBuilder::new().workers(8).shards(4).build();
 /// assert_eq!(pool.shards(), 4);
 /// pool.submit_keyed(0x100, || { /* handler */ });
-/// pool.wait_idle();
+/// pool.flush();
 /// ```
 #[derive(Debug, Clone)]
 pub struct ShardedPdqBuilder {
@@ -157,6 +157,10 @@ struct SeqBarrier {
 struct SeqBarrierState {
     arrived: usize,
     done: bool,
+    /// Set when a stub was dropped unexecuted (shutdown tore the broadcast
+    /// apart): the barrier can no longer guarantee global isolation, so the
+    /// leader must not run the job.
+    aborted: bool,
 }
 
 impl SeqBarrier {
@@ -165,6 +169,7 @@ impl SeqBarrier {
             state: Mutex::new(SeqBarrierState {
                 arrived: 0,
                 done: false,
+                aborted: false,
             }),
             cv: Condvar::new(),
             shards,
@@ -185,11 +190,21 @@ impl SeqBarrier {
     /// Leader stub: wait for every shard to drain, run the job in global
     /// isolation, then release the followers. A panicking job still releases
     /// the barrier before the panic is rethrown to the worker's catch.
+    ///
+    /// If the barrier was aborted (a stub was dropped at shutdown before
+    /// running), global isolation is unattainable, so the job is dropped
+    /// unexecuted — resolving any attached completion slot as `Aborted` —
+    /// rather than run concurrently with other shards' handlers.
     fn lead(&self, job: Job) {
         let mut st = self.state.lock();
         st.arrived += 1;
         while st.arrived < self.shards && !st.done {
             self.cv.wait_for(&mut st, PARK_BACKSTOP);
+        }
+        if st.aborted {
+            drop(st);
+            drop(job);
+            return;
         }
         drop(st);
         let outcome = catch_unwind(AssertUnwindSafe(job));
@@ -202,12 +217,43 @@ impl SeqBarrier {
         }
     }
 
-    /// Releases any parked stubs without running the job (broadcast failed
-    /// mid-way because the executor shut down).
+    /// Releases any parked stubs without running the job (a stub was dropped
+    /// unexecuted because the executor shut down mid-barrier).
     fn abort(&self) {
         let mut st = self.state.lock();
         st.done = true;
+        st.aborted = true;
         self.cv.notify_all();
+    }
+}
+
+/// Drop guard carried by every barrier stub job: if the stub closure is
+/// dropped without running (the executor shut down and discarded a parked
+/// submission), the barrier is aborted so stubs already parked on other
+/// shards are released instead of waiting forever.
+struct StubGuard {
+    barrier: Arc<SeqBarrier>,
+    ran: AtomicBool,
+}
+
+impl StubGuard {
+    fn new(barrier: Arc<SeqBarrier>) -> Self {
+        Self {
+            barrier,
+            ran: AtomicBool::new(false),
+        }
+    }
+
+    fn disarm(&self) {
+        self.ran.store(true, Ordering::Relaxed);
+    }
+}
+
+impl Drop for StubGuard {
+    fn drop(&mut self) {
+        if !self.ran.load(Ordering::Relaxed) {
+            self.barrier.abort();
+        }
     }
 }
 
@@ -226,7 +272,7 @@ impl SeqBarrier {
 /// ```
 /// use std::sync::atomic::{AtomicU64, Ordering};
 /// use std::sync::Arc;
-/// use pdq_core::executor::{KeyedExecutor, KeyedExecutorExt, ShardedPdqBuilder};
+/// use pdq_core::executor::{Executor, ExecutorExt, ShardedPdqBuilder};
 ///
 /// let pool = ShardedPdqBuilder::new().workers(4).shards(2).build();
 /// let words: Vec<Arc<AtomicU64>> = (0..16).map(|_| Arc::new(AtomicU64::new(0))).collect();
@@ -239,7 +285,7 @@ impl SeqBarrier {
 ///         word.store(v + 1, Ordering::Relaxed);
 ///     });
 /// }
-/// pool.wait_idle();
+/// pool.flush();
 /// assert!(words.iter().all(|w| w.load(Ordering::Relaxed) == 100));
 /// ```
 pub struct ShardedPdqExecutor {
@@ -303,53 +349,41 @@ impl ShardedPdqExecutor {
         &self.shards[idx]
     }
 
-    /// Submits a job, blocking if the target shard is bounded and full.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`ShutdownError`] if [`shutdown`](Self::shutdown) has already
-    /// been called.
-    pub fn try_submit(&self, key: SyncKey, job: Job) -> Result<(), ShutdownError> {
-        match key {
-            SyncKey::Key(k) => self.shard_for(k).submit(key, job),
-            SyncKey::NoSync => {
-                let idx = self.round_robin.fetch_add(1, Ordering::Relaxed) % self.shards.len();
-                self.shards[idx].submit(key, job)
-            }
-            SyncKey::Sequential => self.submit_sequential_barrier(job),
-        }
-    }
-
     /// Escalates a `Sequential` job to a global barrier: followers first,
-    /// leader (carrying the job) last, so an error part-way leaves no stub
-    /// waiting for one that was never enqueued. The whole broadcast holds
+    /// leader (carrying the job) last. The whole broadcast holds
     /// `barrier_broadcast` so concurrent `Sequential` submissions enqueue
     /// their stubs in the same order on every shard (see the field docs for
-    /// the deadlock this prevents).
-    fn submit_sequential_barrier(&self, job: Job) -> Result<(), ShutdownError> {
+    /// the deadlock this prevents). Stubs ride the shards' parked-admission
+    /// path when a shard is full, so the broadcast itself never blocks;
+    /// `waiter` is tied to the leader stub, the one that carries the job.
+    fn broadcast_sequential_barrier(&self, job: Job, waiter: Arc<SubmitWaiter>) {
         if self.shards.len() == 1 {
-            return self.shards[0].submit(SyncKey::Sequential, job);
+            self.shards[0].submit_queued(SyncKey::Sequential, job, waiter);
+            return;
         }
         let _broadcast = self.barrier_broadcast.lock();
         let barrier = SeqBarrier::new(self.shards.len());
         for shard in &self.shards[1..] {
-            let b = Arc::clone(&barrier);
-            if let Err(err) = shard.submit(SyncKey::Sequential, Box::new(move || b.follow())) {
-                barrier.abort();
-                return Err(err);
-            }
+            let guard = StubGuard::new(Arc::clone(&barrier));
+            let stub: Job = Box::new(move || {
+                guard.disarm();
+                guard.barrier.follow();
+            });
+            // Followers get detached waiters: backpressure is reported
+            // through the leader stub only.
+            shard.submit_queued(SyncKey::Sequential, stub, SubmitWaiter::new());
         }
-        let b = Arc::clone(&barrier);
-        if let Err(err) = self.shards[0].submit(SyncKey::Sequential, Box::new(move || b.lead(job)))
-        {
-            barrier.abort();
-            return Err(err);
-        }
-        Ok(())
+        let guard = StubGuard::new(Arc::clone(&barrier));
+        let stub: Job = Box::new(move || {
+            guard.disarm();
+            guard.barrier.lead(job);
+        });
+        self.shards[0].submit_queued(SyncKey::Sequential, stub, waiter);
     }
 
-    /// Returns a snapshot of the executor's statistics, merged across shards.
-    pub fn stats(&self) -> ShardedPdqStats {
+    /// Returns a snapshot of the executor's detailed statistics, merged
+    /// across shards.
+    pub fn sharded_stats(&self) -> ShardedPdqStats {
         let mut stats = ShardedPdqStats::default();
         for shard in &self.shards {
             let snap = shard.snapshot();
@@ -361,37 +395,59 @@ impl ShardedPdqExecutor {
         stats
     }
 
-    /// Total number of jobs currently waiting across all shards.
+    /// Total number of jobs currently waiting across all shards (including
+    /// parked submissions).
     pub fn queued(&self) -> usize {
         self.shards.iter().map(|s| s.queued()).sum()
     }
-
-    /// Signals shutdown and joins all worker threads. Jobs already submitted
-    /// (including pending sequential barriers) are executed before the
-    /// workers exit. Idempotent.
-    pub fn shutdown(&mut self) {
-        for shard in &self.shards {
-            shard.begin_shutdown();
-        }
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
-        }
-    }
 }
 
-impl KeyedExecutor for ShardedPdqExecutor {
-    /// Submits a job.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the executor has been shut down; use
-    /// [`try_submit`](Self::try_submit) to handle that case gracefully.
-    fn submit(&self, key: SyncKey, job: Job) {
-        self.try_submit(key, job)
-            .expect("submit on a shut-down ShardedPdqExecutor");
+impl Executor for ShardedPdqExecutor {
+    fn name(&self) -> &'static str {
+        "sharded-pdq"
     }
 
-    fn wait_idle(&self) {
+    fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Non-blocking submit. `Sequential` submissions are always accepted:
+    /// their barrier stubs use the parked-admission path on full shards, so
+    /// only `Key`/`NoSync` jobs can observe
+    /// [`TrySubmitError::WouldBlock`].
+    fn try_submit(&self, key: SyncKey, job: Job) -> Result<(), TrySubmitError> {
+        match key {
+            SyncKey::Key(k) => self.shard_for(k).try_submit(key, job),
+            SyncKey::NoSync => {
+                let idx = self.round_robin.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+                self.shards[idx].try_submit(key, job)
+            }
+            SyncKey::Sequential => {
+                // `shutdown` takes `&mut self`, so this check cannot race a
+                // concurrent shutdown: after it, every shard accepts the
+                // broadcast stubs.
+                if self.shards[0].is_shutdown() {
+                    return Err(TrySubmitError::Shutdown(job));
+                }
+                let waiter = SubmitWaiter::new();
+                self.broadcast_sequential_barrier(job, waiter);
+                Ok(())
+            }
+        }
+    }
+
+    fn submit_queued(&self, key: SyncKey, job: Job, waiter: Arc<SubmitWaiter>) {
+        match key {
+            SyncKey::Key(k) => self.shard_for(k).submit_queued(key, job, waiter),
+            SyncKey::NoSync => {
+                let idx = self.round_robin.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+                self.shards[idx].submit_queued(key, job, waiter);
+            }
+            SyncKey::Sequential => self.broadcast_sequential_barrier(job, waiter),
+        }
+    }
+
+    fn flush(&self) {
         // Jobs never migrate between shards, so once a shard reports idle,
         // everything submitted to it before this call has finished; one pass
         // over the shards therefore covers all previously submitted jobs.
@@ -400,8 +456,24 @@ impl KeyedExecutor for ShardedPdqExecutor {
         }
     }
 
-    fn workers(&self) -> usize {
-        self.workers.len()
+    fn shutdown(&mut self) {
+        for shard in &self.shards {
+            shard.begin_shutdown();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    fn stats(&self) -> ExecutorStats {
+        let snap = self.sharded_stats();
+        ExecutorStats {
+            executed: snap.executed,
+            panicked: snap.panicked,
+            queued: self.queued(),
+            queue: Some(snap.queue),
+            ..ExecutorStats::default()
+        }
     }
 }
 
@@ -414,7 +486,7 @@ impl Drop for ShardedPdqExecutor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::executor::KeyedExecutorExt;
+    use crate::executor::ExecutorExt;
     use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
     use std::sync::Arc;
     use std::time::Duration;
@@ -429,15 +501,16 @@ mod tests {
                 counter.fetch_add(1, Ordering::Relaxed);
             });
         }
-        pool.wait_idle();
+        pool.flush();
         assert_eq!(counter.load(Ordering::Relaxed), 1000);
-        let stats = pool.stats();
+        let stats = pool.sharded_stats();
         assert_eq!(stats.executed, 1000);
         assert_eq!(stats.per_shard.len(), 4);
         assert_eq!(
             stats.per_shard.iter().map(|s| s.dispatched).sum::<u64>(),
             1000
         );
+        assert_eq!(pool.stats().executed, 1000);
     }
 
     #[test]
@@ -451,7 +524,7 @@ mod tests {
                 value.store(v + 1, Ordering::Relaxed);
             });
         }
-        pool.wait_idle();
+        pool.flush();
         assert_eq!(value.load(Ordering::Relaxed), 2000);
     }
 
@@ -470,7 +543,7 @@ mod tests {
                 running.fetch_sub(1, Ordering::SeqCst);
             });
         }
-        pool.wait_idle();
+        pool.flush();
         assert!(
             concurrent_peak.load(Ordering::SeqCst) > 1,
             "distinct keys should execute in parallel"
@@ -501,13 +574,13 @@ mod tests {
                 });
             }
         }
-        pool.wait_idle();
+        pool.flush();
         assert!(
             !violation.load(Ordering::SeqCst),
             "sequential handler overlapped another handler"
         );
         // One real sequential handler plus one stub per shard each time.
-        assert_eq!(pool.stats().queue.sequential_handlers, 10 * 4);
+        assert_eq!(pool.sharded_stats().queue.sequential_handlers, 10 * 4);
     }
 
     #[test]
@@ -542,7 +615,7 @@ mod tests {
                 }
             });
         }
-        pool.wait_idle();
+        pool.flush();
         assert_eq!(
             barrier_saw.load(Ordering::SeqCst),
             100,
@@ -585,7 +658,7 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        pool.wait_idle();
+        pool.flush();
         assert_eq!(counter.load(Ordering::Relaxed), 100);
     }
 
@@ -596,9 +669,9 @@ mod tests {
         pool.submit_sequential(|| panic!("sequential failure"));
         let flag = Arc::clone(&ran_after);
         pool.submit_keyed(1, move || flag.store(true, Ordering::SeqCst));
-        pool.wait_idle();
+        pool.flush();
         assert!(ran_after.load(Ordering::SeqCst));
-        assert_eq!(pool.stats().panicked, 1);
+        assert_eq!(pool.sharded_stats().panicked, 1);
     }
 
     #[test]
@@ -608,9 +681,9 @@ mod tests {
         pool.submit_keyed(9, || panic!("handler failure"));
         let flag = Arc::clone(&ran_after);
         pool.submit_keyed(9, move || flag.store(true, Ordering::SeqCst));
-        pool.wait_idle();
+        pool.flush();
         assert!(ran_after.load(Ordering::SeqCst));
-        assert_eq!(pool.stats().panicked, 1);
+        assert_eq!(pool.sharded_stats().panicked, 1);
     }
 
     #[test]
@@ -625,7 +698,7 @@ mod tests {
                 counter.fetch_add(1, Ordering::Relaxed);
             });
         }
-        pool.wait_idle();
+        pool.flush();
         assert_eq!(counter.load(Ordering::Relaxed), 600);
     }
 
@@ -635,9 +708,9 @@ mod tests {
         let ran = Arc::new(AtomicBool::new(false));
         let flag = Arc::clone(&ran);
         pool.submit_sequential(move || flag.store(true, Ordering::SeqCst));
-        pool.wait_idle();
+        pool.flush();
         assert!(ran.load(Ordering::SeqCst));
-        assert_eq!(pool.stats().queue.sequential_handlers, 1);
+        assert_eq!(pool.sharded_stats().queue.sequential_handlers, 1);
     }
 
     #[test]
@@ -646,8 +719,8 @@ mod tests {
         for _ in 0..400 {
             pool.submit_nosync(|| {});
         }
-        pool.wait_idle();
-        let stats = pool.stats();
+        pool.flush();
+        let stats = pool.sharded_stats();
         assert_eq!(stats.queue.nosync_handlers, 400);
         for shard in &stats.per_shard {
             assert_eq!(shard.nosync_handlers, 100);
@@ -663,6 +736,7 @@ mod tests {
         assert!(pool
             .try_submit(SyncKey::Sequential, Box::new(|| {}))
             .is_err());
+        assert!(pool.submit(SyncKey::Sequential, Box::new(|| {})).is_err());
     }
 
     #[test]
@@ -697,7 +771,31 @@ mod tests {
                 counter.fetch_add(1, Ordering::Relaxed);
             });
         }
-        pool.wait_idle();
+        pool.flush();
         assert_eq!(counter.load(Ordering::Relaxed), 200);
+    }
+
+    #[test]
+    fn bounded_shards_mix_sequential_barriers_and_backpressure() {
+        let pool = ShardedPdqBuilder::new()
+            .workers(4)
+            .shards(4)
+            .capacity(2)
+            .build();
+        let counter = Arc::new(AtomicU64::new(0));
+        for i in 0..120u64 {
+            let counter = Arc::clone(&counter);
+            if i % 30 == 0 {
+                pool.submit_sequential(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            } else {
+                pool.submit_keyed(i % 9, move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        }
+        pool.flush();
+        assert_eq!(counter.load(Ordering::Relaxed), 120);
     }
 }

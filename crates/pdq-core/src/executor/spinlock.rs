@@ -5,12 +5,17 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 
 use crate::key::SyncKey;
 
-use super::{Job, KeyedExecutor};
+use super::completion::SubmitWaiter;
+use super::{Executor, ExecutorStats, Job, TrySubmitError};
+
+/// Same defensive re-check bound as the other executors' worker loops.
+const PARK_BACKSTOP: Duration = Duration::from_millis(50);
 
 /// Number of spin locks in the lock table. Keys are hashed onto slots, so two
 /// distinct keys may occasionally contend on the same lock — exactly the kind
@@ -74,10 +79,14 @@ struct Shared {
     panicked: AtomicU64,
     lock_acquisitions: AtomicU64,
     spin_iterations: AtomicU64,
+    capacity: Option<usize>,
 }
 
 struct QueueState {
     jobs: VecDeque<(SyncKey, Job)>,
+    /// FIFO of submissions parked behind the capacity bound; workers admit
+    /// from the front as they free slots.
+    overflow: VecDeque<(SyncKey, Job, Arc<SubmitWaiter>)>,
     outstanding: usize,
     shutdown: bool,
 }
@@ -90,7 +99,9 @@ struct QueueState {
 /// Unlike [`PdqExecutor`](super::PdqExecutor) this executor does **not**
 /// guarantee per-key submission order (lock acquisition order is arbitrary);
 /// it only guarantees mutual exclusion per key. `Sequential` keys are mapped
-/// to a single designated lock and `NoSync` jobs take no lock.
+/// to a single designated lock and `NoSync` jobs take no lock. An optional
+/// capacity bound makes the executor exert the same FIFO backpressure as the
+/// PDQ family.
 pub struct SpinLockExecutor {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
@@ -105,11 +116,18 @@ impl std::fmt::Debug for SpinLockExecutor {
 }
 
 impl SpinLockExecutor {
-    /// Creates an executor with `workers` threads.
+    /// Creates an executor with `workers` threads and an unbounded queue.
     pub fn new(workers: usize) -> Self {
+        Self::with_capacity(workers, None)
+    }
+
+    /// Creates an executor with `workers` threads; the shared queue holds at
+    /// most `capacity` waiting jobs when a bound is given.
+    pub fn with_capacity(workers: usize, capacity: Option<usize>) -> Self {
         let shared = Arc::new(Shared {
             queue: Mutex::new(QueueState {
                 jobs: VecDeque::new(),
+                overflow: VecDeque::new(),
                 outstanding: 0,
                 shutdown: false,
             }),
@@ -120,6 +138,7 @@ impl SpinLockExecutor {
             panicked: AtomicU64::new(0),
             lock_acquisitions: AtomicU64::new(0),
             spin_iterations: AtomicU64::new(0),
+            capacity: capacity.map(|c| c.max(1)),
         });
         let workers = (0..workers.max(1))
             .map(|i| {
@@ -133,8 +152,8 @@ impl SpinLockExecutor {
         Self { shared, workers }
     }
 
-    /// Returns a snapshot of the executor's statistics.
-    pub fn stats(&self) -> SpinLockStats {
+    /// Returns a snapshot of the executor's detailed statistics.
+    pub fn spinlock_stats(&self) -> SpinLockStats {
         SpinLockStats {
             executed: self.shared.executed.load(Ordering::Relaxed),
             panicked: self.shared.panicked.load(Ordering::Relaxed),
@@ -143,39 +162,93 @@ impl SpinLockExecutor {
         }
     }
 
-    /// Signals shutdown and joins the workers; already-submitted jobs run
-    /// first. Idempotent.
-    pub fn shutdown(&mut self) {
-        {
-            let mut q = self.shared.queue.lock();
-            q.shutdown = true;
-        }
-        self.shared.work.notify_all();
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
-        }
+    fn is_full(&self, q: &QueueState) -> bool {
+        !q.overflow.is_empty() || self.shared.capacity.is_some_and(|cap| q.jobs.len() >= cap)
     }
 }
 
-impl KeyedExecutor for SpinLockExecutor {
-    fn submit(&self, key: SyncKey, job: Job) {
-        let mut q = self.shared.queue.lock();
-        assert!(!q.shutdown, "submit on a shut-down SpinLockExecutor");
-        q.jobs.push_back((key, job));
-        q.outstanding += 1;
-        drop(q);
-        self.shared.work.notify_one();
-    }
-
-    fn wait_idle(&self) {
-        let mut q = self.shared.queue.lock();
-        while q.outstanding > 0 {
-            self.shared.idle.wait(&mut q);
-        }
+impl Executor for SpinLockExecutor {
+    fn name(&self) -> &'static str {
+        "spinlock"
     }
 
     fn workers(&self) -> usize {
         self.workers.len()
+    }
+
+    fn try_submit(&self, key: SyncKey, job: Job) -> Result<(), TrySubmitError> {
+        let mut q = self.shared.queue.lock();
+        if q.shutdown {
+            return Err(TrySubmitError::Shutdown(job));
+        }
+        if self.is_full(&q) {
+            return Err(TrySubmitError::WouldBlock(job));
+        }
+        q.jobs.push_back((key, job));
+        q.outstanding += 1;
+        drop(q);
+        self.shared.work.notify_one();
+        Ok(())
+    }
+
+    fn submit_queued(&self, key: SyncKey, job: Job, waiter: Arc<SubmitWaiter>) {
+        let mut q = self.shared.queue.lock();
+        if q.shutdown {
+            drop(q);
+            drop(job);
+            waiter.abort();
+            return;
+        }
+        q.outstanding += 1;
+        if self.is_full(&q) {
+            q.overflow.push_back((key, job, waiter));
+        } else {
+            q.jobs.push_back((key, job));
+            drop(q);
+            waiter.admit();
+            self.shared.work.notify_one();
+        }
+    }
+
+    fn flush(&self) {
+        let mut q = self.shared.queue.lock();
+        while q.outstanding > 0 {
+            self.shared.idle.wait_for(&mut q, PARK_BACKSTOP);
+        }
+    }
+
+    fn shutdown(&mut self) {
+        let parked: Vec<(SyncKey, Job, Arc<SubmitWaiter>)> = {
+            let mut q = self.shared.queue.lock();
+            q.shutdown = true;
+            let parked: Vec<_> = q.overflow.drain(..).collect();
+            q.outstanding -= parked.len();
+            parked
+        };
+        for (_, job, waiter) in parked {
+            drop(job);
+            waiter.abort();
+        }
+        self.shared.work.notify_all();
+        self.shared.idle.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    fn stats(&self) -> ExecutorStats {
+        let snap = self.spinlock_stats();
+        let queued = {
+            let q = self.shared.queue.lock();
+            q.jobs.len() + q.overflow.len()
+        };
+        ExecutorStats {
+            executed: snap.executed,
+            panicked: snap.panicked,
+            queued,
+            spin_iterations: snap.spin_iterations,
+            ..ExecutorStats::default()
+        }
     }
 }
 
@@ -198,18 +271,35 @@ fn slot_for(key: SyncKey) -> Option<usize> {
 
 fn worker_loop(shared: &Shared) {
     loop {
-        let (key, job) = {
+        let (key, job, admitted) = {
             let mut q = shared.queue.lock();
             loop {
-                if let Some(item) = q.jobs.pop_front() {
-                    break item;
+                if let Some((key, job)) = q.jobs.pop_front() {
+                    // The pop freed a slot: admit parked submissions FIFO
+                    // while there is room.
+                    let mut admitted = Vec::new();
+                    while !q.overflow.is_empty()
+                        && shared.capacity.is_none_or(|cap| q.jobs.len() < cap)
+                    {
+                        let (pkey, pjob, waiter) =
+                            q.overflow.pop_front().expect("checked non-empty");
+                        q.jobs.push_back((pkey, pjob));
+                        admitted.push(waiter);
+                    }
+                    break (key, job, admitted);
                 }
                 if q.shutdown {
                     return;
                 }
-                shared.work.wait(&mut q);
+                shared.work.wait_for(&mut q, PARK_BACKSTOP);
             }
         };
+        for waiter in admitted {
+            waiter.admit();
+            // Each admitted entry is new dispatchable work; wake a parked
+            // peer for it — this worker is about to be busy with `job`.
+            shared.work.notify_one();
+        }
 
         let slot = slot_for(key);
         if let Some(idx) = slot {
@@ -237,7 +327,7 @@ fn worker_loop(shared: &Shared) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::executor::KeyedExecutorExt;
+    use crate::executor::ExecutorExt;
     use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
     use std::sync::Arc;
 
@@ -251,10 +341,11 @@ mod tests {
                 counter.fetch_add(1, Ordering::Relaxed);
             });
         }
-        pool.wait_idle();
+        pool.flush();
         assert_eq!(counter.load(Ordering::Relaxed), 1000);
+        assert_eq!(pool.spinlock_stats().executed, 1000);
+        assert_eq!(pool.spinlock_stats().lock_acquisitions, 1000);
         assert_eq!(pool.stats().executed, 1000);
-        assert_eq!(pool.stats().lock_acquisitions, 1000);
     }
 
     #[test]
@@ -273,7 +364,7 @@ mod tests {
                 in_handler.store(false, Ordering::SeqCst);
             });
         }
-        pool.wait_idle();
+        pool.flush();
         assert!(!overlap.load(Ordering::SeqCst));
     }
 
@@ -288,9 +379,9 @@ mod tests {
                 }
             });
         }
-        pool.wait_idle();
+        pool.flush();
         assert!(
-            pool.stats().spin_iterations > 0,
+            pool.spinlock_stats().spin_iterations > 0,
             "contended spin-lock workload should record busy-waiting"
         );
     }
@@ -301,8 +392,8 @@ mod tests {
         for _ in 0..50 {
             pool.submit_nosync(|| {});
         }
-        pool.wait_idle();
-        assert_eq!(pool.stats().lock_acquisitions, 0);
+        pool.flush();
+        assert_eq!(pool.spinlock_stats().lock_acquisitions, 0);
     }
 
     #[test]
@@ -312,9 +403,9 @@ mod tests {
         pool.submit_keyed(3, || panic!("boom"));
         let flag = Arc::clone(&ran);
         pool.submit_keyed(3, move || flag.store(true, Ordering::SeqCst));
-        pool.wait_idle();
+        pool.flush();
         assert!(ran.load(Ordering::SeqCst));
-        assert_eq!(pool.stats().panicked, 1);
+        assert_eq!(pool.spinlock_stats().panicked, 1);
     }
 
     #[test]
@@ -327,8 +418,46 @@ mod tests {
                 counter.fetch_add(1, Ordering::Relaxed);
             });
         }
-        pool.wait_idle();
+        pool.flush();
         pool.shutdown();
         assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn bounded_queue_applies_backpressure_but_completes() {
+        let pool = SpinLockExecutor::with_capacity(2, Some(3));
+        let counter = Arc::new(AtomicU64::new(0));
+        for i in 0..200u64 {
+            let counter = Arc::clone(&counter);
+            pool.submit_keyed(i % 5, move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.flush();
+        assert_eq!(counter.load(Ordering::Relaxed), 200);
+    }
+
+    #[test]
+    fn try_submit_on_a_full_queue_would_block() {
+        let gate = Arc::new(AtomicBool::new(false));
+        let pool = SpinLockExecutor::with_capacity(1, Some(1));
+        let g = Arc::clone(&gate);
+        pool.submit_keyed(0, move || {
+            while !g.load(Ordering::SeqCst) {
+                std::thread::yield_now();
+            }
+        });
+        while pool.stats().queued > 0 {
+            std::thread::yield_now();
+        }
+        pool.submit(SyncKey::key(1), Box::new(|| {}))
+            .expect("fills the slot");
+        let err = pool
+            .try_submit(SyncKey::key(2), Box::new(|| {}))
+            .expect_err("queue is full");
+        assert!(err.is_would_block());
+        gate.store(true, Ordering::SeqCst);
+        pool.flush();
+        assert_eq!(pool.stats().executed, 2);
     }
 }

@@ -35,12 +35,15 @@
 //!   independent queue shards for workloads where the single queue mutex
 //!   becomes the bottleneck. Two baseline executors
 //!   ([`executor::SpinLockExecutor`], [`executor::MultiQueueExecutor`])
-//!   reproduce the alternatives the paper compares against.
+//!   reproduce the alternatives the paper compares against. All four
+//!   implement the [`executor::Executor`] trait — one submission surface
+//!   (blocking, non-blocking, and `async` with bounded-queue backpressure)
+//!   shared by benchmarks, the sweep engine, and server workloads.
 //!
 //! ## Quick start
 //!
 //! ```
-//! use pdq_core::executor::{KeyedExecutor, KeyedExecutorExt, PdqBuilder};
+//! use pdq_core::executor::{Executor, ExecutorExt, PdqBuilder};
 //! use std::sync::atomic::{AtomicU64, Ordering};
 //! use std::sync::Arc;
 //!
@@ -57,7 +60,7 @@
 //!         word.store(v + 1, Ordering::Relaxed);
 //!     });
 //! }
-//! pool.wait_idle();
+//! pool.flush();
 //! assert!(words.iter().all(|w| w.load(Ordering::Relaxed) == 100));
 //! ```
 

@@ -1,6 +1,6 @@
 //! Property tests for the executors: same-key jobs execute in FIFO
 //! (submission) order and never concurrently, across random key mixes,
-//! worker counts, and shard counts, for all four [`KeyedExecutor`]
+//! worker counts, and shard counts, for all four [`Executor`]
 //! implementations; plus the global-barrier property of `Sequential` jobs on
 //! the sharded executor.
 
@@ -8,8 +8,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use pdq_core::executor::{
-    KeyedExecutor, KeyedExecutorExt, MultiQueueExecutor, PdqBuilder, ShardedPdqBuilder,
-    SpinLockExecutor,
+    Executor, ExecutorExt, MultiQueueExecutor, PdqBuilder, ShardedPdqBuilder, SpinLockExecutor,
 };
 use proptest::prelude::*;
 
@@ -39,7 +38,7 @@ impl Observed {
 
 /// Submits `keys` (one job per element, keyed by the element) to `executor`
 /// and returns the per-key submission order for comparison.
-fn drive<E: KeyedExecutor>(executor: &E, keys: &[u8], observed: &Arc<Observed>) -> Vec<Vec<u64>> {
+fn drive<E: Executor>(executor: &E, keys: &[u8], observed: &Arc<Observed>) -> Vec<Vec<u64>> {
     let mut submitted: Vec<Vec<u64>> = vec![Vec::new(); KEY_SPACE];
     for (seq, &key) in keys.iter().enumerate() {
         let key = usize::from(key) % KEY_SPACE;

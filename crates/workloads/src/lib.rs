@@ -21,9 +21,13 @@
 #![warn(missing_debug_implementations)]
 
 mod app;
+pub mod protocol_server;
 mod trace;
 
 pub use app::{AppKind, AppParams, SharingPattern};
+pub use protocol_server::{
+    generate_events, run_server, ServerAggregate, ServerConfig, ServerState,
+};
 pub use trace::{Action, Topology, Workload, WorkloadScale};
 
 #[cfg(test)]

@@ -1,6 +1,9 @@
 //! The paper's running example (Figures 2 and 3): a fetch&add protocol
-//! handler parallelized three ways, showing why in-queue synchronization
+//! handler parallelized four ways, showing why in-queue synchronization
 //! beats in-handler locks and static partitioning.
+//!
+//! Every executor is built by registry name and driven through the
+//! `Executor` trait, so the comparison loop never names a concrete type.
 //!
 //! Run with: `cargo run --release --example fetch_add`
 
@@ -9,7 +12,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use pdq_repro::core::executor::{
-    KeyedExecutor, KeyedExecutorExt, MultiQueueExecutor, PdqBuilder, SpinLockExecutor,
+    build_executor, Executor, ExecutorExt, ExecutorSpec, EXECUTOR_NAMES,
 };
 
 const MESSAGES: u64 = 200_000;
@@ -21,7 +24,7 @@ const WORDS: u64 = 16;
 
 /// Runs the fetch&add message stream on any executor and returns the wall
 /// time plus the final sum (for a correctness check).
-fn run<E: KeyedExecutor>(executor: &E) -> (std::time::Duration, u64) {
+fn run(executor: &dyn Executor) -> (std::time::Duration, u64) {
     let words: Vec<Arc<AtomicU64>> = (0..WORDS).map(|_| Arc::new(AtomicU64::new(0))).collect();
     let start = Instant::now();
     for i in 0..MESSAGES {
@@ -34,7 +37,7 @@ fn run<E: KeyedExecutor>(executor: &E) -> (std::time::Duration, u64) {
             word.store(old + 1, Ordering::Relaxed);
         });
     }
-    executor.wait_idle();
+    executor.flush();
     let total: u64 = words.iter().map(|w| w.load(Ordering::Relaxed)).sum();
     (start.elapsed(), total)
 }
@@ -42,29 +45,21 @@ fn run<E: KeyedExecutor>(executor: &E) -> (std::time::Duration, u64) {
 fn main() {
     println!("fetch&add: {MESSAGES} messages over {WORDS} words, {WORKERS} workers\n");
 
-    let pdq = PdqBuilder::new().workers(WORKERS).build();
-    let (pdq_time, sum) = run(&pdq);
-    assert_eq!(sum, MESSAGES);
-    println!("parallel dispatch queue : {pdq_time:>10.2?}");
-
-    let spin = SpinLockExecutor::new(WORKERS);
-    let (spin_time, sum) = run(&spin);
-    assert_eq!(sum, MESSAGES);
-    println!(
-        "in-handler spin locks   : {spin_time:>10.2?}  ({} busy-wait iterations)",
-        spin.stats().spin_iterations
-    );
-
-    let multi = MultiQueueExecutor::new(WORKERS);
-    let (multi_time, sum) = run(&multi);
-    assert_eq!(sum, MESSAGES);
-    println!(
-        "static multi-queue      : {multi_time:>10.2?}  (imbalance factor {:.2})",
-        multi.stats().imbalance()
-    );
+    for name in EXECUTOR_NAMES {
+        let pool = build_executor(name, &ExecutorSpec::new(WORKERS)).expect("registry names build");
+        let (time, sum) = run(&*pool);
+        assert_eq!(sum, MESSAGES);
+        let stats = pool.stats();
+        let detail = match name {
+            "spinlock" => format!("  ({} busy-wait iterations)", stats.spin_iterations),
+            "multiqueue" => format!("  ({} spurious wakeups)", stats.spurious_wakeups),
+            _ => String::new(),
+        };
+        println!("{name:<12}: {time:>10.2?}{detail}");
+    }
 
     println!(
-        "\nAll three produce the correct sum; the PDQ does it without any \
+        "\nAll four produce the correct sum; the PDQ executors do it without any \
          synchronization inside the handler and without busy-waiting."
     );
 }

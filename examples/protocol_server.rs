@@ -1,0 +1,148 @@
+//! A protocol server on the executor trait: a deterministic stream of
+//! fine-grain DSM protocol events driven through any executor — selected by
+//! name — via the async submission frontend with bounded-queue backpressure.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example protocol_server -- [--executor NAME|all] \
+//!     [--events N] [--json PATH]
+//! ```
+//!
+//! where `NAME` is one of `pdq`, `sharded-pdq`, `spinlock`, `multiqueue`
+//! (default: `all`, which runs every executor and checks their aggregates
+//! agree). `PDQ_WORKERS` sets the worker count (default 4). With `--json
+//! PATH` the executor-independent aggregate is written as JSON; CI runs this
+//! under `PDQ_WORKERS=4` for every executor and diffs the files.
+
+use std::process::ExitCode;
+
+use pdq_repro::core::executor::{build_executor, ExecutorSpec, EXECUTOR_NAMES};
+use pdq_repro::workloads::{run_server, ServerAggregate, ServerConfig};
+
+/// Queue capacity bound (per queue/shard): small enough that the intake loop
+/// regularly hits backpressure at the default event count.
+const CAPACITY: usize = 64;
+/// Maximum submissions in flight before the intake loop awaits the oldest.
+const WINDOW: usize = 256;
+
+fn run_one(name: &str, workers: usize, cfg: &ServerConfig) -> Option<ServerAggregate> {
+    let spec = ExecutorSpec::new(workers).capacity(CAPACITY);
+    let mut pool = build_executor(name, &spec)?;
+    let start = std::time::Instant::now();
+    let aggregate = run_server(&*pool, cfg, WINDOW);
+    let elapsed = start.elapsed();
+    let stats = pool.stats();
+    println!(
+        "[{name}] {} events in {elapsed:.2?} ({:.0} events/sec), {} executed, {} panicked",
+        aggregate.events,
+        aggregate.events as f64 / elapsed.as_secs_f64().max(f64::EPSILON),
+        stats.executed,
+        stats.panicked,
+    );
+    pool.shutdown();
+    Some(aggregate)
+}
+
+fn main() -> ExitCode {
+    let mut executor = "all".to_string();
+    let mut json_path: Option<String> = None;
+    let mut cfg = ServerConfig::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--executor" => match args.next() {
+                Some(name) => executor = name,
+                None => {
+                    eprintln!("--executor needs a name (one of {EXECUTOR_NAMES:?} or `all`)");
+                    return ExitCode::from(2);
+                }
+            },
+            "--events" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(events) if events > 0 => cfg = cfg.events(events),
+                _ => {
+                    eprintln!("--events needs a positive integer");
+                    return ExitCode::from(2);
+                }
+            },
+            "--json" => match args.next() {
+                Some(path) => json_path = Some(path),
+                None => {
+                    eprintln!("--json needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "usage: protocol_server [--executor NAME|all] [--events N] [--json PATH]\n\
+                     NAME is one of {EXECUTOR_NAMES:?}. PDQ_WORKERS sets the worker count."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // Same rules as pdq_bench::runner's env validation (unset/empty means
+    // the default; malformed or out-of-range is rejected) — the example
+    // cannot reuse that code because the facade does not depend on
+    // pdq-bench.
+    let workers = match std::env::var("PDQ_WORKERS") {
+        Err(_) => 4,
+        Ok(v) if v.is_empty() => 4,
+        Ok(v) => match v.parse::<usize>() {
+            Ok(n) if (1..=512).contains(&n) => n,
+            Ok(_) => {
+                eprintln!("PDQ_WORKERS={v} is out of range (expected 1..=512)");
+                return ExitCode::from(2);
+            }
+            Err(_) => {
+                eprintln!("PDQ_WORKERS={v} is not a valid number (expected 1..=512)");
+                return ExitCode::from(2);
+            }
+        },
+    };
+
+    println!(
+        "protocol server: {} DSM events over {} blocks, {workers} workers, \
+         queue capacity {CAPACITY}, window {WINDOW}\n",
+        cfg.events, cfg.blocks
+    );
+
+    let names: Vec<&str> = if executor == "all" {
+        EXECUTOR_NAMES.to_vec()
+    } else {
+        vec![executor.as_str()]
+    };
+    let mut aggregates = Vec::new();
+    for name in &names {
+        match run_one(name, workers, &cfg) {
+            Some(aggregate) => aggregates.push(aggregate),
+            None => {
+                eprintln!("unknown executor `{name}` (one of {EXECUTOR_NAMES:?} or `all`)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let first = aggregates[0];
+    if aggregates.iter().any(|a| *a != first) {
+        eprintln!("executors disagree on the aggregate results!");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "\naggregate (identical across the executors run):\n{}",
+        first.render()
+    );
+
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(&path, first.to_json_string()) {
+            eprintln!("could not write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}

@@ -9,7 +9,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
-use pdq_repro::core::executor::{KeyedExecutor, KeyedExecutorExt, PdqBuilder};
+use pdq_repro::core::executor::{Executor, ExecutorExt, PdqBuilder};
 
 fn main() {
     // Four "protocol processors".
@@ -43,8 +43,8 @@ fn main() {
         );
     });
 
-    pool.wait_idle();
-    let stats = pool.stats();
+    pool.flush();
+    let stats = pool.pdq_stats();
     println!(
         "executed {} handlers on {} workers ({} same-key conflicts resolved in the queue)",
         stats.executed,

@@ -6,7 +6,7 @@
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 
-use pdq_repro::core::executor::{KeyedExecutor, PdqBuilder};
+use pdq_repro::core::executor::{Executor, PdqBuilder};
 use pdq_repro::core::SyncKey;
 use pdq_repro::dsm::{Access, BlockAddr, BlockSize, DsmConfig, DsmProtocol, ProtocolEvent};
 
@@ -57,9 +57,10 @@ fn run_on_executor(protocol: Arc<Mutex<DsmProtocol>>, initial: Vec<(usize, Proto
                         ));
                     }
                 }),
-            );
+            )
+            .expect("pool is running");
         }
-        pool.wait_idle();
+        pool.flush();
     }
 }
 
