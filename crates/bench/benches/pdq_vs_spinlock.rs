@@ -16,7 +16,8 @@ use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pdq_bench::{drive_fetch_add, scaling_spec};
-use pdq_core::executor::{build_executor, Executor, EXECUTOR_NAMES};
+use pdq_core::executor::{build_executor, Executor, ExecutorExt, SubmitBatch, EXECUTOR_NAMES};
+use pdq_core::SyncKey;
 
 const JOBS: u64 = 4_000;
 /// Number of distinct memory words (keys); small => high contention.
@@ -57,11 +58,69 @@ fn bench_workers(c: &mut Criterion, group_name: &str, workers: usize, hot_words:
     group.finish();
 }
 
+/// One submission per dispatch-lock acquisition: the baseline the batch path
+/// amortizes.
+fn drive_single_submit(executor: &dyn Executor, jobs: u64, keys: u64) {
+    for i in 0..jobs {
+        executor
+            .submit(SyncKey::key(i % keys), Box::new(|| {}))
+            .expect("executor is running");
+    }
+    executor.flush();
+}
+
+/// `batch_size` submissions per dispatch-lock acquisition (one shard pass on
+/// the partitioned executors).
+fn drive_batched_submit(executor: &dyn Executor, jobs: u64, keys: u64, batch_size: usize) {
+    let mut batch = SubmitBatch::with_capacity(batch_size);
+    for i in 0..jobs {
+        batch.push_keyed(i % keys, || {});
+        if batch.len() >= batch_size {
+            executor
+                .submit_batch(&mut batch)
+                .expect("executor is running");
+        }
+    }
+    executor
+        .submit_batch(&mut batch)
+        .expect("executor is running");
+    executor.flush();
+}
+
+/// Quantifies the per-job submission overhead `try_submit_batch` removes:
+/// the same trivial-handler workload (submission cost dominates) is pushed
+/// through each executor one job at a time and in 64-job batches, on the
+/// contended 4-worker / 8-key configuration of the motivation experiment.
+fn bench_submit_batch(c: &mut Criterion) {
+    const BATCH: usize = 64;
+    let mut group = c.benchmark_group("submit_batch");
+    group.sample_size(10);
+    for name in EXECUTOR_NAMES {
+        for (mode, batched) in [("single", false), ("batch64", true)] {
+            group.bench_function(BenchmarkId::new(name, mode), |b| {
+                b.iter_batched(
+                    || build_executor(name, &scaling_spec(name, 4)).expect("registry names build"),
+                    |executor| {
+                        if batched {
+                            drive_batched_submit(&*executor, JOBS, HOT_WORDS, BATCH);
+                        } else {
+                            drive_single_submit(&*executor, JOBS, HOT_WORDS);
+                        }
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
 fn bench_executors(c: &mut Criterion) {
     bench_workers(c, "fetch_add_4k_jobs", 4, HOT_WORDS);
     // 16 workers over 64 words: enough key parallelism that the queue
     // itself, not the keys, is the point of contention.
     bench_workers(c, "fetch_add_4k_jobs_16_workers", 16, 64);
+    bench_submit_batch(c);
 }
 
 criterion_group!(benches, bench_executors);

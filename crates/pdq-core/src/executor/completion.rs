@@ -23,6 +23,14 @@
 //! waits for admission (backpressure), then for completion. [`block_on`] is
 //! a dependency-free single-future executor for programs and tests that have
 //! no async runtime.
+//!
+//! On top of the untyped slots, [`attach_returning`] wraps a *value-returning*
+//! closure so its result travels back to the submitter through a typed cell:
+//! [`TypedHandle`] (blocking) and [`TypedFuture`] (async) resolve to
+//! `Result<R, JobError>`, with handler panics and shutdown-dropped jobs
+//! surfaced as [`JobError::Panicked`] / [`JobError::Aborted`] instead of a
+//! bare status the caller has to re-interpret. Both carry `map`-style
+//! adapters, so reply post-processing composes without re-submitting.
 
 use std::future::Future;
 use std::pin::Pin;
@@ -156,6 +164,7 @@ impl Drop for CompletionNotifier {
 /// convenience methods. Dropping the handle is always safe: the slot is
 /// resolved by the worker regardless of whether anyone is still watching, so
 /// an abandoned handle can never deadlock a worker.
+#[must_use = "a dropped CompletionHandle silently discards the job's outcome; call wait()/status() or drop it explicitly"]
 pub struct CompletionHandle {
     slot: Arc<Slot>,
 }
@@ -239,6 +248,214 @@ pub fn attach(job: Job) -> (Job, CompletionHandle) {
         notifier.finish();
     });
     (wrapped, handle)
+}
+
+/// Why a value-returning job produced no value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JobError {
+    /// The handler started and panicked; the executor contained the panic and
+    /// released the job's key, but no result was produced.
+    Panicked,
+    /// The job never ran: either the executor refused/shut down before
+    /// admission, or it was dropped undispatched at shutdown.
+    Aborted,
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Panicked => f.write_str("handler panicked before producing a result"),
+            JobError::Aborted => f.write_str("job was dropped without running"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+impl From<ShutdownError> for JobError {
+    fn from(_: ShutdownError) -> Self {
+        JobError::Aborted
+    }
+}
+
+/// Converts a resolved [`JobStatus`] into the typed result space.
+fn status_to_error(status: JobStatus) -> JobError {
+    match status {
+        JobStatus::Done => unreachable!("Done carries a value, not an error"),
+        JobStatus::Panicked => JobError::Panicked,
+        JobStatus::Aborted => JobError::Aborted,
+    }
+}
+
+/// The deferred "take the result out of the cell" step of a typed handle.
+/// `map` composes onto this closure, so adapters cost one allocation at
+/// `map` time and nothing per poll.
+type TakeFn<R> = Box<dyn FnOnce() -> R + Send>;
+
+/// Wraps a value-returning closure so its result travels through a typed
+/// cell next to the completion slot. Returns the untyped [`Job`] (submittable
+/// to any executor) plus the [`TypedHandle`] that yields the value.
+///
+/// The wrapping nests [`attach`]: the completion slot still resolves exactly
+/// once whether the job runs, panics, or is dropped, and the result cell is
+/// filled if and only if the slot resolves [`JobStatus::Done`].
+pub fn attach_returning<R, F>(f: F) -> (Job, TypedHandle<R>)
+where
+    R: Send + 'static,
+    F: FnOnce() -> R + Send + 'static,
+{
+    let cell: Arc<Mutex<Option<R>>> = Arc::new(Mutex::new(None));
+    let write = Arc::clone(&cell);
+    let (job, handle) = attach(Box::new(move || {
+        let value = f();
+        *write.lock() = Some(value);
+    }));
+    let take: TakeFn<R> = Box::new(move || {
+        cell.lock()
+            .take()
+            .expect("a Done slot always has its result cell filled")
+    });
+    (
+        job,
+        TypedHandle {
+            handle,
+            take: Some(take),
+        },
+    )
+}
+
+/// The submitter-side half of a *value-returning* job: a [`CompletionHandle`]
+/// plus the typed result cell the wrapped closure fills.
+///
+/// Obtained from [`attach_returning`] or
+/// [`ExecutorExt::submit_returning`](super::ExecutorExt::submit_returning).
+/// Dropping the handle is always safe (the worker resolves the slot
+/// regardless); the result is simply discarded.
+#[must_use = "a dropped TypedHandle silently discards the job's result; call wait() or drop it explicitly"]
+pub struct TypedHandle<R> {
+    handle: CompletionHandle,
+    take: Option<TakeFn<R>>,
+}
+
+impl<R> std::fmt::Debug for TypedHandle<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TypedHandle")
+            .field("status", &self.handle.status())
+            .finish()
+    }
+}
+
+impl<R: Send + 'static> TypedHandle<R> {
+    /// The job's status, if it has finished (without consuming the result).
+    pub fn status(&self) -> Option<JobStatus> {
+        self.handle.status()
+    }
+
+    /// Whether the job has finished (in any way).
+    pub fn is_finished(&self) -> bool {
+        self.handle.status().is_some()
+    }
+
+    /// Blocks the calling thread until the job finishes, then returns its
+    /// value — or the typed error explaining why there is none.
+    pub fn wait(mut self) -> Result<R, JobError> {
+        match self.handle.wait() {
+            JobStatus::Done => Ok((self.take.take().expect("take runs once"))()),
+            status => Err(status_to_error(status)),
+        }
+    }
+
+    /// Returns a handle yielding `f(result)` instead of the raw result. The
+    /// transform runs lazily on the *waiting* thread when the value is taken,
+    /// never on the worker.
+    pub fn map<U, F>(mut self, f: F) -> TypedHandle<U>
+    where
+        U: Send + 'static,
+        F: FnOnce(R) -> U + Send + 'static,
+    {
+        let take = self.take.take().expect("take runs once");
+        TypedHandle {
+            handle: CompletionHandle {
+                slot: Arc::clone(&self.handle.slot),
+            },
+            take: Some(Box::new(move || f(take()))),
+        }
+    }
+}
+
+/// Future returned by
+/// [`ExecutorExt::submit_async_returning`](super::ExecutorExt::submit_async_returning).
+///
+/// Like [`SubmitFuture`], the job is handed to the executor when the future
+/// is created (dropping the future does not cancel it) and the future stays
+/// pending while the submission is parked behind a full bounded queue. It
+/// resolves to the job's typed result: `Ok(value)` when the handler ran, or a
+/// [`JobError`] when it panicked ([`JobError::Panicked`]) or never ran
+/// because the executor shut down — before or after admission — which both
+/// collapse to [`JobError::Aborted`].
+#[must_use = "futures do nothing unless polled; the job's result is silently discarded otherwise"]
+pub struct TypedFuture<R> {
+    inner: SubmitFuture,
+    take: Option<TakeFn<R>>,
+}
+
+impl<R> std::fmt::Debug for TypedFuture<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TypedFuture")
+            .field("status", &self.inner.handle().status())
+            .finish()
+    }
+}
+
+impl<R: Send + 'static> TypedFuture<R> {
+    pub(super) fn new(waiter: Arc<SubmitWaiter>, handle: TypedHandle<R>) -> Self {
+        let TypedHandle { handle, take } = handle;
+        Self {
+            inner: SubmitFuture::new(waiter, handle),
+            take,
+        }
+    }
+
+    /// The untyped completion handle of the submitted job.
+    pub fn handle(&self) -> &CompletionHandle {
+        self.inner.handle()
+    }
+
+    /// Returns a future resolving to `f(result)` instead of the raw result.
+    /// The transform runs on the polling task, never on the worker.
+    pub fn map<U, F>(mut self, f: F) -> TypedFuture<U>
+    where
+        U: Send + 'static,
+        F: FnOnce(R) -> U + Send + 'static,
+    {
+        let take = self.take.take().expect("take runs once");
+        TypedFuture {
+            inner: self.inner,
+            take: Some(Box::new(move || f(take()))),
+        }
+    }
+
+    /// Drives the future to completion on the calling thread (convenience
+    /// over [`block_on`]).
+    pub fn wait(self) -> Result<R, JobError> {
+        block_on(self)
+    }
+}
+
+impl<R: Send + 'static> Future for TypedFuture<R> {
+    type Output = Result<R, JobError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        match Pin::new(&mut this.inner).poll(cx) {
+            Poll::Pending => Poll::Pending,
+            Poll::Ready(Ok(JobStatus::Done)) => {
+                Poll::Ready(Ok((this.take.take().expect("polled after Ready"))()))
+            }
+            Poll::Ready(Ok(status)) => Poll::Ready(Err(status_to_error(status))),
+            Poll::Ready(Err(shutdown)) => Poll::Ready(Err(shutdown.into())),
+        }
+    }
 }
 
 struct WaiterState {
@@ -343,6 +560,7 @@ impl SubmitWaiter {
 /// and to `Ok(status)` once the admitted job ran (or was dropped at
 /// shutdown, `Ok(JobStatus::Aborted)`).
 #[derive(Debug)]
+#[must_use = "futures do nothing unless polled; the submission still happens, but its outcome is silently discarded"]
 pub struct SubmitFuture {
     waiter: Arc<SubmitWaiter>,
     handle: CompletionHandle,
@@ -495,6 +713,72 @@ mod tests {
         let w = SubmitWaiter::new();
         w.abort();
         assert_eq!(w.wait(), Err(ShutdownError));
+    }
+
+    #[test]
+    fn typed_job_returns_its_value() {
+        let (job, handle) = attach_returning(|| 21u64 * 2);
+        assert_eq!(handle.status(), None);
+        assert!(!handle.is_finished());
+        job();
+        assert_eq!(handle.status(), Some(JobStatus::Done));
+        assert_eq!(handle.wait(), Ok(42));
+    }
+
+    #[test]
+    fn typed_map_composes_on_the_waiter_side() {
+        let (job, handle) = attach_returning(|| 10u32);
+        let mapped = handle.map(|v| v + 1).map(|v| format!("={v}"));
+        job();
+        assert_eq!(mapped.wait(), Ok("=11".to_string()));
+    }
+
+    #[test]
+    fn typed_panic_is_a_typed_error() {
+        let (job, handle) = attach_returning(|| -> u64 { panic!("handler failure") });
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+        assert!(outcome.is_err());
+        assert_eq!(handle.wait(), Err(JobError::Panicked));
+    }
+
+    #[test]
+    fn typed_dropped_job_is_aborted() {
+        let (job, handle) = attach_returning(|| 7u8);
+        drop(job);
+        assert_eq!(handle.map(|v| v + 1).wait(), Err(JobError::Aborted));
+        assert_eq!(JobError::from(ShutdownError), JobError::Aborted);
+        assert!(JobError::Panicked.to_string().contains("panicked"));
+        assert!(JobError::Aborted.to_string().contains("without running"));
+    }
+
+    #[test]
+    fn typed_future_resolves_with_the_value() {
+        let (job, handle) = attach_returning(|| vec![1u8, 2, 3]);
+        let fut = TypedFuture::new(
+            {
+                let w = SubmitWaiter::new();
+                w.admit();
+                w
+            },
+            handle,
+        );
+        let fut = fut.map(|v| v.len());
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(5));
+            job();
+        });
+        assert_eq!(block_on(fut), Ok(3));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn typed_future_maps_shutdown_to_aborted() {
+        let (job, handle) = attach_returning(|| 1u8);
+        let w = SubmitWaiter::new();
+        w.abort();
+        let fut = TypedFuture::new(w, handle);
+        assert_eq!(fut.wait(), Err(JobError::Aborted));
+        drop(job);
     }
 
     #[test]

@@ -27,8 +27,13 @@
 //! every consumer that goes through the trait picks it up unchanged.
 //!
 //! The [`completion`] module provides the notification layer shared by all
-//! executors: per-job completion slots (blocking waits, futures, callbacks)
-//! and the FIFO submission waiters behind bounded-queue backpressure.
+//! executors: per-job completion slots (blocking waits, futures, callbacks),
+//! the FIFO submission waiters behind bounded-queue backpressure, and the
+//! typed result cells behind [`ExecutorExt::submit_returning`] /
+//! [`ExecutorExt::submit_async_returning`] ([`TypedHandle`] /
+//! [`TypedFuture`]). [`SubmitBatch`] and
+//! [`Executor::try_submit_batch`] amortize the dispatch lock over whole
+//! keyed slices instead of paying it per job.
 
 pub mod completion;
 mod multiqueue;
@@ -36,12 +41,16 @@ mod pdq;
 mod sharded;
 mod spinlock;
 
-pub use completion::{attach, block_on, CompletionHandle, JobStatus, SubmitFuture, SubmitWaiter};
+pub use completion::{
+    attach, attach_returning, block_on, CompletionHandle, JobError, JobStatus, SubmitFuture,
+    SubmitWaiter, TypedFuture, TypedHandle,
+};
 pub use multiqueue::{MultiQueueExecutor, MultiQueueStats};
 pub use pdq::{PdqBuilder, PdqExecutor, PdqExecutorStats};
 pub use sharded::{ShardedPdqBuilder, ShardedPdqExecutor, ShardedPdqStats};
 pub use spinlock::{SpinLockExecutor, SpinLockStats};
 
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 use crate::error::ShutdownError;
@@ -95,6 +104,97 @@ impl std::fmt::Display for TrySubmitError {
                 f.write_str("executor has been shut down; job returned to caller")
             }
         }
+    }
+}
+
+/// An ordered batch of keyed jobs for amortized submission.
+///
+/// Submitting fine-grain handlers one at a time pays the executor's dispatch
+/// lock (or shard routing) once per job. A `SubmitBatch` lets the caller hand
+/// an entire keyed slice to [`Executor::try_submit_batch`], which admits it
+/// under one dispatch-lock acquisition (one pass over the shards, for the
+/// sharded executors) — the per-job submission overhead is amortized over
+/// the batch.
+///
+/// Entries are admitted strictly in push order from the front. Entries that
+/// could not be admitted (bounded queue at capacity, or the executor shut
+/// down) stay in the batch, in their original relative order, for the caller
+/// to retry, re-route, or drop.
+#[derive(Default)]
+pub struct SubmitBatch {
+    entries: VecDeque<(SyncKey, Job)>,
+}
+
+impl std::fmt::Debug for SubmitBatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SubmitBatch")
+            .field("len", &self.entries.len())
+            .finish()
+    }
+}
+
+impl SubmitBatch {
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty batch with room for `capacity` entries.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            entries: VecDeque::with_capacity(capacity),
+        }
+    }
+
+    /// Appends a job with an explicit [`SyncKey`].
+    pub fn push(&mut self, key: SyncKey, job: Job) {
+        self.entries.push_back((key, job));
+    }
+
+    /// Appends a closure with a user key.
+    pub fn push_keyed<F>(&mut self, key: u64, f: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        self.push(SyncKey::key(key), Box::new(f));
+    }
+
+    /// Appends a closure that must run in isolation.
+    pub fn push_sequential<F>(&mut self, f: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        self.push(SyncKey::Sequential, Box::new(f));
+    }
+
+    /// Appends a closure that needs no synchronization.
+    pub fn push_nosync<F>(&mut self, f: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        self.push(SyncKey::NoSync, Box::new(f));
+    }
+
+    /// Number of jobs still waiting in the batch.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the batch holds no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Removes and returns the oldest entry (used by retry loops that fall
+    /// back to single-job submission).
+    pub fn pop_front(&mut self) -> Option<(SyncKey, Job)> {
+        self.entries.pop_front()
+    }
+
+    /// Re-inserts an entry at the front (an executor handing back a refused
+    /// job keeps the batch's order intact this way).
+    pub fn push_front(&mut self, key: SyncKey, job: Job) {
+        self.entries.push_front((key, job));
     }
 }
 
@@ -174,6 +274,41 @@ pub trait Executor: Send + Sync + std::fmt::Debug {
     /// This is the building block behind [`submit`](Self::submit) and
     /// [`ExecutorExt::submit_async`]; most callers want those instead.
     fn submit_queued(&self, key: SyncKey, job: Job, waiter: Arc<SubmitWaiter>);
+
+    /// Submits as many jobs from the front of `batch` as fit without
+    /// blocking, and returns how many were admitted. Admitted entries are
+    /// removed from the batch; refused entries stay, in their original
+    /// relative order.
+    ///
+    /// The default implementation is a [`try_submit`](Self::try_submit) loop
+    /// that stops at the first refusal. Executors override it to admit the
+    /// whole batch under one dispatch-lock acquisition (one pass over the
+    /// shards/queues for the partitioned executors), amortizing the per-job
+    /// submission cost.
+    ///
+    /// Partial admission obeys the strict-FIFO overflow rules: within any
+    /// internal queue, entries are admitted in batch order and admission for
+    /// that queue stops at its first refusal — a later entry can never barge
+    /// past an earlier refused one (a key always routes to the same queue, so
+    /// per-key FIFO is preserved). Executors with several internal queues may
+    /// still admit later entries bound for *other* queues; cross-key order
+    /// was never promised.
+    ///
+    /// Returns `0` without removing anything once the executor has shut
+    /// down.
+    fn try_submit_batch(&self, batch: &mut SubmitBatch) -> usize {
+        let mut admitted = 0;
+        while let Some((key, job)) = batch.entries.pop_front() {
+            match self.try_submit(key, job) {
+                Ok(()) => admitted += 1,
+                Err(err) => {
+                    batch.entries.push_front((key, err.into_job()));
+                    break;
+                }
+            }
+        }
+        admitted
+    }
 
     /// Blocks until every job submitted so far has finished executing.
     fn flush(&self);
@@ -283,6 +418,71 @@ pub trait ExecutorExt: Executor {
         let waiter = SubmitWaiter::new();
         self.submit_queued(key, job, Arc::clone(&waiter));
         SubmitFuture::new(waiter, handle)
+    }
+
+    /// Submits a *value-returning* closure and returns a [`TypedHandle`]
+    /// that blocks for (or `map`s over) the result. Blocks while a bounded
+    /// queue is at capacity.
+    ///
+    /// Unlike [`submit_handle`](Self::submit_handle) this never panics: if
+    /// the executor has shut down, the job is dropped and the handle resolves
+    /// `Err(`[`JobError::Aborted`]`)`; a panicking handler resolves
+    /// `Err(`[`JobError::Panicked`]`)`.
+    fn submit_returning<R, F>(&self, key: SyncKey, f: F) -> TypedHandle<R>
+    where
+        R: Send + 'static,
+        F: FnOnce() -> R + Send + 'static,
+    {
+        let (job, handle) = completion::attach_returning(f);
+        // On shutdown the job is dropped inside `submit`, resolving the slot
+        // as Aborted — the failure surfaces through the typed result.
+        let _ = self.submit(key, job);
+        handle
+    }
+
+    /// Submits a *value-returning* closure asynchronously: the returned
+    /// [`TypedFuture`] stays pending while the submission is parked behind a
+    /// full bounded queue and resolves with the job's result — the async
+    /// request/response primitive behind `ProtocolService`-style frontends.
+    ///
+    /// The job is handed to the executor immediately; dropping the future
+    /// does not cancel it (the result is discarded).
+    fn submit_async_returning<R, F>(&self, key: SyncKey, f: F) -> TypedFuture<R>
+    where
+        R: Send + 'static,
+        F: FnOnce() -> R + Send + 'static,
+    {
+        let (job, handle) = completion::attach_returning(f);
+        let waiter = SubmitWaiter::new();
+        self.submit_queued(key, job, Arc::clone(&waiter));
+        TypedFuture::new(waiter, handle)
+    }
+
+    /// Submits every job in `batch`, blocking while a bounded queue is at
+    /// capacity, and returns how many jobs were admitted (the batch is empty
+    /// on `Ok`).
+    ///
+    /// The fast path admits whole slices via
+    /// [`try_submit_batch`](Executor::try_submit_batch); only when the batch
+    /// stalls does one blocking [`submit`](Executor::submit) drain the
+    /// holding entry before another batch pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShutdownError`] if the executor shuts down before the whole
+    /// batch is admitted; the not-yet-submitted remainder stays in `batch`.
+    fn submit_batch(&self, batch: &mut SubmitBatch) -> Result<usize, ShutdownError> {
+        let mut admitted = 0;
+        loop {
+            admitted += self.try_submit_batch(batch);
+            match batch.entries.pop_front() {
+                None => return Ok(admitted),
+                Some((key, job)) => {
+                    self.submit(key, job)?;
+                    admitted += 1;
+                }
+            }
+        }
     }
 
     /// Blocks until every job submitted so far has finished executing.

@@ -12,7 +12,7 @@ use parking_lot::{Condvar, Mutex};
 use crate::key::SyncKey;
 
 use super::completion::SubmitWaiter;
-use super::{Executor, ExecutorStats, Job, TrySubmitError};
+use super::{Executor, ExecutorStats, Job, SubmitBatch, TrySubmitError};
 
 /// Same defensive re-check bound as the other executors' worker loops: every
 /// wait sits in a re-check loop, so a capped wait changes no semantics.
@@ -270,6 +270,69 @@ impl Executor for MultiQueueExecutor {
             waiter.admit();
             q.work.notify_one();
         }
+    }
+
+    /// Admits the batch in one pass over the per-worker queues: entries are
+    /// routed in batch order, each queue's slice is enqueued under a single
+    /// lock acquisition, and a queue that refuses an entry is fed nothing
+    /// further from this batch (a key always routes to the same queue, so
+    /// per-key FIFO is preserved).
+    fn try_submit_batch(&self, batch: &mut SubmitBatch) -> usize {
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            return 0;
+        }
+        let n = self.shared.queues.len();
+        let mut pending: Vec<Vec<(usize, SyncKey, Job)>> = (0..n).map(|_| Vec::new()).collect();
+        for (idx, (key, job)) in batch.entries.drain(..).enumerate() {
+            let worker = self.target_worker(key);
+            pending[worker].push((idx, key, job));
+        }
+        let mut remaining: Vec<(usize, SyncKey, Job)> = Vec::new();
+        let mut admitted_total = 0usize;
+        for (worker, items) in pending.into_iter().enumerate() {
+            if items.is_empty() {
+                continue;
+            }
+            // Mirror `try_submit`: outstanding covers the whole slice before
+            // any job becomes visible to the worker (a worker could otherwise
+            // finish a job before it was ever counted), then the refused tail
+            // is subtracted after the pass.
+            self.shared.add_outstanding(items.len());
+            let q = &self.shared.queues[worker];
+            let mut admitted = 0usize;
+            let depth = {
+                let mut inner = q.inner.lock();
+                let mut refused = !inner.overflow.is_empty();
+                for (idx, key, job) in items {
+                    if refused
+                        || self
+                            .shared
+                            .capacity
+                            .is_some_and(|cap| inner.jobs.len() >= cap)
+                    {
+                        refused = true;
+                        remaining.push((idx, key, job));
+                    } else {
+                        inner.jobs.push_back(job);
+                        admitted += 1;
+                    }
+                }
+                inner.jobs.len()
+            };
+            if admitted > 0 {
+                q.max_depth.fetch_max(depth, Ordering::Relaxed);
+                q.work.notify_one();
+            }
+            admitted_total += admitted;
+        }
+        if !remaining.is_empty() {
+            self.shared.finish_outstanding(remaining.len());
+        }
+        remaining.sort_by_key(|&(idx, _, _)| idx);
+        batch
+            .entries
+            .extend(remaining.into_iter().map(|(_, key, job)| (key, job)));
+        admitted_total
     }
 
     fn flush(&self) {

@@ -21,7 +21,7 @@ use crate::queue::DispatchQueue;
 use crate::stats::QueueStats;
 
 use super::completion::SubmitWaiter;
-use super::{Executor, ExecutorStats, Job, TrySubmitError};
+use super::{Executor, ExecutorStats, Job, SubmitBatch, TrySubmitError};
 
 /// Statistics of a [`PdqExecutor`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -129,6 +129,51 @@ impl Shared {
         } else {
             state.overflow.push_back(Parked { key, job, waiter });
         }
+    }
+
+    /// Admits a whole slice of jobs under **one** lock acquisition: entries
+    /// are enqueued in order until the queue refuses one (capacity reached,
+    /// submissions already parked, or shutdown); the refused entry and every
+    /// later one are pushed onto `remaining` with their original batch
+    /// positions, preserving relative order. Returns `(admitted, refused)` —
+    /// `refused` is `true` once this queue has rejected an entry, so callers
+    /// spreading one batch over several queues know to stop feeding this one.
+    pub(super) fn enqueue_batch(
+        &self,
+        items: Vec<(usize, SyncKey, Job)>,
+        remaining: &mut Vec<(usize, SyncKey, Job)>,
+    ) -> (usize, bool) {
+        if items.is_empty() {
+            return (0, false);
+        }
+        let mut admitted = 0usize;
+        let mut refused;
+        {
+            let mut state = self.state.lock();
+            refused = state.shutdown || !state.overflow.is_empty();
+            for (idx, key, job) in items {
+                if refused {
+                    remaining.push((idx, key, job));
+                    continue;
+                }
+                match state.queue.enqueue(key, job) {
+                    Ok(()) => admitted += 1,
+                    Err(full) => {
+                        refused = true;
+                        remaining.push((idx, full.key, full.payload));
+                    }
+                }
+            }
+        }
+        match admitted {
+            0 => {}
+            // A single new entry needs one worker; a slice may unblock
+            // several distinct keys at once, so wake them all — the herd is
+            // bounded by the batch the caller just paid for.
+            1 => self.work.notify_one(),
+            _ => self.work.notify_all(),
+        }
+        (admitted, refused)
     }
 
     /// Blocks until the queue has nothing waiting, nothing parked, and
@@ -346,6 +391,23 @@ impl Executor for PdqExecutor {
 
     fn submit_queued(&self, key: SyncKey, job: Job, waiter: Arc<SubmitWaiter>) {
         self.shared.submit_queued(key, job, waiter);
+    }
+
+    /// Admits the whole batch under one dispatch-lock acquisition instead of
+    /// one lock round-trip per job.
+    fn try_submit_batch(&self, batch: &mut SubmitBatch) -> usize {
+        let items: Vec<(usize, SyncKey, Job)> = batch
+            .entries
+            .drain(..)
+            .enumerate()
+            .map(|(idx, (key, job))| (idx, key, job))
+            .collect();
+        let mut remaining = Vec::new();
+        let (admitted, _) = self.shared.enqueue_batch(items, &mut remaining);
+        batch
+            .entries
+            .extend(remaining.into_iter().map(|(_, key, job)| (key, job)));
+        admitted
     }
 
     fn flush(&self) {
@@ -652,6 +714,53 @@ mod tests {
         }
         pool.flush();
         assert_eq!(counter.load(Ordering::Relaxed), 200);
+    }
+
+    #[test]
+    fn batch_submission_admits_under_one_lock_and_hands_back_overflow() {
+        // Capacity 3, gated worker: a 6-job batch admits exactly 3 and hands
+        // the rest back in order.
+        let gate = Arc::new(AtomicBool::new(false));
+        let pool = PdqBuilder::new().workers(1).capacity(3).build();
+        let g = Arc::clone(&gate);
+        pool.submit_keyed(0, move || {
+            while !g.load(Ordering::SeqCst) {
+                std::thread::yield_now();
+            }
+        });
+        while pool.queued() > 0 {
+            std::thread::yield_now();
+        }
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut batch = SubmitBatch::with_capacity(6);
+        for i in 1..=6u64 {
+            let counter = Arc::clone(&counter);
+            batch.push_keyed(i, move || {
+                counter.fetch_add(i, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(pool.try_submit_batch(&mut batch), 3);
+        assert_eq!(batch.len(), 3);
+        gate.store(true, Ordering::SeqCst);
+        // The blocking variant drains the remainder.
+        let admitted = pool.submit_batch(&mut batch).expect("pool is running");
+        assert_eq!(admitted, 3);
+        assert!(batch.is_empty());
+        pool.flush();
+        assert_eq!(counter.load(Ordering::Relaxed), (1..=6).sum::<u64>());
+        assert_eq!(pool.pdq_stats().executed, 7);
+    }
+
+    #[test]
+    fn batch_submission_after_shutdown_admits_nothing() {
+        let mut pool = PdqBuilder::new().workers(1).build();
+        pool.shutdown();
+        let mut batch = SubmitBatch::new();
+        batch.push_keyed(1, || {});
+        batch.push_nosync(|| {});
+        assert_eq!(pool.try_submit_batch(&mut batch), 0);
+        assert_eq!(batch.len(), 2);
+        assert!(pool.submit_batch(&mut batch).is_err());
     }
 
     #[test]

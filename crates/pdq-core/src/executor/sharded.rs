@@ -41,7 +41,7 @@ use crate::stats::QueueStats;
 
 use super::completion::SubmitWaiter;
 use super::pdq::{spawn_workers, Shared};
-use super::{Executor, ExecutorStats, Job, TrySubmitError};
+use super::{Executor, ExecutorStats, Job, SubmitBatch, TrySubmitError};
 
 /// Fibonacci multiplier used to spread user keys across shards (the same
 /// constant the other executors use for lock/queue routing).
@@ -344,9 +344,12 @@ impl ShardedPdqExecutor {
         self.shards.len()
     }
 
+    fn shard_index(&self, key: u64) -> usize {
+        (key.wrapping_mul(HASH_SEED) >> 32) as usize % self.shards.len()
+    }
+
     fn shard_for(&self, key: u64) -> &Arc<Shared> {
-        let idx = (key.wrapping_mul(HASH_SEED) >> 32) as usize % self.shards.len();
-        &self.shards[idx]
+        &self.shards[self.shard_index(key)]
     }
 
     /// Escalates a `Sequential` job to a global barrier: followers first,
@@ -445,6 +448,82 @@ impl Executor for ShardedPdqExecutor {
             }
             SyncKey::Sequential => self.broadcast_sequential_barrier(job, waiter),
         }
+    }
+
+    /// Admits the batch in **one pass over the shards**: entries are routed
+    /// to their shards in batch order and each shard's slice is enqueued
+    /// under a single lock acquisition. A shard that refuses an entry is fed
+    /// nothing further from this batch (so a later same-key entry can never
+    /// barge past an earlier refused one); other shards keep admitting. A
+    /// `Sequential` entry first flushes the slices gathered so far — earlier
+    /// batch entries must land ahead of its barrier stubs on every shard.
+    /// If any earlier entry was refused, the barrier is **not** broadcast
+    /// (it would order itself ahead of that refused entry, inverting the
+    /// submission order); the `Sequential` entry and everything after it go
+    /// back into the batch instead.
+    fn try_submit_batch(&self, batch: &mut SubmitBatch) -> usize {
+        // `shutdown` takes `&mut self`, so this check cannot race a
+        // concurrent shutdown (same argument as `try_submit`).
+        if self.shards[0].is_shutdown() {
+            return 0;
+        }
+        let shard_count = self.shards.len();
+        // Collected up front (not a live `drain` iterator) so bailing out at
+        // a barrier can hand the tail back instead of dropping it.
+        let entries: Vec<(SyncKey, Job)> = batch.entries.drain(..).collect();
+        let mut pending: Vec<Vec<(usize, SyncKey, Job)>> =
+            (0..shard_count).map(|_| Vec::new()).collect();
+        let mut refused = vec![false; shard_count];
+        let mut remaining: Vec<(usize, SyncKey, Job)> = Vec::new();
+        let mut admitted = 0usize;
+        let flush = |pending: &mut Vec<Vec<(usize, SyncKey, Job)>>,
+                     refused: &mut Vec<bool>,
+                     remaining: &mut Vec<(usize, SyncKey, Job)>| {
+            let mut flushed = 0usize;
+            for (shard, items) in pending.iter_mut().enumerate() {
+                let items = std::mem::take(items);
+                if refused[shard] {
+                    remaining.extend(items);
+                    continue;
+                }
+                let (count, shard_refused) = self.shards[shard].enqueue_batch(items, remaining);
+                flushed += count;
+                refused[shard] |= shard_refused;
+            }
+            flushed
+        };
+        let mut entries = entries.into_iter().enumerate();
+        for (idx, (key, job)) in entries.by_ref() {
+            let shard = match key {
+                SyncKey::Key(k) => self.shard_index(k),
+                SyncKey::NoSync => self.round_robin.fetch_add(1, Ordering::Relaxed) % shard_count,
+                SyncKey::Sequential => {
+                    admitted += flush(&mut pending, &mut refused, &mut remaining);
+                    if !remaining.is_empty() {
+                        // An earlier entry was refused: broadcasting now
+                        // would run the barrier ahead of it. Hand the
+                        // barrier and the whole tail back instead.
+                        remaining.push((idx, key, job));
+                        remaining.extend(entries.map(|(i, (k, j))| (i, k, j)));
+                        break;
+                    }
+                    self.broadcast_sequential_barrier(job, SubmitWaiter::new());
+                    admitted += 1;
+                    continue;
+                }
+            };
+            if refused[shard] {
+                remaining.push((idx, key, job));
+            } else {
+                pending[shard].push((idx, key, job));
+            }
+        }
+        admitted += flush(&mut pending, &mut refused, &mut remaining);
+        remaining.sort_by_key(|&(idx, _, _)| idx);
+        batch
+            .entries
+            .extend(remaining.into_iter().map(|(_, key, job)| (key, job)));
+        admitted
     }
 
     fn flush(&self) {
@@ -755,6 +834,115 @@ mod tests {
         });
         pool.shutdown();
         assert_eq!(counter.load(Ordering::Relaxed), 101);
+    }
+
+    #[test]
+    fn batch_submission_spreads_over_shards_and_respects_barriers() {
+        let pool = ShardedPdqBuilder::new().workers(4).shards(4).build();
+        let before_done = Arc::new(AtomicU64::new(0));
+        let barrier_saw = Arc::new(AtomicU64::new(0));
+        let barrier_finished = Arc::new(AtomicBool::new(false));
+        let after_ran_early = Arc::new(AtomicBool::new(false));
+        let mut batch = SubmitBatch::with_capacity(81);
+        for i in 0..40u64 {
+            let before_done = Arc::clone(&before_done);
+            batch.push_keyed(i, move || {
+                std::thread::sleep(Duration::from_micros(20));
+                before_done.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        {
+            let before_done = Arc::clone(&before_done);
+            let barrier_saw = Arc::clone(&barrier_saw);
+            let barrier_finished = Arc::clone(&barrier_finished);
+            batch.push_sequential(move || {
+                barrier_saw.store(before_done.load(Ordering::SeqCst), Ordering::SeqCst);
+                barrier_finished.store(true, Ordering::SeqCst);
+            });
+        }
+        for i in 0..40u64 {
+            let after_ran_early = Arc::clone(&after_ran_early);
+            let barrier_finished = Arc::clone(&barrier_finished);
+            batch.push_keyed(i, move || {
+                if !barrier_finished.load(Ordering::SeqCst) {
+                    after_ran_early.store(true, Ordering::SeqCst);
+                }
+            });
+        }
+        assert_eq!(pool.try_submit_batch(&mut batch), 81);
+        assert!(batch.is_empty());
+        pool.flush();
+        assert_eq!(
+            barrier_saw.load(Ordering::SeqCst),
+            40,
+            "a batched sequential entry ran before earlier batch entries"
+        );
+        assert!(
+            !after_ran_early.load(Ordering::SeqCst),
+            "a batch entry overtook the batched sequential barrier"
+        );
+        // 40 + 40 keyed jobs + 1 sequential job (its 3 follower stubs also
+        // count as executed handler bodies).
+        assert_eq!(pool.sharded_stats().executed, 84);
+    }
+
+    #[test]
+    fn batched_sequential_is_not_broadcast_past_refused_entries() {
+        // Two shards with one worker and one waiting slot each; gate both
+        // workers and fill both slots so the next keyed entry is refused.
+        let pool = ShardedPdqBuilder::new()
+            .workers(2)
+            .shards(2)
+            .capacity(1)
+            .build();
+        let key_for = |shard: usize| (0u64..).find(|&k| pool.shard_index(k) == shard).unwrap();
+        let (k0, k1) = (key_for(0), key_for(1));
+        let gate = Arc::new(AtomicBool::new(false));
+        for &k in &[k0, k1] {
+            let g = Arc::clone(&gate);
+            pool.submit_keyed(k, move || {
+                while !g.load(Ordering::SeqCst) {
+                    std::thread::yield_now();
+                }
+            });
+        }
+        while pool.queued() > 0 {
+            std::thread::yield_now();
+        }
+        pool.submit_keyed(k0, || {});
+        pool.submit_keyed(k1, || {});
+        // Batch: a keyed entry the full shard refuses, then a Sequential.
+        // The barrier must not be broadcast past the refused entry — both
+        // stay in the batch, in order.
+        let keyed_done = Arc::new(AtomicBool::new(false));
+        let violation = Arc::new(AtomicBool::new(false));
+        let mut batch = SubmitBatch::new();
+        {
+            let keyed_done = Arc::clone(&keyed_done);
+            batch.push_keyed(k0, move || {
+                keyed_done.store(true, Ordering::SeqCst);
+            });
+        }
+        {
+            let keyed_done = Arc::clone(&keyed_done);
+            let violation = Arc::clone(&violation);
+            batch.push_sequential(move || {
+                if !keyed_done.load(Ordering::SeqCst) {
+                    violation.store(true, Ordering::SeqCst);
+                }
+            });
+        }
+        assert_eq!(pool.try_submit_batch(&mut batch), 0);
+        assert_eq!(batch.len(), 2, "refused entry and barrier both handed back");
+        gate.store(true, Ordering::SeqCst);
+        pool.submit_batch(&mut batch).expect("pool is running");
+        assert!(batch.is_empty());
+        pool.flush();
+        assert!(keyed_done.load(Ordering::SeqCst));
+        assert!(
+            !violation.load(Ordering::SeqCst),
+            "sequential barrier overtook an earlier refused batch entry"
+        );
     }
 
     #[test]

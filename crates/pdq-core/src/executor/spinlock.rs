@@ -12,7 +12,7 @@ use parking_lot::{Condvar, Mutex};
 use crate::key::SyncKey;
 
 use super::completion::SubmitWaiter;
-use super::{Executor, ExecutorStats, Job, TrySubmitError};
+use super::{Executor, ExecutorStats, Job, SubmitBatch, TrySubmitError};
 
 /// Same defensive re-check bound as the other executors' worker loops.
 const PARK_BACKSTOP: Duration = Duration::from_millis(50);
@@ -208,6 +208,34 @@ impl Executor for SpinLockExecutor {
             waiter.admit();
             self.shared.work.notify_one();
         }
+    }
+
+    /// Admits a batch prefix under one queue-lock acquisition (the shared
+    /// FIFO has a single capacity bound, so admission stops at the first
+    /// entry that does not fit).
+    fn try_submit_batch(&self, batch: &mut SubmitBatch) -> usize {
+        let mut admitted = 0usize;
+        {
+            let mut q = self.shared.queue.lock();
+            if q.shutdown {
+                return 0;
+            }
+            while !batch.entries.is_empty() {
+                if self.is_full(&q) {
+                    break;
+                }
+                let (key, job) = batch.entries.pop_front().expect("checked non-empty");
+                q.jobs.push_back((key, job));
+                q.outstanding += 1;
+                admitted += 1;
+            }
+        }
+        match admitted {
+            0 => {}
+            1 => self.shared.work.notify_one(),
+            _ => self.shared.work.notify_all(),
+        }
+        admitted
     }
 
     fn flush(&self) {

@@ -64,7 +64,11 @@
 //! assert!(words.iter().all(|w| w.load(Ordering::Relaxed) == 100));
 //! ```
 
-#![warn(missing_docs)]
+// `deny`, not `warn`: a malformed doc line (`// ...` or `/ ...` where
+// `/// ...` was meant) leaves its item undocumented, which must fail the
+// build — CI's lint job additionally greps for comment lines that interrupt
+// a doc block, which this lint alone cannot see.
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod config;

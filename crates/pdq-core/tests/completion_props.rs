@@ -13,7 +13,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use pdq_core::executor::{
-    block_on, Executor, ExecutorExt, JobStatus, PdqBuilder, ShardedPdqBuilder,
+    block_on, Executor, ExecutorExt, JobError, JobStatus, PdqBuilder, ShardedPdqBuilder,
 };
 use pdq_core::SyncKey;
 use proptest::prelude::*;
@@ -96,6 +96,58 @@ proptest! {
         let observed = order.lock().unwrap().clone();
         let expected: Vec<u64> = (0..=parked as u64).collect();
         prop_assert_eq!(observed, expected, "parked submissions admitted out of FIFO order");
+    }
+
+    /// Typed results survive handler panics as [`JobError::Panicked`]
+    /// without poisoning the worker: every non-panicking job's value comes
+    /// back intact, every panicking job yields the typed error, the stats
+    /// account for both, and the workers still run fresh jobs afterwards —
+    /// across 1..=8 shards.
+    #[test]
+    fn typed_results_survive_handler_panics(
+        workers in 1usize..5,
+        shards in 1usize..9,
+        jobs in proptest::collection::vec((any::<u8>(), 0u8..5), 1..80),
+    ) {
+        let pool = ShardedPdqBuilder::new().workers(workers).shards(shards).build();
+        let futures: Vec<_> = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, &(key, roll))| {
+                let panics = roll == 0;
+                let fut = pool.submit_async_returning(
+                    SyncKey::key(u64::from(key) % 5),
+                    move || {
+                        if panics {
+                            panic!("typed handler failure");
+                        }
+                        i as u64 * 3
+                    },
+                );
+                (i, panics, fut)
+            })
+            .collect();
+        let mut expected_panics = 0u64;
+        for (i, panics, fut) in futures {
+            if panics {
+                expected_panics += 1;
+                prop_assert_eq!(block_on(fut), Err(JobError::Panicked));
+            } else {
+                prop_assert_eq!(block_on(fut), Ok(i as u64 * 3));
+            }
+        }
+        // No worker was poisoned: a fresh typed job on every key still runs
+        // and returns its value (the blocking variant, for coverage).
+        for key in 0..5u64 {
+            let handle = pool
+                .submit_returning(SyncKey::key(key), move || key + 100)
+                .map(|v| v - 100);
+            prop_assert_eq!(handle.wait(), Ok(key));
+        }
+        pool.flush();
+        let stats = pool.stats();
+        prop_assert_eq!(stats.panicked, expected_panics);
+        prop_assert_eq!(stats.executed, jobs.len() as u64 - expected_panics + 5);
     }
 
     /// `submit_async` is observationally identical to blocking `submit`: the

@@ -2,13 +2,15 @@
 //! (submission) order and never concurrently, across random key mixes,
 //! worker counts, and shard counts, for all four [`Executor`]
 //! implementations; plus the global-barrier property of `Sequential` jobs on
-//! the sharded executor.
+//! the sharded executor, and the observable equivalence of batched and
+//! one-at-a-time submission for every registry executor.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use pdq_core::executor::{
-    Executor, ExecutorExt, MultiQueueExecutor, PdqBuilder, ShardedPdqBuilder, SpinLockExecutor,
+    build_executor, Executor, ExecutorExt, ExecutorSpec, MultiQueueExecutor, PdqBuilder,
+    ShardedPdqBuilder, SpinLockExecutor, SubmitBatch, EXECUTOR_NAMES,
 };
 use proptest::prelude::*;
 
@@ -38,25 +40,62 @@ impl Observed {
 
 /// Submits `keys` (one job per element, keyed by the element) to `executor`
 /// and returns the per-key submission order for comparison.
-fn drive<E: Executor>(executor: &E, keys: &[u8], observed: &Arc<Observed>) -> Vec<Vec<u64>> {
+fn drive<E: Executor + ?Sized>(
+    executor: &E,
+    keys: &[u8],
+    observed: &Arc<Observed>,
+) -> Vec<Vec<u64>> {
     let mut submitted: Vec<Vec<u64>> = vec![Vec::new(); KEY_SPACE];
     for (seq, &key) in keys.iter().enumerate() {
         let key = usize::from(key) % KEY_SPACE;
         submitted[key].push(seq as u64);
-        let observed = Arc::clone(observed);
-        executor.submit_keyed(key as u64, move || {
-            if observed.running[key].swap(true, Ordering::SeqCst) {
-                observed.overlap.store(true, Ordering::SeqCst);
-            }
-            observed.order[key].lock().unwrap().push(seq as u64);
-            // Linger long enough that an executor which dispatches two
-            // same-key jobs concurrently would actually interleave here.
-            for _ in 0..500 {
-                std::hint::spin_loop();
-            }
-            observed.running[key].store(false, Ordering::SeqCst);
-        });
+        executor.submit_keyed(key as u64, observer_job(observed, key, seq as u64));
     }
+    executor.wait_idle();
+    submitted
+}
+
+/// The shared job body of `drive`/`drive_batched`: records overlap and
+/// per-key execution order.
+fn observer_job(observed: &Arc<Observed>, key: usize, seq: u64) -> impl FnOnce() + Send + 'static {
+    let observed = Arc::clone(observed);
+    move || {
+        if observed.running[key].swap(true, Ordering::SeqCst) {
+            observed.overlap.store(true, Ordering::SeqCst);
+        }
+        observed.order[key].lock().unwrap().push(seq);
+        // Linger long enough that an executor which dispatches two
+        // same-key jobs concurrently would actually interleave here.
+        for _ in 0..500 {
+            std::hint::spin_loop();
+        }
+        observed.running[key].store(false, Ordering::SeqCst);
+    }
+}
+
+/// Like `drive`, but submissions go through `SubmitBatch` /
+/// `submit_batch` in slices of `batch_size` instead of one `submit` per job.
+fn drive_batched<E: Executor + ?Sized>(
+    executor: &E,
+    keys: &[u8],
+    observed: &Arc<Observed>,
+    batch_size: usize,
+) -> Vec<Vec<u64>> {
+    let mut submitted: Vec<Vec<u64>> = vec![Vec::new(); KEY_SPACE];
+    let mut batch = SubmitBatch::with_capacity(batch_size);
+    for (seq, &key) in keys.iter().enumerate() {
+        let key = usize::from(key) % KEY_SPACE;
+        submitted[key].push(seq as u64);
+        batch.push_keyed(key as u64, observer_job(observed, key, seq as u64));
+        if batch.len() >= batch_size {
+            executor
+                .submit_batch(&mut batch)
+                .expect("executor is running");
+        }
+    }
+    executor
+        .submit_batch(&mut batch)
+        .expect("executor is running");
     executor.wait_idle();
     submitted
 }
@@ -155,6 +194,65 @@ proptest! {
         let pool = ShardedPdqBuilder::new().workers(workers).shards(shards).build();
         let submitted = drive(&pool, &keys, &observed);
         check(submitted, &observed, &format!("ShardedPdqExecutor({shards} shards)"))?;
+    }
+
+    /// Batch submission is observably equivalent to one-at-a-time `submit`
+    /// for **every** registry executor: the same per-key FIFO order (set
+    /// equality for the spin-lock baseline, which never promised order),
+    /// the same exclusivity, and the same stats totals — across shard
+    /// counts 1..=8, batch sizes, and bounded or unbounded queues.
+    #[test]
+    fn batched_submission_is_equivalent_to_sequential_submit(
+        shards in 1usize..9,
+        keys in proptest::collection::vec(any::<u8>(), 1..200),
+        batch_size in 1usize..33,
+        capacity in 0usize..8,
+    ) {
+        for name in EXECUTOR_NAMES {
+            let mut spec = ExecutorSpec::new(4);
+            if name == "sharded-pdq" {
+                spec = spec.shards(shards);
+            }
+            if capacity > 0 {
+                // 0 means "unbounded"; small bounds make batches overflow,
+                // exercising the partial-admission path of submit_batch.
+                spec = spec.capacity(capacity + 1);
+            }
+            // Reference: one blocking submit per job.
+            let observed_ref = Observed::new();
+            let pool = build_executor(name, &spec).expect("registry name builds");
+            let submitted_ref = drive(&*pool, &keys, &observed_ref);
+            let executed_ref = pool.stats().executed;
+
+            // Same workload through SubmitBatch.
+            let observed = Observed::new();
+            let pool = build_executor(name, &spec).expect("registry name builds");
+            let submitted = drive_batched(&*pool, &keys, &observed, batch_size);
+            let executed = pool.stats().executed;
+
+            prop_assert_eq!(&submitted, &submitted_ref, "{}: submission order diverged", name);
+            prop_assert_eq!(
+                executed, executed_ref,
+                "{name}: batched stats totals diverged from sequential submit"
+            );
+            prop_assert_eq!(executed, keys.len() as u64, "{name}: batch lost jobs");
+            if name == "spinlock" {
+                prop_assert!(
+                    !observed.overlap.load(Ordering::SeqCst),
+                    "spinlock: two same-key jobs ran concurrently"
+                );
+                for (key, expected) in submitted.iter().enumerate() {
+                    let mut actual = observed.order[key].lock().unwrap().clone();
+                    actual.sort_unstable();
+                    prop_assert_eq!(
+                        &actual, expected,
+                        "spinlock: key {} batched job set differs", key
+                    );
+                }
+            } else {
+                check(submitted, &observed, &format!("{name} (batched)"))?;
+            }
+        }
     }
 
     /// A `Sequential` job on the sharded executor is a *global* barrier:

@@ -17,18 +17,24 @@
 //! assert!(workload.remote_accesses() > 0);
 //! ```
 
-#![warn(missing_docs)]
+// Same guard as pdq-core: a malformed doc line leaves its item
+// undocumented, which must fail the build rather than warn.
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod app;
 pub mod protocol_server;
+pub mod service;
 mod trace;
+pub mod transport;
 
 pub use app::{AppKind, AppParams, SharingPattern};
 pub use protocol_server::{
-    generate_events, run_server, ServerAggregate, ServerConfig, ServerState,
+    generate_events, run_server, ServerAggregate, ServerConfig, ServerError, ServerState,
 };
+pub use service::{run_client, serve, serve_tcp, ExecutorService, ProtocolService, Reply};
 pub use trace::{Action, Topology, Workload, WorkloadScale};
+pub use transport::{loopback_pair, LoopbackTransport, TcpTransport, Transport};
 
 #[cfg(test)]
 mod property_tests {

@@ -19,11 +19,54 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
-use pdq_core::executor::{block_on, Executor, ExecutorExt, SubmitFuture};
+use pdq_core::executor::{block_on, Executor, ExecutorExt, JobStatus, SubmitFuture};
 use pdq_dsm::{BlockAddr, Message, PageAddr, ProtocolEvent, Request};
 use pdq_sim::DetRng;
+
+/// Why a protocol-server run could not produce an aggregate.
+///
+/// Shared by the in-process driver ([`run_server`]) and the transport-backed
+/// service layer ([`serve`](crate::serve) / [`run_client`](crate::run_client)).
+#[derive(Debug)]
+pub enum ServerError {
+    /// The executor shut down while events were still in flight, so part of
+    /// the stream was dropped unprocessed.
+    Shutdown,
+    /// A transport or I/O failure (transport-backed runs only).
+    Io(std::io::Error),
+    /// A malformed, unexpected, or mismatching frame (transport-backed runs
+    /// only).
+    Protocol(String),
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::Shutdown => {
+                f.write_str("executor shut down while protocol events were in flight")
+            }
+            ServerError::Io(e) => write!(f, "transport failure: {e}"),
+            ServerError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServerError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServerError {
+    fn from(e: std::io::Error) -> Self {
+        ServerError::Io(e)
+    }
+}
 
 /// Configuration of a protocol-server run: the event stream is a pure
 /// function of this value.
@@ -234,9 +277,13 @@ impl ServerState {
 
     fn cell(&self, block: BlockAddr) -> std::sync::MutexGuard<'_, BlockCounters> {
         let idx = (block.0 % self.blocks.len() as u64) as usize;
+        // A panicking handler (contained by the executor) may have poisoned
+        // the cell; the counters are plain integers that are always in a
+        // consistent state, so recover the guard instead of cascading the
+        // panic into every later handler for this block.
         self.blocks[idx]
             .lock()
-            .expect("per-block cell is never poisoned: handlers do not panic")
+            .unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Folds the per-block state into the order-independent aggregate.
@@ -249,7 +296,7 @@ impl ServerState {
         };
         let mut checksum = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
         for cell in &self.blocks {
-            let c = *cell.lock().expect("server is idle");
+            let c = *cell.lock().unwrap_or_else(PoisonError::into_inner);
             agg.faults += c.faults;
             agg.write_faults += c.write_faults;
             agg.requests += c.requests;
@@ -384,15 +431,30 @@ impl ServerAggregate {
 /// `Sequential` key), and the intake loop awaits the oldest future whenever
 /// the window is full — so a bounded executor queue pushes back on intake
 /// instead of buffering without limit.
-pub fn run_server(executor: &dyn Executor, cfg: &ServerConfig, window: usize) -> ServerAggregate {
+///
+/// # Errors
+///
+/// [`ServerError::Shutdown`] if the executor shuts down while events are in
+/// flight (a submission is refused or an admitted event is dropped
+/// undispatched) — previously a panic deep in the drain loop. A *panicking
+/// handler* is not an error: its event simply does not count as completed.
+pub fn run_server(
+    executor: &dyn Executor,
+    cfg: &ServerConfig,
+    window: usize,
+) -> Result<ServerAggregate, ServerError> {
     let window = window.max(1);
     let state = Arc::new(ServerState::new(cfg.blocks));
     let mut pending: VecDeque<SubmitFuture> = VecDeque::with_capacity(window);
     let mut completed = 0u64;
-    let drain = |fut: SubmitFuture| -> u64 {
+    let drain = |fut: SubmitFuture, completed: &mut u64| -> Result<(), ServerError> {
         match block_on(fut) {
-            Ok(status) if status.is_done() => 1,
-            _ => 0,
+            Ok(JobStatus::Done) => {
+                *completed += 1;
+                Ok(())
+            }
+            Ok(JobStatus::Panicked) => Ok(()),
+            Ok(JobStatus::Aborted) | Err(_) => Err(ServerError::Shutdown),
         }
     };
     for event in generate_events(cfg) {
@@ -400,15 +462,16 @@ pub fn run_server(executor: &dyn Executor, cfg: &ServerConfig, window: usize) ->
         let fut = executor.submit_async(event.sync_key(), move || state.handle(&event));
         pending.push_back(fut);
         if pending.len() >= window {
-            let fut = pending.pop_front().expect("window is non-empty");
-            completed += drain(fut);
+            if let Some(fut) = pending.pop_front() {
+                drain(fut, &mut completed)?;
+            }
         }
     }
     for fut in pending {
-        completed += drain(fut);
+        drain(fut, &mut completed)?;
     }
     executor.flush();
-    state.aggregate(completed)
+    Ok(state.aggregate(completed))
 }
 
 #[cfg(test)]
@@ -443,7 +506,7 @@ mod tests {
         for name in EXECUTOR_NAMES {
             let mut pool = build_executor(name, &ExecutorSpec::new(4).capacity(32))
                 .expect("registry name builds");
-            let aggregate = run_server(&*pool, &cfg, 64);
+            let aggregate = run_server(&*pool, &cfg, 64).expect("pool is running");
             assert_eq!(aggregate.events, cfg.events as u64, "{name} lost events");
             assert_eq!(
                 aggregate.completed, cfg.events as u64,
@@ -465,10 +528,20 @@ mod tests {
     }
 
     #[test]
+    fn run_server_reports_shutdown_as_an_error_not_a_panic() {
+        let mut pool = build_executor("pdq", &ExecutorSpec::new(1)).expect("pdq builds");
+        pool.shutdown();
+        let outcome = run_server(&*pool, &ServerConfig::quick().events(10), 4);
+        assert!(matches!(outcome, Err(ServerError::Shutdown)));
+        let err = outcome.unwrap_err();
+        assert!(err.to_string().contains("shut down"));
+    }
+
+    #[test]
     fn aggregate_renders_text_and_json() {
         let cfg = ServerConfig::quick().events(500);
         let pool = build_executor("pdq", &ExecutorSpec::new(2)).expect("pdq builds");
-        let aggregate = run_server(&*pool, &cfg, 16);
+        let aggregate = run_server(&*pool, &cfg, 16).expect("pool is running");
         let text = aggregate.render();
         assert!(text.contains("events"));
         assert!(text.contains("block_checksum"));

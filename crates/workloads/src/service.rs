@@ -1,0 +1,795 @@
+//! The typed request/response service in front of the protocol server.
+//!
+//! This is the layer the PDQ abstraction exists for: a server receiving a
+//! firehose of fine-grain protocol *requests*, each handled by a keyed
+//! handler that computes a *reply* — not an anonymous side effect. The
+//! request lifecycle is
+//!
+//! ```text
+//!   frame → decode → ProtocolService::call → submit_async_returning
+//!     → handler runs (keyed, on a worker) → TypedFuture<Reply> resolves
+//!     → encode → reply frame
+//! ```
+//!
+//! [`ProtocolService`] is the dispatch surface (`call` returns a
+//! [`TypedFuture`] of the [`Reply`]); [`ExecutorService`] implements it over
+//! any [`Executor`] by submitting the [`ServerState`] handler with
+//! `submit_async_returning`, so a handler panic or an executor shutdown
+//! surfaces as a typed [`JobError`] instead of a poisoned counter. [`serve`]
+//! drives a [`Transport`] against a service with a bounded window of
+//! in-flight calls; [`run_client`] is the matching client: it streams the
+//! deterministic event stream of a [`ServerConfig`], verifies every ack
+//! against the reply digest it expects, and fetches the final
+//! [`ServerAggregate`] — which is byte-identical to an in-process
+//! [`run_server`](crate::run_server) run of the same config, whatever the
+//! executor and whatever the transport.
+
+use std::collections::VecDeque;
+use std::net::TcpListener;
+use std::sync::Arc;
+
+use pdq_core::executor::{Executor, ExecutorExt, JobError, TypedFuture};
+use pdq_dsm::{BlockAddr, Message, PageAddr, ProtocolEvent, Request};
+
+use crate::protocol_server::{
+    generate_events, ServerAggregate, ServerConfig, ServerError, ServerState,
+};
+use crate::transport::{TcpTransport, Transport};
+
+/// The typed response to one protocol request.
+///
+/// Replies are a pure function of the request (the shared per-block state is
+/// mutated commutatively and folded into the final aggregate instead), so the
+/// client can verify every ack independently of scheduling: the `digest`
+/// echoes an FNV-1a hash of the encoded request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reply {
+    /// Event class answered: `0` access fault, `1` incoming message, `2`
+    /// page operation.
+    pub class: u8,
+    /// FNV-1a digest of the encoded request, echoed back for verification.
+    pub digest: u64,
+}
+
+impl Reply {
+    /// The reply a well-behaved handler produces for `event`.
+    pub fn for_event(event: &ProtocolEvent) -> Self {
+        let class = match event {
+            ProtocolEvent::AccessFault { .. } => 0,
+            ProtocolEvent::Incoming { .. } => 1,
+            ProtocolEvent::PageOp { .. } => 2,
+        };
+        let mut buf = Vec::with_capacity(32);
+        encode_event(&mut buf, event);
+        Self {
+            class,
+            digest: fnv1a(&buf),
+        }
+    }
+}
+
+/// A service that answers protocol requests with typed replies.
+///
+/// The server loop ([`serve`]) is written against this trait, so anything
+/// that can turn a [`ProtocolEvent`] into a [`TypedFuture<Reply>`] can sit
+/// behind any [`Transport`] — the executor-backed [`ExecutorService`] being
+/// the implementation the paper's abstraction is about.
+pub trait ProtocolService: Send + Sync {
+    /// Dispatches one request; the returned future resolves with the reply
+    /// once the handler has run (backpressure from a bounded executor queue
+    /// keeps the future pending, parking the server loop's window).
+    fn call(&self, request: ProtocolEvent) -> TypedFuture<Reply>;
+
+    /// Blocks until every dispatched request has finished.
+    fn flush(&self);
+
+    /// Folds the service state into the order-independent aggregate;
+    /// `completed` is the number of calls the driver observed resolving
+    /// `Ok`.
+    fn aggregate(&self, completed: u64) -> ServerAggregate;
+}
+
+/// [`ProtocolService`] over any [`Executor`]: each request becomes a
+/// value-returning job keyed by the event's [`SyncKey`](pdq_core::SyncKey),
+/// submitted through `submit_async_returning`.
+pub struct ExecutorService<'a> {
+    executor: &'a dyn Executor,
+    state: Arc<ServerState>,
+}
+
+impl std::fmt::Debug for ExecutorService<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecutorService")
+            .field("executor", &self.executor.name())
+            .finish()
+    }
+}
+
+impl<'a> ExecutorService<'a> {
+    /// Creates a service over `executor` with fresh per-block state for
+    /// `blocks` cache blocks.
+    pub fn new(executor: &'a dyn Executor, blocks: u64) -> Self {
+        Self {
+            executor,
+            state: Arc::new(ServerState::new(blocks)),
+        }
+    }
+}
+
+impl ProtocolService for ExecutorService<'_> {
+    fn call(&self, request: ProtocolEvent) -> TypedFuture<Reply> {
+        let state = Arc::clone(&self.state);
+        self.executor
+            .submit_async_returning(request.sync_key(), move || {
+                state.handle(&request);
+                Reply::for_event(&request)
+            })
+    }
+
+    fn flush(&self) {
+        self.executor.flush();
+    }
+
+    fn aggregate(&self, completed: u64) -> ServerAggregate {
+        self.state.aggregate(completed)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wire format (frame payloads; framing itself lives in `transport`)
+// ---------------------------------------------------------------------------
+
+/// Request frame: one protocol event follows.
+const REQ_EVENT: u8 = 0x01;
+/// Request frame: drain in-flight calls and reply with the aggregate.
+const REQ_AGGREGATE: u8 = 0x02;
+/// Reply frame: per-event acknowledgement.
+const REP_ACK: u8 = 0x81;
+/// Reply frame: the final aggregate.
+const REP_AGGREGATE: u8 = 0x82;
+
+/// Ack status: the handler ran and produced its reply.
+const ACK_DONE: u8 = 0;
+/// Ack status: the handler panicked; no reply payload is meaningful.
+const ACK_PANICKED: u8 = 1;
+
+/// A decoded request frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireRequest {
+    /// Handle one protocol event.
+    Event(ProtocolEvent),
+    /// Drain outstanding calls and return the aggregate.
+    Aggregate,
+}
+
+/// A decoded per-event acknowledgement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ack {
+    /// Status byte: `0` done, `1` handler panicked.
+    pub status: u8,
+    /// The reply, when `status` is done.
+    pub reply: Reply,
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn get_u8(bytes: &[u8], pos: &mut usize) -> Result<u8, ServerError> {
+    let b = *bytes
+        .get(*pos)
+        .ok_or_else(|| ServerError::Protocol("frame truncated".into()))?;
+    *pos += 1;
+    Ok(b)
+}
+
+fn get_u64(bytes: &[u8], pos: &mut usize) -> Result<u64, ServerError> {
+    let end = pos
+        .checked_add(8)
+        .filter(|&end| end <= bytes.len())
+        .ok_or_else(|| ServerError::Protocol("frame truncated".into()))?;
+    let mut raw = [0u8; 8];
+    raw.copy_from_slice(&bytes[*pos..end]);
+    *pos = end;
+    Ok(u64::from_le_bytes(raw))
+}
+
+/// FNV-1a over a byte slice (the reply digest).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn encode_message(buf: &mut Vec<u8>, msg: &Message) {
+    match *msg {
+        Message::Req {
+            request,
+            requester,
+            block,
+        } => {
+            buf.push(0);
+            buf.push(match request {
+                Request::GetShared => 0,
+                Request::GetExclusive => 1,
+            });
+            put_u64(buf, requester as u64);
+            put_u64(buf, block.0);
+        }
+        Message::Invalidate { block, home } => {
+            buf.push(1);
+            put_u64(buf, block.0);
+            put_u64(buf, home as u64);
+        }
+        Message::InvalAck { block, from } => {
+            buf.push(2);
+            put_u64(buf, block.0);
+            put_u64(buf, from as u64);
+        }
+        Message::RecallShared { block, home } => {
+            buf.push(3);
+            put_u64(buf, block.0);
+            put_u64(buf, home as u64);
+        }
+        Message::RecallExclusive { block, home } => {
+            buf.push(4);
+            put_u64(buf, block.0);
+            put_u64(buf, home as u64);
+        }
+        Message::WritebackShared { block, from, value } => {
+            buf.push(5);
+            put_u64(buf, block.0);
+            put_u64(buf, from as u64);
+            put_u64(buf, value);
+        }
+        Message::WritebackExclusive { block, from, value } => {
+            buf.push(6);
+            put_u64(buf, block.0);
+            put_u64(buf, from as u64);
+            put_u64(buf, value);
+        }
+        Message::DataShared { block, value } => {
+            buf.push(7);
+            put_u64(buf, block.0);
+            put_u64(buf, value);
+        }
+        Message::DataExclusive { block, value } => {
+            buf.push(8);
+            put_u64(buf, block.0);
+            put_u64(buf, value);
+        }
+    }
+}
+
+fn decode_message(bytes: &[u8], pos: &mut usize) -> Result<Message, ServerError> {
+    let tag = get_u8(bytes, pos)?;
+    Ok(match tag {
+        0 => {
+            let request = match get_u8(bytes, pos)? {
+                0 => Request::GetShared,
+                1 => Request::GetExclusive,
+                other => {
+                    return Err(ServerError::Protocol(format!(
+                        "unknown request kind {other}"
+                    )))
+                }
+            };
+            let requester = get_u64(bytes, pos)? as usize;
+            let block = BlockAddr(get_u64(bytes, pos)?);
+            Message::Req {
+                request,
+                requester,
+                block,
+            }
+        }
+        1 => Message::Invalidate {
+            block: BlockAddr(get_u64(bytes, pos)?),
+            home: get_u64(bytes, pos)? as usize,
+        },
+        2 => Message::InvalAck {
+            block: BlockAddr(get_u64(bytes, pos)?),
+            from: get_u64(bytes, pos)? as usize,
+        },
+        3 => Message::RecallShared {
+            block: BlockAddr(get_u64(bytes, pos)?),
+            home: get_u64(bytes, pos)? as usize,
+        },
+        4 => Message::RecallExclusive {
+            block: BlockAddr(get_u64(bytes, pos)?),
+            home: get_u64(bytes, pos)? as usize,
+        },
+        5 => Message::WritebackShared {
+            block: BlockAddr(get_u64(bytes, pos)?),
+            from: get_u64(bytes, pos)? as usize,
+            value: get_u64(bytes, pos)?,
+        },
+        6 => Message::WritebackExclusive {
+            block: BlockAddr(get_u64(bytes, pos)?),
+            from: get_u64(bytes, pos)? as usize,
+            value: get_u64(bytes, pos)?,
+        },
+        7 => Message::DataShared {
+            block: BlockAddr(get_u64(bytes, pos)?),
+            value: get_u64(bytes, pos)?,
+        },
+        8 => Message::DataExclusive {
+            block: BlockAddr(get_u64(bytes, pos)?),
+            value: get_u64(bytes, pos)?,
+        },
+        other => {
+            return Err(ServerError::Protocol(format!(
+                "unknown message tag {other}"
+            )))
+        }
+    })
+}
+
+fn encode_event(buf: &mut Vec<u8>, event: &ProtocolEvent) {
+    match *event {
+        ProtocolEvent::AccessFault {
+            block,
+            write,
+            token,
+        } => {
+            buf.push(0);
+            put_u64(buf, block.0);
+            buf.push(u8::from(write));
+            put_u64(buf, token);
+        }
+        ProtocolEvent::Incoming { src, ref msg } => {
+            buf.push(1);
+            put_u64(buf, src as u64);
+            encode_message(buf, msg);
+        }
+        ProtocolEvent::PageOp { page } => {
+            buf.push(2);
+            put_u64(buf, page.0);
+        }
+    }
+}
+
+fn decode_event(bytes: &[u8], pos: &mut usize) -> Result<ProtocolEvent, ServerError> {
+    let tag = get_u8(bytes, pos)?;
+    Ok(match tag {
+        0 => ProtocolEvent::AccessFault {
+            block: BlockAddr(get_u64(bytes, pos)?),
+            write: get_u8(bytes, pos)? != 0,
+            token: get_u64(bytes, pos)?,
+        },
+        1 => ProtocolEvent::Incoming {
+            src: get_u64(bytes, pos)? as usize,
+            msg: decode_message(bytes, pos)?,
+        },
+        2 => ProtocolEvent::PageOp {
+            page: PageAddr(get_u64(bytes, pos)?),
+        },
+        other => return Err(ServerError::Protocol(format!("unknown event tag {other}"))),
+    })
+}
+
+/// Encodes an event request frame payload.
+pub fn encode_event_request(event: &ProtocolEvent) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(32);
+    buf.push(REQ_EVENT);
+    encode_event(&mut buf, event);
+    buf
+}
+
+/// Encodes the aggregate request frame payload.
+pub fn encode_aggregate_request() -> Vec<u8> {
+    vec![REQ_AGGREGATE]
+}
+
+/// Decodes a request frame payload.
+///
+/// # Errors
+///
+/// [`ServerError::Protocol`] on an unknown tag, a truncated frame, or
+/// trailing bytes.
+pub fn decode_request(frame: &[u8]) -> Result<WireRequest, ServerError> {
+    let mut pos = 0;
+    let decoded = match get_u8(frame, &mut pos)? {
+        REQ_EVENT => WireRequest::Event(decode_event(frame, &mut pos)?),
+        REQ_AGGREGATE => WireRequest::Aggregate,
+        other => {
+            return Err(ServerError::Protocol(format!(
+                "unknown request tag {other:#x}"
+            )))
+        }
+    };
+    if pos != frame.len() {
+        return Err(ServerError::Protocol(format!(
+            "{} trailing bytes after request",
+            frame.len() - pos
+        )));
+    }
+    Ok(decoded)
+}
+
+fn encode_ack(ack: Ack) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(11);
+    buf.push(REP_ACK);
+    buf.push(ack.status);
+    buf.push(ack.reply.class);
+    put_u64(&mut buf, ack.reply.digest);
+    buf
+}
+
+fn decode_ack(frame: &[u8]) -> Result<Ack, ServerError> {
+    let mut pos = 0;
+    if get_u8(frame, &mut pos)? != REP_ACK {
+        return Err(ServerError::Protocol("expected an ack frame".into()));
+    }
+    let status = get_u8(frame, &mut pos)?;
+    let class = get_u8(frame, &mut pos)?;
+    let digest = get_u64(frame, &mut pos)?;
+    if pos != frame.len() {
+        return Err(ServerError::Protocol("trailing bytes after ack".into()));
+    }
+    Ok(Ack {
+        status,
+        reply: Reply { class, digest },
+    })
+}
+
+fn encode_aggregate_reply(agg: &ServerAggregate) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(1 + 13 * 8);
+    buf.push(REP_AGGREGATE);
+    for word in [
+        agg.events,
+        agg.faults,
+        agg.write_faults,
+        agg.requests,
+        agg.invalidations,
+        agg.acks,
+        agg.recalls,
+        agg.writebacks,
+        agg.grants,
+        agg.page_ops,
+        agg.block_checksum,
+        agg.page_checksum,
+        agg.completed,
+    ] {
+        put_u64(&mut buf, word);
+    }
+    buf
+}
+
+fn decode_aggregate_reply(frame: &[u8]) -> Result<ServerAggregate, ServerError> {
+    let mut pos = 0;
+    if get_u8(frame, &mut pos)? != REP_AGGREGATE {
+        return Err(ServerError::Protocol("expected an aggregate frame".into()));
+    }
+    let agg = ServerAggregate {
+        events: get_u64(frame, &mut pos)?,
+        faults: get_u64(frame, &mut pos)?,
+        write_faults: get_u64(frame, &mut pos)?,
+        requests: get_u64(frame, &mut pos)?,
+        invalidations: get_u64(frame, &mut pos)?,
+        acks: get_u64(frame, &mut pos)?,
+        recalls: get_u64(frame, &mut pos)?,
+        writebacks: get_u64(frame, &mut pos)?,
+        grants: get_u64(frame, &mut pos)?,
+        page_ops: get_u64(frame, &mut pos)?,
+        block_checksum: get_u64(frame, &mut pos)?,
+        page_checksum: get_u64(frame, &mut pos)?,
+        completed: get_u64(frame, &mut pos)?,
+    };
+    if pos != frame.len() {
+        return Err(ServerError::Protocol(
+            "trailing bytes after aggregate".into(),
+        ));
+    }
+    Ok(agg)
+}
+
+// ---------------------------------------------------------------------------
+// Server loop and client driver
+// ---------------------------------------------------------------------------
+
+/// Resolves the oldest in-flight call and encodes its ack.
+fn resolve_ack(fut: TypedFuture<Reply>, completed: &mut u64) -> Result<Vec<u8>, ServerError> {
+    match fut.wait() {
+        Ok(reply) => {
+            *completed += 1;
+            Ok(encode_ack(Ack {
+                status: ACK_DONE,
+                reply,
+            }))
+        }
+        Err(JobError::Panicked) => Ok(encode_ack(Ack {
+            status: ACK_PANICKED,
+            reply: Reply {
+                class: 0xFF,
+                digest: 0,
+            },
+        })),
+        // The executor shut down underneath the server: surface the race as
+        // a typed error instead of a lost reply.
+        Err(JobError::Aborted) => Err(ServerError::Shutdown),
+    }
+}
+
+/// Serves one framed connection: decodes request frames, dispatches events
+/// through `service` with at most `window` calls in flight (acking the
+/// oldest call whenever the window fills), and answers an aggregate request
+/// by draining the window, flushing the service, and returning the
+/// order-independent aggregate. Returns the number of events answered when
+/// the peer closes the stream.
+///
+/// # Errors
+///
+/// [`ServerError::Io`] on transport failure, [`ServerError::Protocol`] on a
+/// malformed frame, [`ServerError::Shutdown`] if the executor behind the
+/// service shuts down while calls are in flight.
+pub fn serve(
+    service: &dyn ProtocolService,
+    transport: &mut dyn Transport,
+    window: usize,
+) -> Result<u64, ServerError> {
+    let window = window.max(1);
+    let mut pending: VecDeque<TypedFuture<Reply>> = VecDeque::with_capacity(window);
+    let mut completed = 0u64;
+    let mut answered = 0u64;
+    loop {
+        let Some(frame) = transport.recv().map_err(ServerError::Io)? else {
+            return Ok(answered);
+        };
+        match decode_request(&frame)? {
+            WireRequest::Event(event) => {
+                pending.push_back(service.call(event));
+                if pending.len() >= window {
+                    let fut = pending.pop_front().expect("window is non-empty");
+                    let ack = resolve_ack(fut, &mut completed)?;
+                    transport.send(&ack).map_err(ServerError::Io)?;
+                    answered += 1;
+                }
+            }
+            WireRequest::Aggregate => {
+                while let Some(fut) = pending.pop_front() {
+                    let ack = resolve_ack(fut, &mut completed)?;
+                    transport.send(&ack).map_err(ServerError::Io)?;
+                    answered += 1;
+                }
+                service.flush();
+                let agg = service.aggregate(completed);
+                transport
+                    .send(&encode_aggregate_reply(&agg))
+                    .map_err(ServerError::Io)?;
+                transport.flush().map_err(ServerError::Io)?;
+            }
+        }
+    }
+}
+
+/// Binds the service to one TCP connection: accepts a single client on
+/// `listener` and serves it to completion.
+///
+/// # Errors
+///
+/// As [`serve`], plus [`ServerError::Io`] if accepting the connection fails.
+pub fn serve_tcp(
+    listener: &TcpListener,
+    service: &dyn ProtocolService,
+    window: usize,
+) -> Result<u64, ServerError> {
+    let (stream, _) = listener.accept().map_err(ServerError::Io)?;
+    stream.set_nodelay(true).ok();
+    let mut transport = TcpTransport::new(stream).map_err(ServerError::Io)?;
+    serve(service, &mut transport, window)
+}
+
+/// Streams the deterministic event stream of `cfg` to a protocol server over
+/// `transport`, reading acks with a sliding window of `window` unanswered
+/// requests, then requests and returns the final aggregate.
+///
+/// Every ack is verified against the reply digest the client expects for the
+/// event at that position (the server answers strictly in request order).
+/// `window` must be **larger than the server's reply window** — the server
+/// only acks request `i` once request `i + server_window` has arrived, so a
+/// client that stops sending to wait for acks earlier than that deadlocks
+/// the pipeline.
+///
+/// # Errors
+///
+/// [`ServerError::Io`] on transport failure, [`ServerError::Protocol`] on a
+/// malformed or mismatching reply.
+pub fn run_client(
+    transport: &mut dyn Transport,
+    cfg: &ServerConfig,
+    window: usize,
+) -> Result<ServerAggregate, ServerError> {
+    let window = window.max(1);
+    let mut expected: VecDeque<Reply> = VecDeque::with_capacity(window);
+    let mut panicked = 0u64;
+    let read_ack = |transport: &mut dyn Transport,
+                    expected: &mut VecDeque<Reply>,
+                    panicked: &mut u64|
+     -> Result<(), ServerError> {
+        let frame = transport
+            .recv()
+            .map_err(ServerError::Io)?
+            .ok_or_else(|| ServerError::Protocol("server closed before acking".into()))?;
+        let ack = decode_ack(&frame)?;
+        let want = expected
+            .pop_front()
+            .expect("an ack is only awaited for an outstanding request");
+        match ack.status {
+            ACK_DONE if ack.reply == want => Ok(()),
+            ACK_DONE => Err(ServerError::Protocol(format!(
+                "reply mismatch: got {:?}, expected {:?}",
+                ack.reply, want
+            ))),
+            ACK_PANICKED => {
+                *panicked += 1;
+                Ok(())
+            }
+            other => Err(ServerError::Protocol(format!("unknown ack status {other}"))),
+        }
+    };
+    for event in generate_events(cfg) {
+        transport
+            .send(&encode_event_request(&event))
+            .map_err(ServerError::Io)?;
+        expected.push_back(Reply::for_event(&event));
+        if expected.len() >= window {
+            read_ack(transport, &mut expected, &mut panicked)?;
+        }
+    }
+    transport
+        .send(&encode_aggregate_request())
+        .map_err(ServerError::Io)?;
+    transport.flush().map_err(ServerError::Io)?;
+    while !expected.is_empty() {
+        read_ack(transport, &mut expected, &mut panicked)?;
+    }
+    let frame = transport
+        .recv()
+        .map_err(ServerError::Io)?
+        .ok_or_else(|| ServerError::Protocol("server closed before the aggregate".into()))?;
+    let aggregate = decode_aggregate_reply(&frame)?;
+    if aggregate.completed + panicked != cfg.events as u64 {
+        return Err(ServerError::Protocol(format!(
+            "server completed {} + {panicked} panicked of {} events",
+            aggregate.completed, cfg.events
+        )));
+    }
+    Ok(aggregate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol_server::run_server;
+    use crate::transport::loopback_pair;
+    use pdq_core::executor::{build_executor, ExecutorSpec, EXECUTOR_NAMES};
+
+    #[test]
+    fn every_event_kind_roundtrips_through_the_codec() {
+        let cfg = ServerConfig::quick();
+        for event in generate_events(&cfg) {
+            let frame = encode_event_request(&event);
+            match decode_request(&frame).expect("well-formed frame") {
+                WireRequest::Event(decoded) => assert_eq!(decoded, event),
+                other => panic!("event decoded as {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_frames_are_protocol_errors() {
+        assert!(matches!(decode_request(&[]), Err(ServerError::Protocol(_))));
+        assert!(matches!(
+            decode_request(&[0x7F]),
+            Err(ServerError::Protocol(_))
+        ));
+        // Truncated event body.
+        let mut frame = encode_event_request(&ProtocolEvent::PageOp { page: PageAddr(3) });
+        frame.truncate(4);
+        assert!(matches!(
+            decode_request(&frame),
+            Err(ServerError::Protocol(_))
+        ));
+        // Trailing garbage.
+        let mut frame = encode_aggregate_request();
+        frame.push(0);
+        assert!(matches!(
+            decode_request(&frame),
+            Err(ServerError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn aggregates_roundtrip_through_the_codec() {
+        let agg = ServerAggregate {
+            events: 1,
+            faults: 2,
+            write_faults: 3,
+            requests: 4,
+            invalidations: 5,
+            acks: 6,
+            recalls: 7,
+            writebacks: 8,
+            grants: 9,
+            page_ops: 10,
+            block_checksum: 0xdead_beef,
+            page_checksum: 0xcafe,
+            completed: 11,
+        };
+        let decoded = decode_aggregate_reply(&encode_aggregate_reply(&agg)).unwrap();
+        assert_eq!(decoded, agg);
+    }
+
+    #[test]
+    fn loopback_service_matches_the_in_process_run_for_every_executor() {
+        let cfg = ServerConfig::quick();
+        for name in EXECUTOR_NAMES {
+            let mut pool = build_executor(name, &ExecutorSpec::new(2).capacity(32))
+                .expect("registry name builds");
+            let reference = run_server(&*pool, &cfg, 64).expect("in-process run");
+            let mut pool2 = build_executor(name, &ExecutorSpec::new(2).capacity(32))
+                .expect("registry name builds");
+            let service = ExecutorService::new(&*pool2, cfg.blocks);
+            let (mut client_end, mut server_end) = loopback_pair();
+            let aggregate = std::thread::scope(|scope| {
+                let server = scope.spawn(move || serve(&service, &mut server_end, 64));
+                let aggregate = run_client(&mut client_end, &cfg, 128).expect("client run");
+                drop(client_end);
+                server.join().expect("server thread").expect("server run");
+                aggregate
+            });
+            assert_eq!(
+                aggregate, reference,
+                "{name}: transport changed the aggregate"
+            );
+            assert_eq!(
+                aggregate.to_json_string(),
+                reference.to_json_string(),
+                "{name}: JSON diverged"
+            );
+            pool.shutdown();
+            pool2.shutdown();
+        }
+    }
+
+    #[test]
+    fn tcp_service_matches_the_loopback_service() {
+        let cfg = ServerConfig::quick().events(800);
+        let pool = build_executor("pdq", &ExecutorSpec::new(2).capacity(16)).expect("pdq builds");
+        let service = ExecutorService::new(&*pool, cfg.blocks);
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+        let addr = listener.local_addr().expect("local addr");
+        let tcp_aggregate = std::thread::scope(|scope| {
+            let server = scope.spawn(|| serve_tcp(&listener, &service, 32));
+            let stream = std::net::TcpStream::connect(addr).expect("connect");
+            let mut transport = TcpTransport::new(stream).expect("transport");
+            let aggregate = run_client(&mut transport, &cfg, 64).expect("client run");
+            drop(transport);
+            server.join().expect("server thread").expect("server run");
+            aggregate
+        });
+        let pool2 = build_executor("pdq", &ExecutorSpec::new(2).capacity(16)).expect("pdq builds");
+        let reference = run_server(&*pool2, &cfg, 32).expect("in-process run");
+        assert_eq!(tcp_aggregate, reference);
+    }
+
+    #[test]
+    fn service_surfaces_executor_shutdown_as_a_typed_error() {
+        let cfg = ServerConfig::quick().events(50);
+        let mut pool = build_executor("pdq", &ExecutorSpec::new(1)).expect("pdq builds");
+        pool.shutdown();
+        let service = ExecutorService::new(&*pool, cfg.blocks);
+        let (mut client_end, mut server_end) = loopback_pair();
+        let outcome = std::thread::scope(|scope| {
+            let server = scope.spawn(move || serve(&service, &mut server_end, 4));
+            // Stream events; the server will fail on the first drained call.
+            let _ = run_client(&mut client_end, &cfg, 8);
+            drop(client_end);
+            server.join().expect("server thread")
+        });
+        assert!(matches!(outcome, Err(ServerError::Shutdown)));
+    }
+}

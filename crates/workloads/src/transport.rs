@@ -1,0 +1,279 @@
+//! Framed byte transports for the protocol service.
+//!
+//! The wire unit is a **frame**: a little-endian `u32` length prefix followed
+//! by that many payload bytes. Framing is the only thing this module knows —
+//! what the bytes mean is the service layer's business
+//! ([`service`](crate::service)) — so the same codec carries requests one way
+//! and replies the other over any byte stream.
+//!
+//! Two transports are provided:
+//!
+//! * [`loopback_pair`] — an in-process pair of connected endpoints backed by
+//!   unbounded channels, for tests and for running client and server in one
+//!   process without sockets;
+//! * [`TcpTransport`] — a framed [`std::net::TcpStream`], the real network
+//!   path (`examples/protocol_server.rs --transport tcp`).
+//!
+//! Both implement [`Transport`], so the server loop and client driver are
+//! written once against the trait.
+
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::net::TcpStream;
+use std::sync::mpsc::{channel, Receiver, Sender};
+
+/// Upper bound on an accepted frame payload (16 MiB). A corrupt or hostile
+/// length prefix fails fast instead of provoking a giant allocation.
+pub const MAX_FRAME_LEN: u32 = 16 << 20;
+
+/// Writes one length-prefixed frame. The payload must not exceed
+/// [`MAX_FRAME_LEN`].
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`; an oversized payload is
+/// [`io::ErrorKind::InvalidInput`].
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .ok()
+        .filter(|&len| len <= MAX_FRAME_LEN)
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "frame payload of {} bytes exceeds MAX_FRAME_LEN",
+                    payload.len()
+                ),
+            )
+        })?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// Reads one length-prefixed frame. Returns `Ok(None)` on a clean end of
+/// stream (EOF exactly on a frame boundary).
+///
+/// # Errors
+///
+/// EOF in the middle of a frame is [`io::ErrorKind::UnexpectedEof`]; a length
+/// prefix above [`MAX_FRAME_LEN`] is [`io::ErrorKind::InvalidData`].
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0;
+    while filled < len_buf.len() {
+        match r.read(&mut len_buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream ended inside a frame length prefix",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds MAX_FRAME_LEN"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// One endpoint of a bidirectional framed byte stream.
+///
+/// `send`/`recv` move whole frame payloads; `flush` pushes buffered frames to
+/// the peer (a no-op for unbuffered transports). Implementations are half
+/// duplex per endpoint object: one thread drives an endpoint at a time, and a
+/// connection's two endpoints (client side, server side) live on different
+/// threads or processes.
+pub trait Transport: Send {
+    /// Sends one frame with the given payload.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure of the underlying stream; a disconnected peer is
+    /// [`io::ErrorKind::BrokenPipe`].
+    fn send(&mut self, payload: &[u8]) -> io::Result<()>;
+
+    /// Receives the next frame payload; `Ok(None)` means the peer closed the
+    /// stream cleanly.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure of the underlying stream, including a mid-frame EOF.
+    fn recv(&mut self) -> io::Result<Option<Vec<u8>>>;
+
+    /// Flushes buffered frames to the peer.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure of the underlying stream.
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// In-process transport endpoint: frames travel through unbounded channels,
+/// so sends never block and never deadlock regardless of windowing.
+#[derive(Debug)]
+pub struct LoopbackTransport {
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+}
+
+/// Creates a connected pair of in-process endpoints: frames sent on one are
+/// received by the other, in order. Dropping an endpoint closes its sending
+/// direction (the peer's `recv` returns `Ok(None)`).
+pub fn loopback_pair() -> (LoopbackTransport, LoopbackTransport) {
+    let (a_tx, b_rx) = channel();
+    let (b_tx, a_rx) = channel();
+    (
+        LoopbackTransport { tx: a_tx, rx: a_rx },
+        LoopbackTransport { tx: b_tx, rx: b_rx },
+    )
+}
+
+impl Transport for LoopbackTransport {
+    fn send(&mut self, payload: &[u8]) -> io::Result<()> {
+        self.tx
+            .send(payload.to_vec())
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "loopback peer disconnected"))
+    }
+
+    fn recv(&mut self) -> io::Result<Option<Vec<u8>>> {
+        Ok(self.rx.recv().ok())
+    }
+}
+
+/// A framed TCP stream: the transport used by the real protocol server.
+///
+/// Reads and writes are buffered; [`Transport::flush`] must be called after
+/// the last frame of a burst that expects a response (the server loop and
+/// client driver both do).
+#[derive(Debug)]
+pub struct TcpTransport {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl TcpTransport {
+    /// Wraps a connected stream in buffered framed halves.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the stream cannot be cloned for the second direction.
+    pub fn new(stream: TcpStream) -> io::Result<Self> {
+        let write_half = stream.try_clone()?;
+        Ok(Self {
+            reader: BufReader::new(stream),
+            writer: BufWriter::new(write_half),
+        })
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&mut self, payload: &[u8]) -> io::Result<()> {
+        write_frame(&mut self.writer, payload)
+    }
+
+    fn recv(&mut self) -> io::Result<Option<Vec<u8>>> {
+        // Everything buffered for writing must be on the wire before this
+        // side blocks waiting for the peer's answer.
+        self.writer.flush()?;
+        read_frame(&mut self.reader)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_roundtrip_through_a_byte_stream() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        write_frame(&mut wire, &[0xAB; 300]).unwrap();
+        let mut r = io::Cursor::new(wire);
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b"hello"[..]));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b""[..]));
+        assert_eq!(
+            read_frame(&mut r).unwrap().as_deref(),
+            Some(&[0xAB; 300][..])
+        );
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn truncated_frames_are_errors_not_eof() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"payload").unwrap();
+        // Cut inside the payload.
+        let mut r = io::Cursor::new(&wire[..6]);
+        assert_eq!(
+            read_frame(&mut r).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+        // Cut inside the length prefix.
+        let mut r = io::Cursor::new(&wire[..2]);
+        assert_eq!(
+            read_frame(&mut r).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+    }
+
+    #[test]
+    fn oversized_length_prefixes_are_rejected() {
+        let wire = (MAX_FRAME_LEN + 1).to_le_bytes().to_vec();
+        let mut r = io::Cursor::new(wire);
+        assert_eq!(
+            read_frame(&mut r).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+    }
+
+    #[test]
+    fn loopback_pair_carries_frames_both_ways() {
+        let (mut a, mut b) = loopback_pair();
+        a.send(b"ping").unwrap();
+        assert_eq!(b.recv().unwrap().as_deref(), Some(&b"ping"[..]));
+        b.send(b"pong").unwrap();
+        b.send(b"pong2").unwrap();
+        assert_eq!(a.recv().unwrap().as_deref(), Some(&b"pong"[..]));
+        assert_eq!(a.recv().unwrap().as_deref(), Some(&b"pong2"[..]));
+        drop(b);
+        assert_eq!(a.recv().unwrap(), None);
+        assert!(a.send(b"dead").is_err());
+    }
+
+    #[test]
+    fn tcp_transport_roundtrips_over_a_socket() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut t = TcpTransport::new(stream).unwrap();
+            while let Some(frame) = t.recv().unwrap() {
+                let mut echoed = frame;
+                echoed.reverse();
+                t.send(&echoed).unwrap();
+                t.flush().unwrap();
+            }
+        });
+        let mut t = TcpTransport::new(TcpStream::connect(addr).unwrap()).unwrap();
+        t.send(b"abc").unwrap();
+        assert_eq!(t.recv().unwrap().as_deref(), Some(&b"cba"[..]));
+        drop(t);
+        server.join().unwrap();
+    }
+}

@@ -1,51 +1,155 @@
 //! A protocol server on the executor trait: a deterministic stream of
 //! fine-grain DSM protocol events driven through any executor — selected by
-//! name — via the async submission frontend with bounded-queue backpressure.
+//! name — as typed request/response calls, over a choice of transports.
 //!
 //! Run with:
 //!
 //! ```text
 //! cargo run --release --example protocol_server -- [--executor NAME|all] \
-//!     [--events N] [--json PATH]
+//!     [--transport inproc|loopback|tcp] [--events N] [--json PATH]
 //! ```
 //!
 //! where `NAME` is one of `pdq`, `sharded-pdq`, `spinlock`, `multiqueue`
 //! (default: `all`, which runs every executor and checks their aggregates
-//! agree). `PDQ_WORKERS` sets the worker count (default 4). With `--json
-//! PATH` the executor-independent aggregate is written as JSON; CI runs this
-//! under `PDQ_WORKERS=4` for every executor and diffs the files.
+//! agree) and the transport selects how events reach the executor:
+//!
+//! * `inproc` (default) — the in-process driver (`run_server`): events are
+//!   generated and submitted directly, no frames involved;
+//! * `loopback` — a real client/server split over the in-memory framed
+//!   transport: events are encoded, framed, decoded, dispatched via
+//!   `submit_async_returning`, and each reply is acked back;
+//! * `tcp` — the same client/server split over a real `127.0.0.1` TCP
+//!   socket.
+//!
+//! The aggregate is executor-independent **and** transport-independent: CI
+//! runs every executor under `PDQ_WORKERS=4` on both `inproc` and `tcp` and
+//! diffs the JSON files byte for byte. `PDQ_WORKERS` sets the worker count
+//! (default 4); with `--json PATH` the aggregate is written as JSON.
 
+use std::net::{TcpListener, TcpStream};
 use std::process::ExitCode;
 
 use pdq_repro::core::executor::{build_executor, ExecutorSpec, EXECUTOR_NAMES};
-use pdq_repro::workloads::{run_server, ServerAggregate, ServerConfig};
+use pdq_repro::workloads::{
+    loopback_pair, run_client, run_server, serve, serve_tcp, ExecutorService, ServerAggregate,
+    ServerConfig, ServerError, TcpTransport,
+};
 
 /// Queue capacity bound (per queue/shard): small enough that the intake loop
 /// regularly hits backpressure at the default event count.
 const CAPACITY: usize = 64;
-/// Maximum submissions in flight before the intake loop awaits the oldest.
+/// Maximum submissions in flight before the intake loop awaits the oldest
+/// (in-process driver and transport client alike).
 const WINDOW: usize = 256;
+/// The server's reply window on framed transports. Strictly smaller than
+/// [`WINDOW`]: the server acks request `i` once request `i + SERVICE_WINDOW`
+/// arrives, so the client (which stalls after `WINDOW` unanswered requests)
+/// always finds acks waiting.
+const SERVICE_WINDOW: usize = 128;
 
-fn run_one(name: &str, workers: usize, cfg: &ServerConfig) -> Option<ServerAggregate> {
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TransportKind {
+    Inproc,
+    Loopback,
+    Tcp,
+}
+
+impl TransportKind {
+    fn parse(name: &str) -> Option<Self> {
+        match name {
+            "inproc" => Some(Self::Inproc),
+            "loopback" => Some(Self::Loopback),
+            "tcp" => Some(Self::Tcp),
+            _ => None,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Self::Inproc => "inproc",
+            Self::Loopback => "loopback",
+            Self::Tcp => "tcp",
+        }
+    }
+}
+
+/// Runs the event stream of `cfg` against one executor over the selected
+/// transport and returns the aggregate.
+fn run_one(
+    name: &str,
+    workers: usize,
+    cfg: &ServerConfig,
+    transport: TransportKind,
+) -> Option<Result<ServerAggregate, ServerError>> {
     let spec = ExecutorSpec::new(workers).capacity(CAPACITY);
     let mut pool = build_executor(name, &spec)?;
     let start = std::time::Instant::now();
-    let aggregate = run_server(&*pool, cfg, WINDOW);
+    let outcome = match transport {
+        TransportKind::Inproc => run_server(&*pool, cfg, WINDOW),
+        TransportKind::Loopback => {
+            let service = ExecutorService::new(&*pool, cfg.blocks);
+            let (mut client_end, mut server_end) = loopback_pair();
+            std::thread::scope(|scope| {
+                let server = scope.spawn(move || serve(&service, &mut server_end, SERVICE_WINDOW));
+                let aggregate = run_client(&mut client_end, cfg, WINDOW);
+                drop(client_end);
+                match server.join().expect("server thread") {
+                    Err(e) => Err(e),
+                    Ok(_) => aggregate,
+                }
+            })
+        }
+        TransportKind::Tcp => {
+            let service = ExecutorService::new(&*pool, cfg.blocks);
+            let listener = match TcpListener::bind("127.0.0.1:0") {
+                Ok(l) => l,
+                Err(e) => return Some(Err(ServerError::Io(e))),
+            };
+            let addr = match listener.local_addr() {
+                Ok(a) => a,
+                Err(e) => return Some(Err(ServerError::Io(e))),
+            };
+            // Connect *before* spawning the server (the listener's backlog
+            // holds the connection): if the connect fails, nothing is ever
+            // blocked in accept(), so the error propagates instead of
+            // hanging the scope on server.join().
+            let mut transport = match TcpStream::connect(addr).and_then(|stream| {
+                stream.set_nodelay(true).ok();
+                TcpTransport::new(stream)
+            }) {
+                Ok(t) => t,
+                Err(e) => return Some(Err(ServerError::Io(e))),
+            };
+            std::thread::scope(|scope| {
+                let server = scope.spawn(|| serve_tcp(&listener, &service, SERVICE_WINDOW));
+                let aggregate = run_client(&mut transport, cfg, WINDOW);
+                drop(transport);
+                match server.join().expect("server thread") {
+                    Err(e) => Err(e),
+                    Ok(_) => aggregate,
+                }
+            })
+        }
+    };
     let elapsed = start.elapsed();
-    let stats = pool.stats();
-    println!(
-        "[{name}] {} events in {elapsed:.2?} ({:.0} events/sec), {} executed, {} panicked",
-        aggregate.events,
-        aggregate.events as f64 / elapsed.as_secs_f64().max(f64::EPSILON),
-        stats.executed,
-        stats.panicked,
-    );
+    if let Ok(aggregate) = &outcome {
+        let stats = pool.stats();
+        println!(
+            "[{name}/{}] {} events in {elapsed:.2?} ({:.0} events/sec), {} executed, {} panicked",
+            transport.name(),
+            aggregate.events,
+            aggregate.events as f64 / elapsed.as_secs_f64().max(f64::EPSILON),
+            stats.executed,
+            stats.panicked,
+        );
+    }
     pool.shutdown();
-    Some(aggregate)
+    Some(outcome)
 }
 
 fn main() -> ExitCode {
     let mut executor = "all".to_string();
+    let mut transport = TransportKind::Inproc;
     let mut json_path: Option<String> = None;
     let mut cfg = ServerConfig::new();
     let mut args = std::env::args().skip(1);
@@ -55,6 +159,13 @@ fn main() -> ExitCode {
                 Some(name) => executor = name,
                 None => {
                     eprintln!("--executor needs a name (one of {EXECUTOR_NAMES:?} or `all`)");
+                    return ExitCode::from(2);
+                }
+            },
+            "--transport" => match args.next().as_deref().and_then(TransportKind::parse) {
+                Some(kind) => transport = kind,
+                None => {
+                    eprintln!("--transport needs one of inproc|loopback|tcp");
                     return ExitCode::from(2);
                 }
             },
@@ -74,7 +185,8 @@ fn main() -> ExitCode {
             },
             "--help" | "-h" => {
                 println!(
-                    "usage: protocol_server [--executor NAME|all] [--events N] [--json PATH]\n\
+                    "usage: protocol_server [--executor NAME|all] \
+                     [--transport inproc|loopback|tcp] [--events N] [--json PATH]\n\
                      NAME is one of {EXECUTOR_NAMES:?}. PDQ_WORKERS sets the worker count."
                 );
                 return ExitCode::SUCCESS;
@@ -107,8 +219,10 @@ fn main() -> ExitCode {
 
     println!(
         "protocol server: {} DSM events over {} blocks, {workers} workers, \
-         queue capacity {CAPACITY}, window {WINDOW}\n",
-        cfg.events, cfg.blocks
+         transport {}, queue capacity {CAPACITY}, window {WINDOW}\n",
+        cfg.events,
+        cfg.blocks,
+        transport.name()
     );
 
     let names: Vec<&str> = if executor == "all" {
@@ -118,8 +232,12 @@ fn main() -> ExitCode {
     };
     let mut aggregates = Vec::new();
     for name in &names {
-        match run_one(name, workers, &cfg) {
-            Some(aggregate) => aggregates.push(aggregate),
+        match run_one(name, workers, &cfg, transport) {
+            Some(Ok(aggregate)) => aggregates.push(aggregate),
+            Some(Err(e)) => {
+                eprintln!("[{name}/{}] server run failed: {e}", transport.name());
+                return ExitCode::FAILURE;
+            }
             None => {
                 eprintln!("unknown executor `{name}` (one of {EXECUTOR_NAMES:?} or `all`)");
                 return ExitCode::from(2);
