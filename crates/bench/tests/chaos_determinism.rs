@@ -1,0 +1,69 @@
+//! Chaos reproducibility: the same seed produces byte-identical chaos
+//! reports across repeated runs, across worker counts (the `PDQ_WORKERS=1`
+//! vs `4` contract of `examples/chaos.rs`), and across all four executors —
+//! for every scenario. This is the `--json` determinism that CI byte-diffs.
+
+use pdq_core::executor::{build_executor, ExecutorSpec, EXECUTOR_NAMES};
+use pdq_workloads::chaos::{run_chaos, ChaosConfig, Scenario};
+
+/// Renders one scenario's report on a fresh executor.
+fn report(name: &str, workers: usize, cfg: &ChaosConfig) -> String {
+    let mut spec = ExecutorSpec::new(workers).capacity(64);
+    if name == "sharded-pdq" {
+        spec = spec.shards(4);
+    }
+    let mut pool = build_executor(name, &spec).expect("registry executor builds");
+    let rendered = run_chaos(&*pool, cfg)
+        .unwrap_or_else(|e| panic!("{name}: scenario {} failed: {e}", cfg.scenario.name()))
+        .to_json_string();
+    pool.shutdown();
+    rendered
+}
+
+#[test]
+fn same_seed_means_byte_identical_reports_across_runs_and_worker_counts() {
+    for scenario in Scenario::ALL {
+        let cfg = ChaosConfig::quick(scenario).seed(7);
+        let first = report("pdq", 1, &cfg);
+        let second = report("pdq", 1, &cfg);
+        assert_eq!(
+            first,
+            second,
+            "{}: two runs with the same seed diverged",
+            scenario.name()
+        );
+        let wide = report("pdq", 4, &cfg);
+        assert_eq!(
+            first,
+            wide,
+            "{}: worker count leaked into the report",
+            scenario.name()
+        );
+    }
+}
+
+#[test]
+fn different_seeds_change_the_traffic() {
+    let base = ChaosConfig::quick(Scenario::Zipf);
+    let a = report("pdq", 2, &base.seed(7));
+    let b = report("pdq", 2, &base.seed(8));
+    assert_ne!(a, b, "the seed must actually steer the generated stream");
+}
+
+#[test]
+fn all_executors_render_identical_reports_at_the_ci_seed() {
+    for scenario in Scenario::ALL {
+        let cfg = ChaosConfig::quick(scenario).seed(7);
+        let reference = report(EXECUTOR_NAMES[0], 4, &cfg);
+        for name in &EXECUTOR_NAMES[1..] {
+            assert_eq!(
+                report(name, 4, &cfg),
+                reference,
+                "{}: {} diverged from {}",
+                scenario.name(),
+                name,
+                EXECUTOR_NAMES[0]
+            );
+        }
+    }
+}

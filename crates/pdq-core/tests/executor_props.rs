@@ -5,7 +5,7 @@
 //! the sharded executor, and the observable equivalence of batched and
 //! one-at-a-time submission for every registry executor.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex};
 
 use pdq_core::executor::{
@@ -311,6 +311,185 @@ proptest! {
                     );
                 }
             }
+        }
+    }
+}
+
+/// Witnesses one batched job through the shutdown race. Exactly one of three
+/// fates is legal, and each stamps the shared slot once: the job body ran
+/// (`1`), or the job was dropped unrun — by the executor at teardown or by
+/// the test dropping a handed-back batch (`2`). A slot still `0` after the
+/// batch is gone means the entry vanished silently; a failed stamp means it
+/// ran twice.
+struct FateProbe {
+    slot: Arc<AtomicU8>,
+    double_run: Arc<AtomicBool>,
+    ran: Arc<AtomicU64>,
+    fired: bool,
+}
+
+impl FateProbe {
+    fn job(
+        slot: Arc<AtomicU8>,
+        double_run: Arc<AtomicBool>,
+        ran: Arc<AtomicU64>,
+    ) -> impl FnOnce() + Send + 'static {
+        let mut probe = FateProbe {
+            slot,
+            double_run,
+            ran,
+            fired: false,
+        };
+        move || {
+            probe.fired = true;
+            if probe
+                .slot
+                .compare_exchange(0, 1, Ordering::SeqCst, Ordering::SeqCst)
+                .is_err()
+            {
+                probe.double_run.store(true, Ordering::SeqCst);
+            }
+            probe.ran.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+}
+
+impl Drop for FateProbe {
+    fn drop(&mut self) {
+        if !self.fired {
+            // Dropped without running: an observable abort, never silence.
+            let _ = self
+                .slot
+                .compare_exchange(0, 2, Ordering::SeqCst, Ordering::SeqCst);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// `shutdown` racing an in-flight `try_submit_batch`: every entry is
+    /// executed exactly once or handed back / observably aborted — never
+    /// dropped silently and never run twice — for all four registry
+    /// executors, shard counts 1..=8, bounded and unbounded queues, and a
+    /// shutdown fired at a random point in the stream. Afterwards the
+    /// executor admits nothing: `try_submit_batch` returns 0 and removes
+    /// nothing.
+    #[test]
+    fn shutdown_racing_try_submit_batch_never_loses_entries(
+        shards in 1usize..9,
+        workers in 1usize..5,
+        capacity in 0usize..6,
+        jobs in proptest::collection::vec(0u8..12, 1..150),
+        cut_pct in 0u32..=100,
+    ) {
+        for name in EXECUTOR_NAMES {
+            let mut spec = ExecutorSpec::new(workers);
+            if name == "sharded-pdq" {
+                spec = spec.shards(shards);
+            }
+            if capacity > 0 {
+                spec = spec.capacity(capacity + 1);
+            }
+            let pool = std::sync::RwLock::new(
+                build_executor(name, &spec).expect("registry name builds"),
+            );
+            let double_run = Arc::new(AtomicBool::new(false));
+            let ran = Arc::new(AtomicU64::new(0));
+            let slots: Vec<Arc<AtomicU8>> =
+                (0..jobs.len()).map(|_| Arc::new(AtomicU8::new(0))).collect();
+            let mut batch = SubmitBatch::with_capacity(jobs.len());
+            for (i, &roll) in jobs.iter().enumerate() {
+                let job = FateProbe::job(
+                    Arc::clone(&slots[i]),
+                    Arc::clone(&double_run),
+                    Arc::clone(&ran),
+                );
+                // Mostly keyed entries, a sprinkle of global barriers (which
+                // the sharded executor expands into per-shard stubs — the
+                // case most likely to strand work at teardown).
+                if roll == 0 {
+                    batch.push_sequential(job);
+                } else {
+                    batch.push_keyed(u64::from(roll) % 5, job);
+                }
+            }
+            // Fire the shutdown once roughly `cut_pct` percent of the jobs
+            // have run; 0 races it against the very first admission.
+            let threshold = (jobs.len() as u64 * u64::from(cut_pct)) / 100;
+            let closed = AtomicBool::new(false);
+
+            let handed_back = std::thread::scope(|scope| {
+                let submitter = scope.spawn(|| {
+                    let mut batch = batch;
+                    loop {
+                        let admitted = pool
+                            .read()
+                            .unwrap()
+                            .try_submit_batch(&mut batch);
+                        if batch.is_empty() || (admitted == 0 && closed.load(Ordering::SeqCst)) {
+                            break;
+                        }
+                        std::thread::yield_now();
+                    }
+                    batch
+                });
+                let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+                while ran.load(Ordering::SeqCst) < threshold
+                    && std::time::Instant::now() < deadline
+                {
+                    std::hint::spin_loop();
+                }
+                pool.write().unwrap().shutdown();
+                closed.store(true, Ordering::SeqCst);
+                let batch = submitter.join().expect("submitter thread");
+                let handed_back = batch.len();
+                // Dropping the handed-back remainder aborts those probes.
+                drop(batch);
+                handed_back
+            });
+
+            prop_assert!(
+                !double_run.load(Ordering::SeqCst),
+                "{name}: a batched entry executed twice across the shutdown race"
+            );
+            let executed = slots.iter().filter(|s| s.load(Ordering::SeqCst) == 1).count();
+            let aborted = slots.iter().filter(|s| s.load(Ordering::SeqCst) == 2).count();
+            let lost = slots.iter().filter(|s| s.load(Ordering::SeqCst) == 0).count();
+            prop_assert_eq!(
+                lost, 0,
+                "{}: {} entries vanished silently (executed {}, aborted {}, handed back {})",
+                name, lost, executed, aborted, handed_back
+            );
+            prop_assert_eq!(
+                executed + aborted,
+                jobs.len(),
+                "{}: fates must cover the batch exactly", name
+            );
+            prop_assert!(
+                aborted >= handed_back,
+                "{name}: a handed-back entry was also executed"
+            );
+
+            // The race is over; the executor must now refuse everything.
+            let mut late = SubmitBatch::new();
+            let late_slot = Arc::new(AtomicU8::new(0));
+            late.push_keyed(
+                3,
+                FateProbe::job(
+                    Arc::clone(&late_slot),
+                    Arc::clone(&double_run),
+                    Arc::clone(&ran),
+                ),
+            );
+            let admitted = pool.read().unwrap().try_submit_batch(&mut late);
+            prop_assert_eq!(admitted, 0, "{}: post-shutdown batch was admitted", name);
+            prop_assert_eq!(late.len(), 1, "{}: post-shutdown batch lost its entry", name);
+            drop(late);
+            prop_assert_eq!(
+                late_slot.load(Ordering::SeqCst), 2,
+                "{}: post-shutdown entry must abort observably", name
+            );
         }
     }
 }

@@ -23,14 +23,20 @@
 #![warn(missing_debug_implementations)]
 
 mod app;
+pub mod chaos;
 pub mod protocol_server;
 pub mod service;
 mod trace;
 pub mod transport;
 
 pub use app::{AppKind, AppParams, SharingPattern};
+pub use chaos::{
+    adversarial_events, poison_schedule, run_chaos, ChaosConfig, ChaosReport, ChaosService,
+    FaultAction, FaultPlan, FaultTransport, KeyOrderRecorder, Scenario, Zipf,
+};
 pub use protocol_server::{
-    generate_events, run_server, ServerAggregate, ServerConfig, ServerError, ServerState,
+    generate_events, reference_aggregate, run_server, ServerAggregate, ServerConfig, ServerError,
+    ServerState,
 };
 pub use service::{run_client, serve, serve_tcp, ExecutorService, ProtocolService, Reply};
 pub use trace::{Action, Topology, Workload, WorkloadScale};

@@ -333,6 +333,28 @@ impl ServerState {
     }
 }
 
+/// Folds `events` through a fresh [`ServerState`] sequentially on the
+/// calling thread and returns the aggregate, with `completed` set to the
+/// number of events folded.
+///
+/// This is the sequential reference the adversarial harness
+/// ([`chaos`](crate::chaos)) and the property tests compare executor-driven
+/// aggregates against: because every handler effect is commutative, any
+/// executor that dispatches exactly this multiset of events — in any order,
+/// on any number of workers — must produce this exact aggregate.
+pub fn reference_aggregate<'a, I>(events: I, blocks: u64) -> ServerAggregate
+where
+    I: IntoIterator<Item = &'a ProtocolEvent>,
+{
+    let state = ServerState::new(blocks);
+    let mut completed = 0u64;
+    for event in events {
+        state.handle(event);
+        completed += 1;
+    }
+    state.aggregate(completed)
+}
+
 /// Executor-independent result of a protocol-server run: pure event
 /// accounting plus order-independent checksums over the final server state.
 /// Two runs of the same [`ServerConfig`] produce identical aggregates on any
@@ -525,6 +547,16 @@ mod tests {
             }
             pool.shutdown();
         }
+    }
+
+    #[test]
+    fn executor_runs_match_the_sequential_reference_fold() {
+        let cfg = ServerConfig::quick();
+        let events = generate_events(&cfg);
+        let reference = reference_aggregate(events.iter(), cfg.blocks);
+        let pool = build_executor("pdq", &ExecutorSpec::new(4).capacity(32)).expect("pdq builds");
+        let aggregate = run_server(&*pool, &cfg, 64).expect("pool is running");
+        assert_eq!(aggregate, reference);
     }
 
     #[test]

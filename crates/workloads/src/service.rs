@@ -149,9 +149,9 @@ const REP_ACK: u8 = 0x81;
 const REP_AGGREGATE: u8 = 0x82;
 
 /// Ack status: the handler ran and produced its reply.
-const ACK_DONE: u8 = 0;
+pub(crate) const ACK_DONE: u8 = 0;
 /// Ack status: the handler panicked; no reply payload is meaningful.
-const ACK_PANICKED: u8 = 1;
+pub(crate) const ACK_PANICKED: u8 = 1;
 
 /// A decoded request frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -409,7 +409,7 @@ pub fn decode_request(frame: &[u8]) -> Result<WireRequest, ServerError> {
     Ok(decoded)
 }
 
-fn encode_ack(ack: Ack) -> Vec<u8> {
+pub(crate) fn encode_ack(ack: Ack) -> Vec<u8> {
     let mut buf = Vec::with_capacity(11);
     buf.push(REP_ACK);
     buf.push(ack.status);
@@ -418,7 +418,7 @@ fn encode_ack(ack: Ack) -> Vec<u8> {
     buf
 }
 
-fn decode_ack(frame: &[u8]) -> Result<Ack, ServerError> {
+pub(crate) fn decode_ack(frame: &[u8]) -> Result<Ack, ServerError> {
     let mut pos = 0;
     if get_u8(frame, &mut pos)? != REP_ACK {
         return Err(ServerError::Protocol("expected an ack frame".into()));
@@ -458,7 +458,7 @@ fn encode_aggregate_reply(agg: &ServerAggregate) -> Vec<u8> {
     buf
 }
 
-fn decode_aggregate_reply(frame: &[u8]) -> Result<ServerAggregate, ServerError> {
+pub(crate) fn decode_aggregate_reply(frame: &[u8]) -> Result<ServerAggregate, ServerError> {
     let mut pos = 0;
     if get_u8(frame, &mut pos)? != REP_AGGREGATE {
         return Err(ServerError::Protocol("expected an aggregate frame".into()));
@@ -490,6 +490,19 @@ fn decode_aggregate_reply(frame: &[u8]) -> Result<ServerAggregate, ServerError> 
 // Server loop and client driver
 // ---------------------------------------------------------------------------
 
+/// Receives the next frame, mapping codec-level failures to
+/// [`ServerError::Protocol`]: a stream that ends in the middle of a frame (a
+/// short read / truncated frame) or carries an oversized length prefix is a
+/// protocol violation by the peer, not an I/O fault of this host, so it must
+/// not surface as a bare [`ServerError::Io`].
+pub(crate) fn recv_frame(transport: &mut dyn Transport) -> Result<Option<Vec<u8>>, ServerError> {
+    transport.recv().map_err(|e| match e.kind() {
+        std::io::ErrorKind::UnexpectedEof => ServerError::Protocol(format!("truncated frame: {e}")),
+        std::io::ErrorKind::InvalidData => ServerError::Protocol(format!("malformed frame: {e}")),
+        _ => ServerError::Io(e),
+    })
+}
+
 /// Resolves the oldest in-flight call and encodes its ack.
 fn resolve_ack(fut: TypedFuture<Reply>, completed: &mut u64) -> Result<Vec<u8>, ServerError> {
     match fut.wait() {
@@ -520,11 +533,24 @@ fn resolve_ack(fut: TypedFuture<Reply>, completed: &mut u64) -> Result<Vec<u8>, 
 /// order-independent aggregate. Returns the number of events answered when
 /// the peer closes the stream.
 ///
+/// # Bounded per-connection buffering
+///
+/// `pending` never holds more than `window` in-flight calls: once the window
+/// is full the loop stops reading new frames and blocks resolving the oldest
+/// call, so executor backpressure (a full queue parking the submission)
+/// propagates to the transport instead of accumulating unbounded
+/// per-connection state — an open-loop client bursting frames faster than
+/// handlers drain only fills the transport's buffers, never this loop's.
+/// A peer that disconnects mid-stream (EOF or transport error) leaves at
+/// most `window` abandoned calls: their handlers still run to completion on
+/// the executor (keeping the service state consistent), but no reply is
+/// encoded for them.
+///
 /// # Errors
 ///
 /// [`ServerError::Io`] on transport failure, [`ServerError::Protocol`] on a
-/// malformed frame, [`ServerError::Shutdown`] if the executor behind the
-/// service shuts down while calls are in flight.
+/// malformed, truncated, or oversized frame, [`ServerError::Shutdown`] if
+/// the executor behind the service shuts down while calls are in flight.
 pub fn serve(
     service: &dyn ProtocolService,
     transport: &mut dyn Transport,
@@ -535,12 +561,17 @@ pub fn serve(
     let mut completed = 0u64;
     let mut answered = 0u64;
     loop {
-        let Some(frame) = transport.recv().map_err(ServerError::Io)? else {
+        let Some(frame) = recv_frame(transport)? else {
+            // Clean disconnect: abandon the in-flight replies. Dropping the
+            // futures does not cancel the handlers — they run to completion
+            // on the executor — so the service state stays consistent.
+            drop(pending);
             return Ok(answered);
         };
         match decode_request(&frame)? {
             WireRequest::Event(event) => {
                 pending.push_back(service.call(event));
+                debug_assert!(pending.len() <= window, "reply window overflowed");
                 if pending.len() >= window {
                     let fut = pending.pop_front().expect("window is non-empty");
                     let ack = resolve_ack(fut, &mut completed)?;
@@ -609,9 +640,7 @@ pub fn run_client(
                     expected: &mut VecDeque<Reply>,
                     panicked: &mut u64|
      -> Result<(), ServerError> {
-        let frame = transport
-            .recv()
-            .map_err(ServerError::Io)?
+        let frame = recv_frame(transport)?
             .ok_or_else(|| ServerError::Protocol("server closed before acking".into()))?;
         let ack = decode_ack(&frame)?;
         let want = expected
@@ -646,9 +675,7 @@ pub fn run_client(
     while !expected.is_empty() {
         read_ack(transport, &mut expected, &mut panicked)?;
     }
-    let frame = transport
-        .recv()
-        .map_err(ServerError::Io)?
+    let frame = recv_frame(transport)?
         .ok_or_else(|| ServerError::Protocol("server closed before the aggregate".into()))?;
     let aggregate = decode_aggregate_reply(&frame)?;
     if aggregate.completed + panicked != cfg.events as u64 {
@@ -774,6 +801,127 @@ mod tests {
         let pool2 = build_executor("pdq", &ExecutorSpec::new(2).capacity(16)).expect("pdq builds");
         let reference = run_server(&*pool2, &cfg, 32).expect("in-process run");
         assert_eq!(tcp_aggregate, reference);
+    }
+
+    #[test]
+    fn serve_holds_at_most_window_calls_in_flight() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Condvar;
+
+        /// A service whose handlers block on a gate, so the number of `call`
+        /// invocations the serve loop makes is directly observable while no
+        /// reply can resolve.
+        struct GatedService<'a> {
+            executor: &'a dyn Executor,
+            gate: Arc<(std::sync::Mutex<bool>, Condvar)>,
+            calls: AtomicUsize,
+        }
+        impl ProtocolService for GatedService<'_> {
+            fn call(&self, request: ProtocolEvent) -> TypedFuture<Reply> {
+                self.calls.fetch_add(1, Ordering::SeqCst);
+                let gate = Arc::clone(&self.gate);
+                self.executor
+                    .submit_async_returning(request.sync_key(), move || {
+                        let (lock, cvar) = &*gate;
+                        let mut open = lock.lock().unwrap();
+                        while !*open {
+                            open = cvar.wait(open).unwrap();
+                        }
+                        Reply::for_event(&request)
+                    })
+            }
+            fn flush(&self) {
+                self.executor.flush();
+            }
+            fn aggregate(&self, completed: u64) -> ServerAggregate {
+                ServerAggregate {
+                    completed,
+                    ..ServerAggregate::default()
+                }
+            }
+        }
+
+        const WINDOW: usize = 8;
+        const FLOOD: usize = 100;
+        let pool = build_executor("pdq", &ExecutorSpec::new(2).capacity(256)).expect("pdq builds");
+        let service = GatedService {
+            executor: &*pool,
+            gate: Arc::new((std::sync::Mutex::new(false), Condvar::new())),
+            calls: AtomicUsize::new(0),
+        };
+        let (mut client_end, mut server_end) = loopback_pair();
+        std::thread::scope(|scope| {
+            let server = scope.spawn(|| serve(&service, &mut server_end, WINDOW));
+            // Open-loop flood: every frame is buffered by the loopback
+            // channel immediately, far ahead of the serve loop.
+            let events = generate_events(&ServerConfig::quick().events(FLOOD));
+            for event in &events {
+                client_end.send(&encode_event_request(event)).unwrap();
+            }
+            // The serve loop must stall with exactly WINDOW calls in flight:
+            // it cannot resolve the oldest (the gate is closed), so it must
+            // not read further frames. Wait for the stall, then confirm the
+            // count holds.
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+            while service.calls.load(Ordering::SeqCst) < WINDOW {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "serve never filled its window"
+                );
+                std::thread::yield_now();
+            }
+            std::thread::sleep(std::time::Duration::from_millis(25));
+            assert_eq!(
+                service.calls.load(Ordering::SeqCst),
+                WINDOW,
+                "serve buffered beyond its reply window"
+            );
+            // Open the gate; the whole flood drains and every ack verifies.
+            {
+                let (lock, cvar) = &*service.gate;
+                *lock.lock().unwrap() = true;
+                cvar.notify_all();
+            }
+            client_end.send(&encode_aggregate_request()).unwrap();
+            for event in &events {
+                let frame = client_end.recv().unwrap().expect("ack frame");
+                let ack = decode_ack(&frame).expect("well-formed ack");
+                assert_eq!(ack.reply, Reply::for_event(event));
+            }
+            let frame = client_end.recv().unwrap().expect("aggregate frame");
+            let agg = decode_aggregate_reply(&frame).expect("aggregate reply");
+            assert_eq!(agg.completed, FLOOD as u64);
+            drop(client_end);
+            let answered = server.join().expect("server thread").expect("server run");
+            assert_eq!(answered, FLOOD as u64);
+        });
+        assert_eq!(service.calls.load(Ordering::SeqCst), FLOOD);
+    }
+
+    #[test]
+    fn truncated_streams_surface_as_protocol_errors_not_io() {
+        // A length prefix promising more than the peer delivers must reach
+        // the serve loop as a typed protocol violation.
+        let pool = build_executor("pdq", &ExecutorSpec::new(1)).expect("pdq builds");
+        let service = ExecutorService::new(&*pool, 8);
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+        let addr = listener.local_addr().expect("local addr");
+        let outcome = std::thread::scope(|scope| {
+            let server = scope.spawn(|| serve_tcp(&listener, &service, 4));
+            let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+            use std::io::Write;
+            // Claim 100 payload bytes, deliver 3, then close.
+            stream.write_all(&100u32.to_le_bytes()).expect("prefix");
+            stream.write_all(&[1, 2, 3]).expect("partial payload");
+            drop(stream);
+            server.join().expect("server thread")
+        });
+        match outcome {
+            Err(ServerError::Protocol(msg)) => {
+                assert!(msg.contains("truncated"), "unexpected message: {msg}")
+            }
+            other => panic!("expected a protocol error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -49,8 +49,19 @@ pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
     w.write_all(payload)
 }
 
+/// Granularity of payload reads: the buffer grows by at most this much per
+/// `read_exact`, so a hostile length prefix pins memory proportional to the
+/// bytes actually delivered, not to the (up to 16 MiB) claim.
+const READ_CHUNK: usize = 64 * 1024;
+
 /// Reads one length-prefixed frame. Returns `Ok(None)` on a clean end of
 /// stream (EOF exactly on a frame boundary).
+///
+/// The length prefix is validated against [`MAX_FRAME_LEN`] **before** any
+/// payload allocation, and the payload buffer grows incrementally (64 KiB
+/// steps) as bytes arrive — a peer that promises 16 MiB and delivers 10
+/// bytes costs one small allocation and a typed error, not 16 MiB of zeroed
+/// memory.
 ///
 /// # Errors
 ///
@@ -80,8 +91,23 @@ pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
             format!("frame length {len} exceeds MAX_FRAME_LEN"),
         ));
     }
-    let mut payload = vec![0u8; len as usize];
-    r.read_exact(&mut payload)?;
+    let len = len as usize;
+    let mut payload = Vec::with_capacity(len.min(READ_CHUNK));
+    while payload.len() < len {
+        let start = payload.len();
+        let step = READ_CHUNK.min(len - start);
+        payload.resize(start + step, 0);
+        if let Err(e) = r.read_exact(&mut payload[start..]) {
+            return Err(if e.kind() == io::ErrorKind::UnexpectedEof {
+                io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    format!("stream ended inside a frame payload ({start}+ of {len} bytes)"),
+                )
+            } else {
+                e
+            });
+        }
+    }
     Ok(Some(payload))
 }
 
@@ -230,6 +256,25 @@ mod tests {
             read_frame(&mut r).unwrap_err().kind(),
             io::ErrorKind::UnexpectedEof
         );
+    }
+
+    #[test]
+    fn hostile_length_claims_cost_only_the_delivered_bytes() {
+        // A prefix that claims the full 16 MiB but delivers three bytes must
+        // fail with a typed truncation error after allocating at most one
+        // READ_CHUNK step, not the claimed size.
+        let mut wire = MAX_FRAME_LEN.to_le_bytes().to_vec();
+        wire.extend_from_slice(&[1, 2, 3]);
+        let mut r = io::Cursor::new(wire);
+        let err = read_frame(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        assert!(err.to_string().contains("frame payload"));
+        // A multi-chunk payload still roundtrips intact.
+        let big = vec![0x5Au8; READ_CHUNK * 2 + 17];
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &big).unwrap();
+        let mut r = io::Cursor::new(wire);
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&big[..]));
     }
 
     #[test]
