@@ -1,0 +1,106 @@
+//! Recovery reproducibility: one log image, cut at a seeded torn point,
+//! replayed under all four executors and under `PDQ_WORKERS=1` vs `4`,
+//! renders byte-identical aggregate JSON — and snapshot+suffix recovery is
+//! byte-identical to full-log replay everywhere. This is the recovered
+//! `--json` that the CI crash-recovery smoke byte-diffs.
+
+use pdq_core::executor::{build_executor, ExecutorSpec, EXECUTOR_NAMES};
+use pdq_workloads::chaos::{adversarial_events, ChaosConfig, Scenario};
+use pdq_workloads::{
+    reference_aggregate, replay, scan_bytes, scan_bytes_full, ServerState, SharedSink,
+    WalFaultPlan, WalRecovery, WalWriter,
+};
+
+const BLOCKS: u64 = 64;
+// Not a multiple of the sync cadence: the log must end in an unsynced tail
+// for the torn cut to have something to tear.
+const EVENTS: usize = 805;
+const SEED: u64 = 7;
+
+/// One deterministic log image: the CI-seeded adversarial stream, synced
+/// every 16 events and snapshotted every 128, then torn mid-tail.
+fn torn_image() -> (Vec<u8>, Vec<pdq_dsm::ProtocolEvent>, u64) {
+    let events = adversarial_events(&ChaosConfig::quick(Scenario::Zipf).seed(SEED).events(EVENTS));
+    let sink = SharedSink::new();
+    let mut wal = WalWriter::new(sink.clone(), BLOCKS).expect("in-memory log");
+    let state = ServerState::new(BLOCKS);
+    for (i, event) in events.iter().enumerate() {
+        wal.append_event(event).expect("append");
+        state.handle(event);
+        if (i + 1) % 128 == 0 {
+            wal.append_snapshot(&state.snapshot_words())
+                .expect("snapshot");
+        } else if (i + 1) % 16 == 0 {
+            wal.sync().expect("sync");
+        }
+    }
+    // Tear the image halfway into the unsynced tail: mid-record, so the
+    // scan must truncate — and everything behind the barrier must survive.
+    let cut = wal.synced_bytes() + (wal.bytes() - wal.synced_bytes()) / 2;
+    let image = WalFaultPlan {
+        cut_at: Some(cut),
+        flip: None,
+    }
+    .apply(&sink.image());
+    (image, events, wal.synced_events())
+}
+
+/// Replays `recovery` on a fresh executor and renders the aggregate.
+fn replayed_json(name: &str, workers: usize, recovery: &WalRecovery) -> String {
+    let mut spec = ExecutorSpec::new(workers).capacity(64);
+    if name == "sharded-pdq" {
+        spec = spec.shards(4);
+    }
+    let mut pool = build_executor(name, &spec).expect("registry executor builds");
+    let aggregate =
+        replay(recovery, &*pool).unwrap_or_else(|e| panic!("{name}: recovery replay failed: {e}"));
+    pool.shutdown();
+    aggregate.to_json_string()
+}
+
+#[test]
+fn recovery_replay_is_byte_identical_across_executors_and_worker_counts() {
+    let (image, events, synced_events) = torn_image();
+    let recovery = scan_bytes(&image);
+    assert!(recovery.torn, "the mid-tail cut must read as a torn record");
+    assert!(
+        recovery.total_events >= synced_events,
+        "the torn cut lost synced events: kept {}, synced {synced_events}",
+        recovery.total_events
+    );
+    assert!(
+        recovery.snapshot.is_some(),
+        "an 800-event log snapshotted every 128 must recover through a snapshot"
+    );
+
+    let reference = reference_aggregate(events[..recovery.total_events as usize].iter(), BLOCKS)
+        .to_json_string();
+    for name in EXECUTOR_NAMES {
+        for workers in [1, 4] {
+            assert_eq!(
+                replayed_json(name, workers, &recovery),
+                reference,
+                "{name} with {workers} workers diverged from the sequential reference"
+            );
+        }
+    }
+}
+
+#[test]
+fn snapshot_plus_suffix_replay_equals_full_log_replay_everywhere() {
+    let (image, _, _) = torn_image();
+    let through_snapshot = scan_bytes(&image);
+    let full = scan_bytes_full(&image);
+    assert!(
+        full.snapshot.is_none() && !full.suffix.is_empty(),
+        "the full scan must ignore snapshots and keep every event"
+    );
+    assert_eq!(full.total_events, through_snapshot.total_events);
+    for name in EXECUTOR_NAMES {
+        assert_eq!(
+            replayed_json(name, 4, &through_snapshot),
+            replayed_json(name, 4, &full),
+            "{name}: snapshot+suffix recovery diverged from full-log replay"
+        );
+    }
+}

@@ -255,6 +255,78 @@ proptest! {
         }
     }
 
+    /// The crash-recovery replay pattern of `pdq-workloads`: one *reused*
+    /// `SubmitBatch`, filled to a fixed chunk size with keyed jobs plus the
+    /// occasional `Sequential` entry (page operations in the event log),
+    /// drained with `submit_batch`, chunk after chunk, over a bounded queue.
+    /// Chunk boundaries must not be observable: every entry runs exactly
+    /// once and per-key FIFO order holds *across* chunks on every registry
+    /// executor (set equality on the spin-lock baseline, which never
+    /// promised order).
+    #[test]
+    fn chunked_batch_replay_is_seamless_across_chunk_boundaries(
+        chunk in 1usize..48,
+        jobs in proptest::collection::vec((any::<u8>(), 0u8..16), 1..300),
+        capacity in 0usize..6,
+    ) {
+        for name in EXECUTOR_NAMES {
+            let mut spec = ExecutorSpec::new(3);
+            if name == "sharded-pdq" {
+                spec = spec.shards(4);
+            }
+            if capacity > 0 {
+                spec = spec.capacity(capacity + 1);
+            }
+            let pool = build_executor(name, &spec).expect("registry name builds");
+            let observed = Observed::new();
+            let barriers_ran = Arc::new(AtomicU64::new(0));
+            let mut barriers_submitted = 0u64;
+            let mut submitted: Vec<Vec<u64>> = vec![Vec::new(); KEY_SPACE];
+            let mut batch = SubmitBatch::with_capacity(chunk);
+            for (i, &(key, roll)) in jobs.iter().enumerate() {
+                // Roughly one entry in sixteen is a barrier, like the page
+                // operations sprinkled through a recovered log.
+                if roll == 0 {
+                    barriers_submitted += 1;
+                    let counter = Arc::clone(&barriers_ran);
+                    batch.push_sequential(move || {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    });
+                } else {
+                    let key = usize::from(key) % KEY_SPACE;
+                    submitted[key].push(i as u64);
+                    batch.push_keyed(key as u64, observer_job(&observed, key, i as u64));
+                }
+                if batch.len() >= chunk {
+                    pool.submit_batch(&mut batch).expect("executor is running");
+                }
+            }
+            pool.submit_batch(&mut batch).expect("executor is running");
+            pool.wait_idle();
+            prop_assert_eq!(
+                barriers_ran.load(Ordering::SeqCst),
+                barriers_submitted,
+                "{}: sequential entries lost across chunk boundaries", name
+            );
+            if name == "spinlock" {
+                prop_assert!(
+                    !observed.overlap.load(Ordering::SeqCst),
+                    "spinlock: two same-key jobs ran concurrently"
+                );
+                for (key, expected) in submitted.iter().enumerate() {
+                    let mut actual = observed.order[key].lock().unwrap().clone();
+                    actual.sort_unstable();
+                    prop_assert_eq!(
+                        &actual, expected,
+                        "spinlock: key {} replayed job set differs", key
+                    );
+                }
+            } else {
+                check(submitted, &observed, &format!("{name} (chunked replay)"))?;
+            }
+        }
+    }
+
     /// A `Sequential` job on the sharded executor is a *global* barrier:
     /// every job submitted before it finishes before it starts, and every
     /// job submitted after it starts after it finishes — across all shards,

@@ -34,6 +34,7 @@
 //! | `malformed`  | corrupt/truncated frames, wire blobs  | typed `Protocol` errors per connection; decodable prefix still counted; clean reconnect works |
 //! | `disconnect` | mid-stream drops, injected closes     | abandoned replies never poison state; later aggregate sees every dispatched event |
 //! | `panic`      | poisoned handlers at a seeded rate    | `ACK_PANICKED` for poisoned events only; all other keys' aggregates intact |
+//! | `recover`    | injected close kills a WAL-logged server, then a seeded torn cut | recovery replays an exact prefix, never behind a sync point; snapshot+suffix replay equals full-log replay |
 
 use std::collections::VecDeque;
 use std::io;
@@ -48,10 +49,11 @@ use pdq_sim::DetRng;
 use crate::protocol_server::{reference_aggregate, ServerAggregate, ServerError, ServerState};
 use crate::service::{
     decode_ack, decode_aggregate_reply, decode_request, encode_aggregate_request,
-    encode_event_request, recv_frame, serve, serve_tcp, ProtocolService, Reply, WireRequest,
-    ACK_DONE, ACK_PANICKED,
+    encode_event_request, recv_frame, serve, serve_durable, serve_tcp, Durability, ProtocolService,
+    Reply, WireRequest, ACK_DONE, ACK_PANICKED,
 };
 use crate::transport::{loopback_pair, Transport, MAX_FRAME_LEN};
+use crate::wal::{replay, scan_bytes, scan_bytes_full, SharedSink, WalFaultPlan, WalWriter};
 
 /// `DetRng` stream id for adversarial event generation.
 const EVENT_STREAM: u64 = 0xc4a0_5e7e;
@@ -59,6 +61,8 @@ const EVENT_STREAM: u64 = 0xc4a0_5e7e;
 const POISON_STREAM: u64 = 0x7071_50ed;
 /// `DetRng` stream id base for per-frame fault decisions.
 const FAULT_STREAM: u64 = 0xfa17_0b57;
+/// `DetRng` stream id for the recover scenario's torn-cut byte.
+const RECOVER_STREAM: u64 = 0x4ec0_fa17;
 
 // ---------------------------------------------------------------------------
 // Traffic generators
@@ -482,6 +486,10 @@ impl ProtocolService for ChaosService<'_> {
     fn aggregate(&self, _driver_completed: u64) -> ServerAggregate {
         self.state.aggregate(self.completed.load(Ordering::SeqCst))
     }
+
+    fn snapshot_words(&self) -> Option<Vec<u64>> {
+        Some(self.state.snapshot_words())
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -501,16 +509,20 @@ pub enum Scenario {
     Disconnect,
     /// Poisoned events whose handlers panic under load.
     Panic,
+    /// A mid-stream kill of a WAL-logged server followed by a torn-cut
+    /// recovery replay.
+    Recover,
 }
 
 impl Scenario {
     /// Every scenario, in the order `--scenario all` runs them.
-    pub const ALL: [Scenario; 5] = [
+    pub const ALL: [Scenario; 6] = [
         Scenario::Zipf,
         Scenario::Burst,
         Scenario::Malformed,
         Scenario::Disconnect,
         Scenario::Panic,
+        Scenario::Recover,
     ];
 
     /// Parses a scenario name as used by `examples/chaos.rs --scenario`.
@@ -521,6 +533,7 @@ impl Scenario {
             "malformed" => Some(Self::Malformed),
             "disconnect" => Some(Self::Disconnect),
             "panic" => Some(Self::Panic),
+            "recover" => Some(Self::Recover),
             _ => None,
         }
     }
@@ -533,6 +546,7 @@ impl Scenario {
             Self::Malformed => "malformed",
             Self::Disconnect => "disconnect",
             Self::Panic => "panic",
+            Self::Recover => "recover",
         }
     }
 }
@@ -816,6 +830,7 @@ pub fn run_chaos(executor: &dyn Executor, cfg: &ChaosConfig) -> Result<ChaosRepo
         Scenario::Malformed => run_malformed(executor, cfg),
         Scenario::Disconnect => run_disconnect(executor, cfg),
         Scenario::Panic => run_panic(executor, cfg),
+        Scenario::Recover => run_recover(executor, cfg),
     }
 }
 
@@ -1279,6 +1294,139 @@ fn run_panic(executor: &dyn Executor, cfg: &ChaosConfig) -> Result<ChaosReport, 
         io_errors: 0,
         disconnects: 0,
         aggregate,
+    })
+}
+
+/// Kills a WAL-logged server mid-stream with an injected transport close,
+/// cuts the log image at a seeded byte inside the unsynced tail (a torn
+/// write, possibly mid-record), recovers, and replays. Pins the durability
+/// contract end to end: the recovered aggregate equals the sequential
+/// reference fold of an *exact prefix* of the appended events, the prefix is
+/// never shorter than the last sync point, and a snapshot+suffix replay is
+/// byte-identical to replaying the full log.
+fn run_recover(executor: &dyn Executor, cfg: &ChaosConfig) -> Result<ChaosReport, ServerError> {
+    let events = adversarial_events(cfg);
+    let service = ChaosService::new(executor, cfg.blocks);
+    let window = cfg.window.max(2);
+    let sink = SharedSink::new();
+    let mut wal = WalWriter::new(sink.clone(), cfg.blocks).map_err(ServerError::Io)?;
+
+    // Queue the whole stream up front (the loopback channel is unbounded),
+    // so the serve loop runs inline on this thread and dies at a point that
+    // is a pure function of the config. The trailing aggregate requests
+    // force replies even when the stream is shorter than the reply window,
+    // so the close always fires.
+    let (mut client_end, server_end) = loopback_pair();
+    for event in &events {
+        client_end
+            .send(&encode_event_request(event))
+            .map_err(ServerError::Io)?;
+    }
+    for _ in 0..3 {
+        client_end
+            .send(&encode_aggregate_request())
+            .map_err(ServerError::Io)?;
+    }
+    let frames_sent = events.len() as u64 + 3;
+    let plan = FaultPlan {
+        close_after_sends: Some(2),
+        ..FaultPlan::clean(cfg.seed)
+    };
+    let mut hostile = FaultTransport::new(server_end, plan);
+    let outcome = serve_durable(
+        &service,
+        &mut hostile,
+        window,
+        Durability::LogSnapshot {
+            wal: &mut wal,
+            sync_every: 8,
+            snapshot_every: 16,
+        },
+    );
+    drop(hostile);
+    match outcome {
+        Err(ServerError::Io(_)) => {}
+        other => {
+            return Err(ServerError::Protocol(format!(
+                "recover: the injected close must kill the server mid-stream, got {other:?}"
+            )))
+        }
+    }
+    // The replies that escaped before the close (at most two) must still
+    // verify in order; anything owed after them died with the server.
+    let mut queue: VecDeque<Expect> = events.iter().map(|e| Expect::for_event(e, false)).collect();
+    loop {
+        match client_end.recv() {
+            Ok(Some(frame)) => {
+                if let Ok(ack) = decode_ack(&frame) {
+                    let want = queue.pop_front().ok_or_else(|| {
+                        ServerError::Protocol("recover: more acks than events".into())
+                    })?;
+                    match (ack.status, want) {
+                        (ACK_DONE, Expect::Done(reply)) if ack.reply == reply => {}
+                        (status, want) => {
+                            return Err(ServerError::Protocol(format!(
+                                "recover: escaped ack mismatch: status {status}, reply {:?}, \
+                                 expected {want:?}",
+                                ack.reply
+                            )))
+                        }
+                    }
+                } else {
+                    // A short stream drains its acks at the first aggregate
+                    // request, so an aggregate reply may escape instead.
+                    decode_aggregate_reply(&frame)?;
+                }
+            }
+            Ok(None) => break,
+            Err(e) => return Err(ServerError::Io(e)),
+        }
+    }
+
+    // Cut the image at a seeded byte inside the unsynced tail: never behind
+    // the last sync point (everything up to it is durable), possibly in the
+    // middle of a record (a torn write the scan must truncate).
+    let mut rng = DetRng::stream(cfg.seed, RECOVER_STREAM);
+    let tail = wal.bytes() - wal.synced_bytes();
+    let cut = wal.synced_bytes() + rng.next_below(tail + 1);
+    let image = WalFaultPlan {
+        cut_at: Some(cut),
+        flip: None,
+    }
+    .apply(&sink.image());
+    let recovery = scan_bytes(&image);
+    if recovery.blocks != cfg.blocks
+        || recovery.total_events < wal.synced_events()
+        || recovery.total_events > wal.events()
+    {
+        return Err(ServerError::Protocol(format!(
+            "recover: scan kept {} events of {} appended ({} synced), header blocks {}",
+            recovery.total_events,
+            wal.events(),
+            wal.synced_events(),
+            recovery.blocks,
+        )));
+    }
+    let recovered = replay(&recovery, executor)?;
+    let full = replay(&scan_bytes_full(&image), executor)?;
+    if recovered != full {
+        return Err(ServerError::Protocol(
+            "recover: snapshot+suffix replay diverged from full-log replay".into(),
+        ));
+    }
+    let prefix = &events[..recovery.total_events as usize];
+    let reference = reference_aggregate(prefix.iter(), cfg.blocks);
+    expect_reference(cfg.scenario, &recovered, &reference)?;
+    Ok(ChaosReport {
+        scenario: cfg.scenario.name(),
+        frames_sent,
+        handled: recovered.events,
+        completed: recovered.completed,
+        panicked: 0,
+        protocol_errors: 0,
+        io_errors: 1,
+        disconnects: 0,
+        aggregate: recovered,
     })
 }
 

@@ -28,6 +28,7 @@ pub mod protocol_server;
 pub mod service;
 mod trace;
 pub mod transport;
+pub mod wal;
 
 pub use app::{AppKind, AppParams, SharingPattern};
 pub use chaos::{
@@ -38,9 +39,16 @@ pub use protocol_server::{
     generate_events, reference_aggregate, run_server, ServerAggregate, ServerConfig, ServerError,
     ServerState,
 };
-pub use service::{run_client, serve, serve_tcp, ExecutorService, ProtocolService, Reply};
+pub use service::{
+    run_client, serve, serve_durable, serve_tcp, Durability, ExecutorService, ProtocolService,
+    Reply,
+};
 pub use trace::{Action, Topology, Workload, WorkloadScale};
 pub use transport::{loopback_pair, LoopbackTransport, TcpTransport, Transport};
+pub use wal::{
+    recover_dir, replay, scan_bytes, scan_bytes_full, FaultSink, SharedSink, WalFaultPlan,
+    WalRecovery, WalSnapshot, WalWriter,
+};
 
 #[cfg(test)]
 mod property_tests {

@@ -207,6 +207,9 @@ struct BlockCounters {
     value: u64,
 }
 
+/// Counter words exported per block by [`ServerState::snapshot_words`].
+pub const BLOCK_SNAPSHOT_WORDS: usize = 9;
+
 /// Shared state of the protocol server: one counter cell per block plus
 /// global accumulators for `Sequential` page operations.
 #[derive(Debug)]
@@ -284,6 +287,64 @@ impl ServerState {
         self.blocks[idx]
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Exports the full counter state as a flat word vector for the
+    /// write-ahead log's snapshot records ([`crate::wal`]): the block count,
+    /// then [`BLOCK_SNAPSHOT_WORDS`] counters per block in block order, then
+    /// the two page accumulators. [`ServerState::from_snapshot_words`] is
+    /// the exact inverse.
+    pub fn snapshot_words(&self) -> Vec<u64> {
+        let mut words = Vec::with_capacity(1 + self.blocks.len() * BLOCK_SNAPSHOT_WORDS + 2);
+        words.push(self.blocks.len() as u64);
+        for cell in &self.blocks {
+            let c = *cell.lock().unwrap_or_else(PoisonError::into_inner);
+            words.extend_from_slice(&[
+                c.faults,
+                c.write_faults,
+                c.requests,
+                c.invalidations,
+                c.acks,
+                c.recalls,
+                c.writebacks,
+                c.grants,
+                c.value,
+            ]);
+        }
+        words.push(self.page_ops.load(Ordering::Relaxed));
+        words.push(self.page_checksum.load(Ordering::Relaxed));
+        words
+    }
+
+    /// Restores a state from a [`ServerState::snapshot_words`] export.
+    /// Returns `None` if the vector is not shaped like one (wrong length for
+    /// its claimed block count, or zero blocks).
+    pub fn from_snapshot_words(words: &[u64]) -> Option<Self> {
+        let blocks = usize::try_from(*words.first()?).ok()?;
+        if blocks == 0 || words.len() != 1 + blocks * BLOCK_SNAPSHOT_WORDS + 2 {
+            return None;
+        }
+        let cells = (0..blocks)
+            .map(|i| {
+                let w = &words[1 + i * BLOCK_SNAPSHOT_WORDS..1 + (i + 1) * BLOCK_SNAPSHOT_WORDS];
+                Mutex::new(BlockCounters {
+                    faults: w[0],
+                    write_faults: w[1],
+                    requests: w[2],
+                    invalidations: w[3],
+                    acks: w[4],
+                    recalls: w[5],
+                    writebacks: w[6],
+                    grants: w[7],
+                    value: w[8],
+                })
+            })
+            .collect();
+        Some(Self {
+            blocks: cells,
+            page_ops: AtomicU64::new(words[words.len() - 2]),
+            page_checksum: AtomicU64::new(words[words.len() - 1]),
+        })
     }
 
     /// Folds the per-block state into the order-independent aggregate.
@@ -567,6 +628,29 @@ mod tests {
         assert!(matches!(outcome, Err(ServerError::Shutdown)));
         let err = outcome.unwrap_err();
         assert!(err.to_string().contains("shut down"));
+    }
+
+    #[test]
+    fn snapshot_words_roundtrip_exactly() {
+        let cfg = ServerConfig::quick().events(500);
+        let state = ServerState::new(cfg.blocks);
+        let mut handled = 0u64;
+        for event in generate_events(&cfg) {
+            state.handle(&event);
+            handled += 1;
+        }
+        let words = state.snapshot_words();
+        assert_eq!(
+            words.len(),
+            1 + cfg.blocks as usize * BLOCK_SNAPSHOT_WORDS + 2
+        );
+        let restored = ServerState::from_snapshot_words(&words).expect("valid export");
+        assert_eq!(restored.aggregate(handled), state.aggregate(handled));
+        assert_eq!(restored.snapshot_words(), words);
+        // Malformed exports are rejected, not misread.
+        assert!(ServerState::from_snapshot_words(&[]).is_none());
+        assert!(ServerState::from_snapshot_words(&[0]).is_none());
+        assert!(ServerState::from_snapshot_words(&words[..words.len() - 1]).is_none());
     }
 
     #[test]

@@ -288,6 +288,28 @@ mod tests {
     }
 
     #[test]
+    fn the_exact_size_cap_roundtrips_and_one_byte_more_is_refused() {
+        // Exact boundary: a payload of exactly MAX_FRAME_LEN bytes walks the
+        // 64 KiB incremental-growth path 256 times and arrives intact.
+        let big = vec![0xC3u8; MAX_FRAME_LEN as usize];
+        let mut wire = Vec::with_capacity(big.len() + 4);
+        write_frame(&mut wire, &big).unwrap();
+        let mut r = io::Cursor::new(wire);
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&big[..]));
+        assert!(read_frame(&mut r).unwrap().is_none(), "exactly one frame");
+        // Boundary + 1: the writer refuses before emitting a single byte, so
+        // an oversized payload can never poison the stream for its peer.
+        let over = vec![0u8; MAX_FRAME_LEN as usize + 1];
+        let mut wire = Vec::new();
+        let err = write_frame(&mut wire, &over).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(
+            wire.is_empty(),
+            "a refused frame must leave no bytes behind"
+        );
+    }
+
+    #[test]
     fn loopback_pair_carries_frames_both_ways() {
         let (mut a, mut b) = loopback_pair();
         a.send(b"ping").unwrap();

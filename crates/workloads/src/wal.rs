@@ -1,0 +1,954 @@
+//! Write-ahead event log with crash-recovery replay for the protocol server.
+//!
+//! Durability is the step from benchmark harness to servable system: every
+//! [`ProtocolEvent`] is appended to the log **before**
+//! the executor sees it, so a crash at any byte loses at most the tail the
+//! process never promised. Because every handler effect is commutative, the
+//! pre-crash [`ServerAggregate`] is a pure function of the logged event
+//! multiset — which makes recovery *exactly* testable: replaying the log
+//! through any registry executor must reproduce the aggregate bit for bit.
+//!
+//! # Record format
+//!
+//! The log reuses the frame codec of [`transport`](crate::transport): each
+//! record is a little-endian `u32` length prefix followed by the payload.
+//! The payload carries its own integrity check:
+//!
+//! ```text
+//!   ┌──────────┬───────────────┬───────────────────────────────┐
+//!   │ len: u32 │ crc32(body)   │ body = [kind: u8][fields...]  │
+//!   │  (LE)    │ u32 LE        │                               │
+//!   └──────────┴───────────────┴───────────────────────────────┘
+//!
+//!   kind 0x10  header    magic "PDQWAL01", blocks: u64
+//!   kind 0x01  event     the wire request payload (decode_request)
+//!   kind 0x11  sync      events: u64   (running count at the sync point)
+//!   kind 0x12  snapshot  events: u64, words: [u64], aggregate JSON
+//! ```
+//!
+//! An event record's body **is** the wire request payload produced by
+//! [`encode_event_request`] (whose tag
+//! byte is `0x01`), so the WAL and the network speak the same event codec.
+//!
+//! # Torn-tail truncation rule
+//!
+//! The recovery scan ([`scan_bytes`]) accepts the longest prefix of valid
+//! records and stops at the first defect — a short frame, a CRC mismatch, an
+//! undecodable body, or an unknown record kind. Everything after the defect
+//! is discarded. Because [`WalWriter::sync`] appends a sync record and
+//! persists the sink *before* reporting success, every record up to the last
+//! acknowledged sync point sits strictly before any torn tail a crash can
+//! produce: truncation never reaches behind a sync point unless the storage
+//! itself lied about persistence (modelled by [`WalFaultPlan::cut_at`] below
+//! a sync offset) or corrupted already-durable bytes ([`WalFaultPlan::flip`]
+//! — detected by the CRC and truncated, trading the tail for consistency).
+//!
+//! # Snapshots bound replay
+//!
+//! A snapshot record carries the full counter state of the server
+//! ([`ServerState::snapshot_words`]) plus the stable aggregate JSON rendered
+//! from those words as a self-check. Recovery loads the latest valid
+//! snapshot and replays only the suffix; [`scan_bytes_full`] ignores
+//! snapshots so tests can pin that snapshot+suffix replay is byte-identical
+//! to full-log replay.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Cursor, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use pdq_core::executor::{Executor, ExecutorExt, SubmitBatch};
+use pdq_dsm::ProtocolEvent;
+
+use crate::protocol_server::{ServerAggregate, ServerError, ServerState};
+use crate::service::{decode_request, encode_event_request, WireRequest};
+use crate::transport::{read_frame, write_frame};
+
+/// Magic bytes of the header record: identifies the file and its version.
+pub const WAL_MAGIC: [u8; 8] = *b"PDQWAL01";
+
+/// Record kind: the log header (magic + block count).
+const REC_HEADER: u8 = 0x10;
+/// Record kind: one protocol event (the body is the wire request payload,
+/// whose own tag byte is `0x01` — the two codecs coincide on purpose).
+const REC_EVENT: u8 = 0x01;
+/// Record kind: a sync point (the running event count).
+const REC_SYNC: u8 = 0x11;
+/// Record kind: a state snapshot (event count, counter words, JSON).
+const REC_SNAPSHOT: u8 = 0x12;
+
+/// Events replayed per [`SubmitBatch`] in [`replay`]: bounded so recovery
+/// exerts the same backpressure discipline as live intake.
+const REPLAY_CHUNK: usize = 256;
+
+// ---------------------------------------------------------------------------
+// CRC32 (IEEE 802.3, reflected) — per-record integrity
+// ---------------------------------------------------------------------------
+
+/// The reflected CRC-32 lookup table (polynomial `0xEDB88320`).
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `bytes` — the per-record checksum of the log.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------------
+// Sinks
+// ---------------------------------------------------------------------------
+
+/// A byte sink the log writes to: any [`Write`] plus a durability barrier.
+///
+/// `persist` returns only once every byte written so far is durable (for a
+/// file, `fsync`); the default forwards to `flush`, which is the right
+/// barrier for in-memory sinks.
+pub trait WalSink: Write + Send {
+    /// Makes every byte written so far durable.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure of the underlying storage.
+    fn persist(&mut self) -> io::Result<()> {
+        self.flush()
+    }
+}
+
+impl WalSink for Vec<u8> {}
+
+impl WalSink for File {
+    fn persist(&mut self) -> io::Result<()> {
+        self.flush()?;
+        self.sync_data()
+    }
+}
+
+impl WalSink for BufWriter<File> {
+    fn persist(&mut self) -> io::Result<()> {
+        self.flush()?;
+        self.get_ref().sync_data()
+    }
+}
+
+/// An in-memory sink whose bytes stay readable while a [`WalWriter`] owns
+/// the sink: clones share one buffer, so a test (or the recover chaos
+/// scenario) can hand one clone to the writer and inspect the accumulated
+/// log through another.
+#[derive(Debug, Clone, Default)]
+pub struct SharedSink {
+    buf: Arc<Mutex<Vec<u8>>>,
+}
+
+impl SharedSink {
+    /// Creates an empty shared buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A copy of every byte written so far.
+    pub fn image(&self) -> Vec<u8> {
+        self.buf
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+}
+
+impl Write for SharedSink {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        self.buf
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .extend_from_slice(data);
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl WalSink for SharedSink {}
+
+// ---------------------------------------------------------------------------
+// Disk fault injection
+// ---------------------------------------------------------------------------
+
+/// A pure-function plan of disk faults, in the spirit of
+/// [`FaultPlan`](crate::chaos::FaultPlan) but at the byte-stream layer below
+/// the log: what the storage *actually kept* as a function of the byte
+/// offset, independent of call timing.
+///
+/// `apply` is the pure core; [`FaultSink`] executes the same plan at write
+/// granularity while claiming success to the writer — the model of a crash
+/// (or lying page cache) where acknowledged writes past `cut_at` never
+/// reached the platter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WalFaultPlan {
+    /// Bytes at stream offsets `>= cut_at` are lost (short write / torn
+    /// frame / truncate-at-byte-k, for arbitrary k).
+    pub cut_at: Option<u64>,
+    /// Flip bit `1 << (bit % 8)` of the byte at this stream offset, if it
+    /// survived the cut (media corruption of a durable byte).
+    pub flip: Option<(u64, u8)>,
+}
+
+impl WalFaultPlan {
+    /// A plan that injects nothing.
+    pub fn clean() -> Self {
+        Self::default()
+    }
+
+    /// What the storage kept of `bytes`: the pure function both the sink and
+    /// the tests evaluate.
+    pub fn apply(&self, bytes: &[u8]) -> Vec<u8> {
+        let mut out = bytes.to_vec();
+        if let Some(cut) = self.cut_at {
+            out.truncate(usize::try_from(cut).unwrap_or(usize::MAX).min(out.len()));
+        }
+        if let Some((at, bit)) = self.flip {
+            if let Some(b) = usize::try_from(at).ok().and_then(|at| out.get_mut(at)) {
+                *b ^= 1 << (bit % 8);
+            }
+        }
+        out
+    }
+}
+
+/// An in-memory [`WalSink`] executing a [`WalFaultPlan`]: every write and
+/// every `persist` claims success, but bytes past the plan's cut silently
+/// vanish and the flipped bit lands corrupted — exactly what a crash after a
+/// lying `fsync` leaves on disk.
+#[derive(Debug)]
+pub struct FaultSink {
+    buf: SharedSink,
+    plan: WalFaultPlan,
+    offset: u64,
+}
+
+impl FaultSink {
+    /// Creates a faulted sink with an empty backing buffer.
+    pub fn new(plan: WalFaultPlan) -> Self {
+        Self {
+            buf: SharedSink::new(),
+            plan,
+            offset: 0,
+        }
+    }
+
+    /// A handle to the backing buffer (what the "disk" kept).
+    pub fn shared(&self) -> SharedSink {
+        self.buf.clone()
+    }
+
+    /// The bytes the storage kept.
+    pub fn image(&self) -> Vec<u8> {
+        self.buf.image()
+    }
+}
+
+impl Write for FaultSink {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        let start = self.offset;
+        self.offset += data.len() as u64;
+        let mut kept = Vec::with_capacity(data.len());
+        for (i, &b) in data.iter().enumerate() {
+            let pos = start + i as u64;
+            if self.plan.cut_at.is_some_and(|cut| pos >= cut) {
+                break;
+            }
+            let mut byte = b;
+            if let Some((at, bit)) = self.plan.flip {
+                if pos == at {
+                    byte ^= 1 << (bit % 8);
+                }
+            }
+            kept.push(byte);
+        }
+        self.buf.write_all(&kept)?;
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl WalSink for FaultSink {}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// The path of the log file inside a WAL directory.
+pub fn wal_path(dir: &Path) -> PathBuf {
+    dir.join("wal.log")
+}
+
+/// Appends length-prefixed, CRC-protected records to a [`WalSink`].
+///
+/// The serve loop appends every event **before** dispatching it
+/// (write-ahead), calls [`sync`](WalWriter::sync) at its configured cadence,
+/// and [`append_snapshot`](WalWriter::append_snapshot) to bound replay. The
+/// writer tracks both total and synced progress in events and bytes, so a
+/// driver can compute exactly which torn tails a crash may produce.
+pub struct WalWriter {
+    sink: Box<dyn WalSink>,
+    blocks: u64,
+    events: u64,
+    synced_events: u64,
+    bytes: u64,
+    synced_bytes: u64,
+    crash_after: Option<u64>,
+    crashed: bool,
+}
+
+impl std::fmt::Debug for WalWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WalWriter")
+            .field("blocks", &self.blocks)
+            .field("events", &self.events)
+            .field("synced_events", &self.synced_events)
+            .field("bytes", &self.bytes)
+            .field("synced_bytes", &self.synced_bytes)
+            .field("crashed", &self.crashed)
+            .finish()
+    }
+}
+
+impl WalWriter {
+    /// Creates a writer over `sink` for a server with `blocks` cache blocks
+    /// and writes and persists the header record: a freshly created log is
+    /// durable, so no crash can tear the header itself.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure of the sink.
+    pub fn new(sink: impl WalSink + 'static, blocks: u64) -> io::Result<Self> {
+        let mut writer = Self {
+            sink: Box::new(sink),
+            blocks: blocks.max(1),
+            events: 0,
+            synced_events: 0,
+            bytes: 0,
+            synced_bytes: 0,
+            crash_after: None,
+            crashed: false,
+        };
+        let mut body = vec![REC_HEADER];
+        body.extend_from_slice(&WAL_MAGIC);
+        body.extend_from_slice(&writer.blocks.to_le_bytes());
+        writer.append_record(&body)?;
+        writer.sink.persist()?;
+        writer.synced_bytes = writer.bytes;
+        Ok(writer)
+    }
+
+    /// Creates (or truncates) `wal.log` inside `dir` — the directory is
+    /// created if missing — and writes the header record.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure creating the directory or the file.
+    pub fn create(dir: &Path, blocks: u64) -> io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        let file = File::create(wal_path(dir))?;
+        Self::new(BufWriter::new(file), blocks)
+    }
+
+    /// Arms a deterministic crash: the append of event number `n + 1` syncs
+    /// the durable prefix, writes a *torn half-record*, and fails with a
+    /// typed error; the writer stays dead afterwards. This is the seeded cut
+    /// point of the CI crash-recovery smoke test.
+    pub fn arm_crash_after_events(&mut self, n: u64) {
+        self.crash_after = Some(n);
+    }
+
+    /// Events appended so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Events covered by the last successful sync point.
+    pub fn synced_events(&self) -> u64 {
+        self.synced_events
+    }
+
+    /// Bytes appended so far (whole records only).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Bytes covered by the last successful sync point.
+    pub fn synced_bytes(&self) -> u64 {
+        self.synced_bytes
+    }
+
+    /// The block count recorded in the header.
+    pub fn blocks(&self) -> u64 {
+        self.blocks
+    }
+
+    fn dead(&self) -> io::Error {
+        io::Error::other("wal: writer crashed at the armed cut point")
+    }
+
+    fn append_record(&mut self, body: &[u8]) -> io::Result<()> {
+        let mut payload = Vec::with_capacity(4 + body.len());
+        payload.extend_from_slice(&crc32(body).to_le_bytes());
+        payload.extend_from_slice(body);
+        write_frame(&mut self.sink, &payload)?;
+        self.bytes += 4 + payload.len() as u64;
+        Ok(())
+    }
+
+    /// Appends one event record (write-ahead: call this *before* handing the
+    /// event to the executor) and returns the running event count.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure of the sink; the armed crash surfaces here as a typed
+    /// error after leaving a synced prefix plus a torn half-record behind.
+    pub fn append_event(&mut self, event: &ProtocolEvent) -> io::Result<u64> {
+        if self.crashed {
+            return Err(self.dead());
+        }
+        let body = encode_event_request(event);
+        if self.crash_after.is_some_and(|n| self.events >= n) {
+            self.sync()?;
+            let mut payload = Vec::with_capacity(4 + body.len());
+            payload.extend_from_slice(&crc32(&body).to_le_bytes());
+            payload.extend_from_slice(&body);
+            let mut frame = (payload.len() as u32).to_le_bytes().to_vec();
+            frame.extend_from_slice(&payload);
+            let torn = frame.len() / 2;
+            self.sink.write_all(&frame[..torn])?;
+            self.sink.flush()?;
+            self.crashed = true;
+            return Err(self.dead());
+        }
+        self.append_record(&body)?;
+        self.events += 1;
+        Ok(self.events)
+    }
+
+    /// Appends a sync record and persists the sink: on success every record
+    /// so far is durable, and no recovery scan will truncate behind this
+    /// point.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure of the sink.
+    pub fn sync(&mut self) -> io::Result<()> {
+        if self.crashed {
+            return Err(self.dead());
+        }
+        let mut body = vec![REC_SYNC];
+        body.extend_from_slice(&self.events.to_le_bytes());
+        self.append_record(&body)?;
+        self.sink.persist()?;
+        self.synced_events = self.events;
+        self.synced_bytes = self.bytes;
+        Ok(())
+    }
+
+    /// Appends a snapshot of the server's counter state at the current event
+    /// count, then syncs. `words` must be a valid
+    /// [`ServerState::snapshot_words`] export for this log's block count;
+    /// the stable aggregate JSON rendered from the words is stored alongside
+    /// as a recovery-time self-check.
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::InvalidInput`] if the words do not restore to a
+    /// state with this log's block count; otherwise any I/O failure.
+    pub fn append_snapshot(&mut self, words: &[u64]) -> io::Result<()> {
+        if self.crashed {
+            return Err(self.dead());
+        }
+        let state = ServerState::from_snapshot_words(words).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "wal: snapshot words are not a valid state export",
+            )
+        })?;
+        if words.first().copied() != Some(self.blocks) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "wal: snapshot block count does not match the log header",
+            ));
+        }
+        let json = state.aggregate(self.events).to_json_string();
+        let mut body = vec![REC_SNAPSHOT];
+        body.extend_from_slice(&self.events.to_le_bytes());
+        body.extend_from_slice(&(words.len() as u64).to_le_bytes());
+        for word in words {
+            body.extend_from_slice(&word.to_le_bytes());
+        }
+        body.extend_from_slice(&(json.len() as u64).to_le_bytes());
+        body.extend_from_slice(json.as_bytes());
+        self.append_record(&body)?;
+        self.sync()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Recovery scan
+// ---------------------------------------------------------------------------
+
+/// The latest valid snapshot found by a recovery scan.
+#[derive(Debug, Clone)]
+pub struct WalSnapshot {
+    /// Events covered by the snapshot (the replay suffix starts here).
+    pub events: u64,
+    /// The counter-state export ([`ServerState::snapshot_words`]).
+    pub words: Vec<u64>,
+    /// The stable aggregate JSON stored with the snapshot; always equal to
+    /// re-rendering the restored words (the scan validates this).
+    pub aggregate_json: String,
+}
+
+/// Outcome of scanning a (possibly torn) log image.
+#[derive(Debug, Clone)]
+pub struct WalRecovery {
+    /// Block count from the header record; `0` if the header itself was
+    /// missing or torn (in which case nothing else was recovered either).
+    pub blocks: u64,
+    /// The latest valid snapshot, when snapshots are honoured.
+    pub snapshot: Option<WalSnapshot>,
+    /// Events after the snapshot (or all events, without one), in log order.
+    pub suffix: Vec<ProtocolEvent>,
+    /// Total events in the recovered prefix (snapshot + suffix).
+    pub total_events: u64,
+    /// Event count at the last valid sync record.
+    pub synced_events: u64,
+    /// Bytes of the image covered by valid records.
+    pub valid_bytes: u64,
+    /// Whether the scan stopped at a defect (torn tail) rather than a clean
+    /// end of the image.
+    pub torn: bool,
+}
+
+impl WalRecovery {
+    fn empty() -> Self {
+        Self {
+            blocks: 0,
+            snapshot: None,
+            suffix: Vec::new(),
+            total_events: 0,
+            synced_events: 0,
+            valid_bytes: 0,
+            torn: false,
+        }
+    }
+}
+
+fn get_u64(bytes: &[u8], pos: &mut usize) -> Option<u64> {
+    let end = pos.checked_add(8).filter(|&end| end <= bytes.len())?;
+    let mut raw = [0u8; 8];
+    raw.copy_from_slice(&bytes[*pos..end]);
+    *pos = end;
+    Some(u64::from_le_bytes(raw))
+}
+
+/// Parses a snapshot body (after the kind byte); `None` on any malformation.
+fn parse_snapshot(body: &[u8]) -> Option<WalSnapshot> {
+    let mut pos = 1;
+    let events = get_u64(body, &mut pos)?;
+    let word_count = usize::try_from(get_u64(body, &mut pos)?).ok()?;
+    if word_count > body.len() / 8 {
+        return None;
+    }
+    let mut words = Vec::with_capacity(word_count);
+    for _ in 0..word_count {
+        words.push(get_u64(body, &mut pos)?);
+    }
+    let json_len = usize::try_from(get_u64(body, &mut pos)?).ok()?;
+    let rest = body.get(pos..)?;
+    if rest.len() != json_len {
+        return None;
+    }
+    let aggregate_json = String::from_utf8(rest.to_vec()).ok()?;
+    let state = ServerState::from_snapshot_words(&words)?;
+    if state.aggregate(events).to_json_string() != aggregate_json {
+        return None;
+    }
+    Some(WalSnapshot {
+        events,
+        words,
+        aggregate_json,
+    })
+}
+
+fn scan(bytes: &[u8], honour_snapshots: bool) -> WalRecovery {
+    let mut recovery = WalRecovery::empty();
+    if bytes.is_empty() {
+        return recovery;
+    }
+    let mut cursor = Cursor::new(bytes);
+    let mut saw_header = false;
+    loop {
+        let payload = match read_frame(&mut cursor) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => return recovery,
+            Err(_) => {
+                recovery.torn = true;
+                return recovery;
+            }
+        };
+        let stop = |mut recovery: WalRecovery| {
+            recovery.torn = true;
+            recovery
+        };
+        if payload.len() < 5 {
+            return stop(recovery);
+        }
+        let (crc_bytes, body) = payload.split_at(4);
+        let stored = u32::from_le_bytes([crc_bytes[0], crc_bytes[1], crc_bytes[2], crc_bytes[3]]);
+        if crc32(body) != stored {
+            return stop(recovery);
+        }
+        match body[0] {
+            REC_HEADER if !saw_header => {
+                if body.len() != 1 + 8 + 8 || body[1..9] != WAL_MAGIC {
+                    return stop(recovery);
+                }
+                let mut pos = 9;
+                let Some(blocks) = get_u64(body, &mut pos) else {
+                    return stop(recovery);
+                };
+                recovery.blocks = blocks;
+                saw_header = true;
+            }
+            _ if !saw_header => return stop(recovery),
+            REC_EVENT => match decode_request(body) {
+                Ok(WireRequest::Event(event)) => {
+                    recovery.suffix.push(event);
+                    recovery.total_events += 1;
+                }
+                _ => return stop(recovery),
+            },
+            REC_SYNC => {
+                let mut pos = 1;
+                match get_u64(body, &mut pos) {
+                    Some(count) if pos == body.len() && count == recovery.total_events => {
+                        recovery.synced_events = count;
+                    }
+                    _ => return stop(recovery),
+                }
+            }
+            REC_SNAPSHOT => match parse_snapshot(body) {
+                Some(snapshot)
+                    if snapshot.events == recovery.total_events
+                        && snapshot.words.first().copied() == Some(recovery.blocks) =>
+                {
+                    if honour_snapshots {
+                        recovery.suffix.clear();
+                        recovery.snapshot = Some(snapshot);
+                    }
+                }
+                _ => return stop(recovery),
+            },
+            _ => return stop(recovery),
+        }
+        recovery.valid_bytes = cursor.position();
+    }
+}
+
+/// Scans a log image, honouring snapshots: the result holds the latest valid
+/// snapshot plus the event suffix after it. The scan accepts the longest
+/// valid prefix and truncates at the first defect (see the module docs for
+/// the torn-tail rule).
+pub fn scan_bytes(bytes: &[u8]) -> WalRecovery {
+    scan(bytes, true)
+}
+
+/// Scans a log image while *ignoring* snapshots: the suffix holds every
+/// event from the start of the log. Recovery from this result replays the
+/// full log — the reference the snapshot+suffix path is checked against.
+pub fn scan_bytes_full(bytes: &[u8]) -> WalRecovery {
+    scan(bytes, false)
+}
+
+/// Reads and scans `wal.log` inside `dir` (honouring snapshots).
+///
+/// # Errors
+///
+/// Any I/O failure reading the file; a torn or empty log is *not* an error —
+/// it is a [`WalRecovery`] with a shorter prefix.
+pub fn recover_dir(dir: &Path) -> io::Result<WalRecovery> {
+    let bytes = std::fs::read(wal_path(dir))?;
+    Ok(scan_bytes(&bytes))
+}
+
+// ---------------------------------------------------------------------------
+// Replay
+// ---------------------------------------------------------------------------
+
+/// Replays a recovered log through `executor` and returns the resulting
+/// aggregate: state starts from the snapshot (or fresh), and the suffix is
+/// driven in bounded [`SubmitBatch`] chunks keyed by each event's
+/// [`sync_key`](pdq_dsm::ProtocolEvent::sync_key) — the partial-admission
+/// `try_submit_batch` path underneath `submit_batch`, so recovery honours
+/// executor backpressure exactly like live intake.
+///
+/// The result must equal the `reference_aggregate` of the recovered prefix
+/// (and it does, byte for byte, on every registry executor — pinned by the
+/// recovery determinism tests): every handler effect is commutative, so the
+/// aggregate depends only on the recovered event multiset.
+///
+/// # Errors
+///
+/// [`ServerError::Protocol`] if the snapshot words fail to restore;
+/// [`ServerError::Shutdown`] if the executor shuts down mid-replay.
+pub fn replay(
+    recovery: &WalRecovery,
+    executor: &dyn Executor,
+) -> Result<ServerAggregate, ServerError> {
+    let state = match &recovery.snapshot {
+        Some(snapshot) => Arc::new(
+            ServerState::from_snapshot_words(&snapshot.words).ok_or_else(|| {
+                ServerError::Protocol("wal: snapshot words failed validation".into())
+            })?,
+        ),
+        None => Arc::new(ServerState::new(recovery.blocks.max(1))),
+    };
+    for chunk in recovery.suffix.chunks(REPLAY_CHUNK) {
+        let mut batch = SubmitBatch::with_capacity(chunk.len());
+        for &event in chunk {
+            let state = Arc::clone(&state);
+            batch.push(event.sync_key(), Box::new(move || state.handle(&event)));
+        }
+        executor
+            .submit_batch(&mut batch)
+            .map_err(|_| ServerError::Shutdown)?;
+    }
+    executor.flush();
+    Ok(state.aggregate(recovery.total_events))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol_server::{generate_events, reference_aggregate, ServerConfig};
+    use pdq_core::executor::{build_executor, ExecutorSpec};
+
+    fn quick_events(n: usize) -> Vec<ProtocolEvent> {
+        generate_events(&ServerConfig::quick().events(n))
+    }
+
+    #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn a_clean_log_recovers_every_event() {
+        let sink = SharedSink::new();
+        let mut wal = WalWriter::new(sink.clone(), 64).unwrap();
+        let events = quick_events(100);
+        for event in &events {
+            wal.append_event(event).unwrap();
+        }
+        wal.sync().unwrap();
+        let recovery = scan_bytes(&sink.image());
+        assert!(!recovery.torn);
+        assert_eq!(recovery.blocks, 64);
+        assert_eq!(recovery.total_events, 100);
+        assert_eq!(recovery.synced_events, 100);
+        assert_eq!(recovery.suffix, events);
+        assert_eq!(recovery.valid_bytes, sink.image().len() as u64);
+    }
+
+    #[test]
+    fn a_torn_tail_is_truncated_never_behind_a_sync_point() {
+        let sink = SharedSink::new();
+        let mut wal = WalWriter::new(sink.clone(), 64).unwrap();
+        let events = quick_events(50);
+        for (i, event) in events.iter().enumerate() {
+            wal.append_event(event).unwrap();
+            if (i + 1) % 10 == 0 {
+                wal.sync().unwrap();
+            }
+        }
+        let synced_bytes = wal.synced_bytes();
+        let image = sink.image();
+        // Cut at every byte position from the last sync point to the end:
+        // recovery must keep at least the synced events, and whatever it
+        // keeps must be an exact prefix of the appended stream.
+        for cut in synced_bytes..=image.len() as u64 {
+            let truncated = WalFaultPlan {
+                cut_at: Some(cut),
+                flip: None,
+            }
+            .apply(&image);
+            let recovery = scan_bytes(&truncated);
+            assert!(
+                recovery.total_events >= wal.synced_events(),
+                "cut at {cut}: recovered {} < synced {}",
+                recovery.total_events,
+                wal.synced_events()
+            );
+            assert_eq!(
+                recovery.suffix[..],
+                events[..recovery.total_events as usize],
+                "cut at {cut}: recovered events are not a log prefix"
+            );
+        }
+    }
+
+    #[test]
+    fn a_flipped_bit_truncates_at_the_corrupt_record() {
+        let sink = SharedSink::new();
+        let mut wal = WalWriter::new(sink.clone(), 64).unwrap();
+        let events = quick_events(30);
+        for event in &events {
+            wal.append_event(event).unwrap();
+        }
+        wal.sync().unwrap();
+        let image = sink.image();
+        // Flip one bit somewhere in the middle of the image: the scan stops
+        // at or before the corrupt record, and what survives is a prefix.
+        let at = image.len() as u64 / 2;
+        let corrupt = WalFaultPlan {
+            cut_at: None,
+            flip: Some((at, 3)),
+        }
+        .apply(&image);
+        let recovery = scan_bytes(&corrupt);
+        assert!(recovery.torn);
+        assert!(recovery.total_events < 30);
+        assert_eq!(
+            recovery.suffix[..],
+            events[..recovery.total_events as usize]
+        );
+    }
+
+    #[test]
+    fn snapshots_bound_replay_and_match_full_replay() {
+        let sink = SharedSink::new();
+        let mut wal = WalWriter::new(sink.clone(), 64).unwrap();
+        let events = quick_events(120);
+        let state = ServerState::new(64);
+        for (i, event) in events.iter().enumerate() {
+            wal.append_event(event).unwrap();
+            state.handle(event);
+            if (i + 1) % 40 == 0 {
+                wal.append_snapshot(&state.snapshot_words()).unwrap();
+            }
+        }
+        wal.sync().unwrap();
+        let image = sink.image();
+        let with_snapshot = scan_bytes(&image);
+        let full = scan_bytes_full(&image);
+        assert_eq!(with_snapshot.total_events, 120);
+        assert_eq!(full.total_events, 120);
+        let snap = with_snapshot.snapshot.as_ref().expect("a snapshot");
+        assert_eq!(snap.events, 120);
+        assert!(with_snapshot.suffix.is_empty());
+        assert_eq!(full.suffix.len(), 120);
+        let pool = build_executor("pdq", &ExecutorSpec::new(2).capacity(32)).unwrap();
+        let from_snapshot = replay(&with_snapshot, &*pool).unwrap();
+        let from_scratch = replay(&full, &*pool).unwrap();
+        let reference = reference_aggregate(events.iter(), 64);
+        assert_eq!(from_snapshot, reference);
+        assert_eq!(from_scratch, reference);
+        assert_eq!(
+            from_snapshot.to_json_string(),
+            snap.aggregate_json,
+            "stored snapshot JSON must match the replayed aggregate"
+        );
+    }
+
+    #[test]
+    fn an_armed_crash_leaves_a_synced_prefix_and_a_torn_tail() {
+        let sink = SharedSink::new();
+        let mut wal = WalWriter::new(sink.clone(), 64).unwrap();
+        wal.arm_crash_after_events(20);
+        let events = quick_events(30);
+        let mut appended = 0;
+        let mut crashed = false;
+        for event in &events {
+            match wal.append_event(event) {
+                Ok(_) => appended += 1,
+                Err(e) => {
+                    assert!(e.to_string().contains("crashed at the armed cut point"));
+                    crashed = true;
+                    break;
+                }
+            }
+        }
+        assert!(crashed);
+        assert_eq!(appended, 20);
+        // Every later operation stays dead.
+        assert!(wal.append_event(&events[0]).is_err());
+        assert!(wal.sync().is_err());
+        let recovery = scan_bytes(&sink.image());
+        assert!(recovery.torn, "the half-record tail must read as torn");
+        assert_eq!(recovery.total_events, 20);
+        assert_eq!(recovery.synced_events, 20);
+        assert_eq!(recovery.suffix[..], events[..20]);
+    }
+
+    #[test]
+    fn headerless_or_empty_images_recover_nothing() {
+        let empty = scan_bytes(&[]);
+        assert_eq!(empty.total_events, 0);
+        assert!(!empty.torn);
+        assert_eq!(empty.blocks, 0);
+        let garbage = scan_bytes(&[0xFF; 40]);
+        assert_eq!(garbage.total_events, 0);
+        assert!(garbage.torn);
+    }
+
+    #[test]
+    fn snapshot_words_validation_rejects_mismatched_blocks() {
+        let mut wal = WalWriter::new(SharedSink::new(), 64).unwrap();
+        let other = ServerState::new(32);
+        let err = wal.append_snapshot(&other.snapshot_words()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(wal.append_snapshot(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn file_backed_logs_roundtrip_through_recover_dir() {
+        let dir = std::env::temp_dir().join(format!("pdq-wal-test-{}", std::process::id()));
+        let events = quick_events(60);
+        {
+            let mut wal = WalWriter::create(&dir, 64).unwrap();
+            for event in &events {
+                wal.append_event(event).unwrap();
+            }
+            wal.sync().unwrap();
+        }
+        let recovery = recover_dir(&dir).unwrap();
+        assert_eq!(recovery.total_events, 60);
+        assert_eq!(recovery.suffix, events);
+        let pool = build_executor("multiqueue", &ExecutorSpec::new(2).capacity(32)).unwrap();
+        let replayed = replay(&recovery, &*pool).unwrap();
+        assert_eq!(replayed, reference_aggregate(events.iter(), 64));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

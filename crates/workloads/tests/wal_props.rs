@@ -1,0 +1,186 @@
+//! Crash-injection property tests for the write-ahead log: short writes,
+//! torn frames, bit flips, and truncation at an arbitrary byte `k`, all
+//! expressed as pure-function [`WalFaultPlan`]s over an in-memory sink.
+//!
+//! The proof burden of the durability issue: whatever the storage kept,
+//! recovery always yields the aggregate of an *exact prefix* of the appended
+//! events; events acknowledged behind a sync point are never lost by faults
+//! that honour the barrier; and snapshot+suffix recovery replays to the same
+//! bytes as full-log replay.
+
+use std::io::Write;
+
+use pdq_core::executor::{build_executor, ExecutorSpec};
+use pdq_dsm::ProtocolEvent;
+use pdq_workloads::chaos::{adversarial_events, ChaosConfig, Scenario};
+use pdq_workloads::{
+    reference_aggregate, replay, scan_bytes, scan_bytes_full, FaultSink, ServerState, SharedSink,
+    WalFaultPlan, WalWriter,
+};
+use proptest::prelude::*;
+
+/// Blocks in every generated log (matches the chaos quick config).
+const BLOCKS: u64 = 64;
+
+/// The adversarial event stream used as log traffic.
+fn stream(seed: u64, n: usize) -> Vec<ProtocolEvent> {
+    adversarial_events(&ChaosConfig::quick(Scenario::Zipf).seed(seed).events(n))
+}
+
+/// Writes `events` to a fresh in-memory log, syncing every `sync_every`
+/// events and snapshotting every `snapshot_every` events (`0` = never), and
+/// returns the clean image plus the writer's final accounting:
+/// `(image, appended_events, synced_events, synced_bytes)`.
+fn write_log(
+    events: &[ProtocolEvent],
+    sync_every: usize,
+    snapshot_every: usize,
+) -> (Vec<u8>, u64, u64, u64) {
+    let sink = SharedSink::new();
+    let mut wal = WalWriter::new(sink.clone(), BLOCKS).expect("in-memory log");
+    let state = ServerState::new(BLOCKS);
+    for (i, event) in events.iter().enumerate() {
+        wal.append_event(event).expect("append");
+        state.handle(event);
+        if snapshot_every > 0 && (i + 1) % snapshot_every == 0 {
+            wal.append_snapshot(&state.snapshot_words())
+                .expect("snapshot");
+        } else if (i + 1) % sync_every == 0 {
+            wal.sync().expect("sync");
+        }
+    }
+    (
+        sink.image(),
+        wal.events(),
+        wal.synced_events(),
+        wal.synced_bytes(),
+    )
+}
+
+/// Bytes of a freshly created (empty, headered) log: the durable floor no
+/// fault below which is generated for the replay property.
+fn header_len() -> u64 {
+    let sink = SharedSink::new();
+    WalWriter::new(sink.clone(), BLOCKS).expect("in-memory log");
+    sink.image().len() as u64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// [`FaultSink`] executes exactly the pure plan, whatever the write
+    /// chunking: claiming success for every byte (the short write / lying
+    /// `fsync`) while the disk keeps precisely `plan.apply(all bytes)`.
+    #[test]
+    fn fault_sink_executes_the_pure_plan_under_any_chunking(
+        chunks in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..40), 0..12),
+        cut_salt in 0u64..400,
+        flip_salt in 0u64..400,
+        flip_bit in 0u8..8,
+        with_cut in any::<bool>(),
+        with_flip in any::<bool>(),
+    ) {
+        let plan = WalFaultPlan {
+            cut_at: with_cut.then_some(cut_salt),
+            flip: with_flip.then_some((flip_salt, flip_bit)),
+        };
+        let mut sink = FaultSink::new(plan);
+        let disk = sink.shared();
+        let mut all = Vec::new();
+        for chunk in &chunks {
+            prop_assert_eq!(
+                sink.write(chunk).expect("faulted writes claim success"),
+                chunk.len(),
+                "the sink must lie about short writes"
+            );
+            all.extend_from_slice(chunk);
+        }
+        prop_assert_eq!(disk.image(), plan.apply(&all));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Whatever byte the storage lost or flipped, the recovery scan keeps an
+    /// *exact prefix* of the appended events — and when the fault honours
+    /// the last sync barrier (offset at or past `synced_bytes`), no synced
+    /// event is ever lost.
+    #[test]
+    fn recovery_is_always_an_exact_prefix(
+        seed in 0u64..10_000,
+        n in 1usize..100,
+        sync_every in 1usize..16,
+        cut_salt in 0u64..100_000,
+        flip_salt in 0u64..100_000,
+        flip_bit in 0u8..8,
+        with_cut in any::<bool>(),
+        with_flip in any::<bool>(),
+    ) {
+        let events = stream(seed, n);
+        let (image, appended, synced_events, synced_bytes) =
+            write_log(&events, sync_every, 0);
+        let plan = WalFaultPlan {
+            cut_at: with_cut.then(|| cut_salt % (image.len() as u64 + 1)),
+            flip: with_flip.then(|| (flip_salt % image.len() as u64, flip_bit)),
+        };
+        let recovery = scan_bytes(&plan.apply(&image));
+        prop_assert!(recovery.total_events <= appended);
+        prop_assert_eq!(
+            &recovery.suffix[..],
+            &events[..recovery.total_events as usize],
+            "recovered events are not a prefix of the appended stream"
+        );
+        let cut_honours_sync = plan.cut_at.is_none_or(|cut| cut >= synced_bytes);
+        let flip_honours_sync = plan.flip.is_none_or(|(at, _)| at >= synced_bytes);
+        if cut_honours_sync && flip_honours_sync {
+            prop_assert!(
+                recovery.total_events >= synced_events,
+                "a fault past the sync barrier lost synced events: kept {}, synced {}",
+                recovery.total_events,
+                synced_events
+            );
+            prop_assert_eq!(recovery.blocks, BLOCKS);
+        }
+    }
+}
+
+proptest! {
+    // Each case builds an executor pool and replays twice; keep cases low.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Truncation at an arbitrary byte past the durable header: replaying
+    /// the recovered log yields byte-for-byte the reference aggregate of the
+    /// surviving prefix, and snapshot+suffix recovery replays identically to
+    /// full-log recovery.
+    #[test]
+    fn replay_yields_the_reference_aggregate_of_the_surviving_prefix(
+        seed in 0u64..10_000,
+        n in 1usize..80,
+        sync_every in 1usize..12,
+        snapshot_every in 0usize..24,
+        cut_salt in 0u64..100_000,
+    ) {
+        let events = stream(seed, n);
+        let (image, _, _, _) = write_log(&events, sync_every, snapshot_every);
+        let floor = header_len();
+        let cut = floor + cut_salt % (image.len() as u64 - floor + 1);
+        let hurt = WalFaultPlan { cut_at: Some(cut), flip: None }.apply(&image);
+        let recovery = scan_bytes(&hurt);
+        let full = scan_bytes_full(&hurt);
+        prop_assert_eq!(full.total_events, recovery.total_events);
+
+        // A small queue capacity forces replay's partial-admission path.
+        let mut pool =
+            build_executor("pdq", &ExecutorSpec::new(2).capacity(8)).expect("builds");
+        let replayed = replay(&recovery, &*pool).expect("snapshot+suffix replay");
+        let replayed_full = replay(&full, &*pool).expect("full replay");
+        pool.shutdown();
+
+        let reference =
+            reference_aggregate(events[..recovery.total_events as usize].iter(), BLOCKS);
+        prop_assert_eq!(replayed.to_json_string(), reference.to_json_string());
+        prop_assert_eq!(replayed_full.to_json_string(), reference.to_json_string());
+    }
+}

@@ -6,7 +6,7 @@
 //!
 //! ```text
 //! cargo run --release --example chaos -- \
-//!     [--scenario zipf|burst|malformed|disconnect|panic|all] \
+//!     [--scenario zipf|burst|malformed|disconnect|panic|recover|all] \
 //!     [--executor NAME|all] [--seed N] [--events N] [--json PATH]
 //! ```
 //!
@@ -75,7 +75,7 @@ fn main() -> ExitCode {
                     Some(scenario) => scenarios = vec![scenario],
                     None => {
                         eprintln!(
-                            "--scenario needs one of zipf|burst|malformed|disconnect|panic|all"
+                            "--scenario needs one of zipf|burst|malformed|disconnect|panic|recover|all"
                         );
                         return ExitCode::from(2);
                     }
@@ -115,7 +115,7 @@ fn main() -> ExitCode {
             },
             "--help" | "-h" => {
                 println!(
-                    "usage: chaos [--scenario zipf|burst|malformed|disconnect|panic|all] \
+                    "usage: chaos [--scenario zipf|burst|malformed|disconnect|panic|recover|all] \
                      [--executor NAME|all] [--seed N] [--events N] [--json PATH]\n\
                      NAME is one of {EXECUTOR_NAMES:?}. PDQ_WORKERS sets the worker count."
                 );

@@ -25,14 +25,25 @@
 //! runs every executor under `PDQ_WORKERS=4` on both `inproc` and `tcp` and
 //! diffs the JSON files byte for byte. `PDQ_WORKERS` sets the worker count
 //! (default 4); with `--json PATH` the aggregate is written as JSON.
+//!
+//! Durability: `--wal DIR` writes every event to a write-ahead log (synced
+//! every `--sync-every` events, snapshotted every `--snapshot-every`; `0`
+//! disables snapshots) before the executor sees it; this needs a single
+//! named `--executor` and a framed transport (`inproc` is upgraded to
+//! `loopback`). `--crash-after N` kills the server with a torn half-record
+//! after event `N` — the run exits successfully once the crash is confirmed.
+//! `--recover` skips serving entirely: it loads the log from `--wal DIR`
+//! (latest valid snapshot plus the surviving suffix, torn tail truncated)
+//! and replays it through the selected executors, checking they agree.
 
 use std::net::{TcpListener, TcpStream};
 use std::process::ExitCode;
 
 use pdq_repro::core::executor::{build_executor, ExecutorSpec, EXECUTOR_NAMES};
 use pdq_repro::workloads::{
-    loopback_pair, run_client, run_server, serve, serve_tcp, ExecutorService, ServerAggregate,
-    ServerConfig, ServerError, TcpTransport,
+    loopback_pair, recover_dir, replay, run_client, run_server, serve, serve_durable, serve_tcp,
+    Durability, ExecutorService, ServerAggregate, ServerConfig, ServerError, TcpTransport,
+    WalWriter,
 };
 
 /// Queue capacity bound (per queue/shard): small enough that the intake loop
@@ -73,6 +84,15 @@ impl TransportKind {
     }
 }
 
+/// Durability options parsed from `--wal` and friends.
+#[derive(Debug)]
+struct WalOpts {
+    dir: std::path::PathBuf,
+    sync_every: u64,
+    snapshot_every: u64,
+    crash_after: Option<u64>,
+}
+
 /// Runs the event stream of `cfg` against one executor over the selected
 /// transport and returns the aggregate.
 fn run_one(
@@ -80,6 +100,7 @@ fn run_one(
     workers: usize,
     cfg: &ServerConfig,
     transport: TransportKind,
+    wal: Option<&WalOpts>,
 ) -> Option<Result<ServerAggregate, ServerError>> {
     let spec = ExecutorSpec::new(workers).capacity(CAPACITY);
     let mut pool = build_executor(name, &spec)?;
@@ -90,7 +111,29 @@ fn run_one(
             let service = ExecutorService::new(&*pool, cfg.blocks);
             let (mut client_end, mut server_end) = loopback_pair();
             std::thread::scope(|scope| {
-                let server = scope.spawn(move || serve(&service, &mut server_end, SERVICE_WINDOW));
+                let server = scope.spawn(move || match wal {
+                    None => serve(&service, &mut server_end, SERVICE_WINDOW),
+                    Some(opts) => {
+                        let mut writer =
+                            WalWriter::create(&opts.dir, cfg.blocks).map_err(ServerError::Io)?;
+                        if let Some(n) = opts.crash_after {
+                            writer.arm_crash_after_events(n);
+                        }
+                        let durability = if opts.snapshot_every == 0 {
+                            Durability::Log {
+                                wal: &mut writer,
+                                sync_every: opts.sync_every,
+                            }
+                        } else {
+                            Durability::LogSnapshot {
+                                wal: &mut writer,
+                                sync_every: opts.sync_every,
+                                snapshot_every: opts.snapshot_every,
+                            }
+                        };
+                        serve_durable(&service, &mut server_end, SERVICE_WINDOW, durability)
+                    }
+                });
                 let aggregate = run_client(&mut client_end, cfg, WINDOW);
                 drop(client_end);
                 match server.join().expect("server thread") {
@@ -147,11 +190,89 @@ fn run_one(
     Some(outcome)
 }
 
+/// `--recover`: loads the log from `dir` (latest valid snapshot plus the
+/// surviving suffix, torn tail truncated), replays it through each selected
+/// executor, and checks the recovered aggregates agree byte for byte.
+fn run_recovery(
+    dir: &std::path::Path,
+    names: &[&str],
+    workers: usize,
+    json_path: Option<&str>,
+) -> ExitCode {
+    let recovery = match recover_dir(dir) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("could not read the log in {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "recovered log: {} events over {} blocks ({} synced; {}; {})\n",
+        recovery.total_events,
+        recovery.blocks,
+        recovery.synced_events,
+        match &recovery.snapshot {
+            Some(s) => format!(
+                "snapshot at event {} plus {} replayed",
+                s.events,
+                recovery.suffix.len()
+            ),
+            None => format!("full replay of {} events", recovery.suffix.len()),
+        },
+        if recovery.torn {
+            "torn tail truncated"
+        } else {
+            "clean tail"
+        },
+    );
+    let mut aggregates: Vec<ServerAggregate> = Vec::new();
+    for name in names {
+        let spec = ExecutorSpec::new(workers).capacity(CAPACITY);
+        let Some(mut pool) = build_executor(name, &spec) else {
+            eprintln!("unknown executor `{name}` (one of {EXECUTOR_NAMES:?} or `all`)");
+            return ExitCode::from(2);
+        };
+        match replay(&recovery, &*pool) {
+            Ok(aggregate) => {
+                println!("[{name}/recover] replayed {} events", aggregate.events);
+                aggregates.push(aggregate);
+            }
+            Err(e) => {
+                eprintln!("[{name}/recover] replay failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        pool.shutdown();
+    }
+    let first = aggregates[0];
+    if aggregates.iter().any(|a| *a != first) {
+        eprintln!("executors disagree on the recovered aggregate!");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "\nrecovered aggregate (identical across the executors run):\n{}",
+        first.render()
+    );
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(path, first.to_json_string()) {
+            eprintln!("could not write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let mut executor = "all".to_string();
     let mut transport = TransportKind::Inproc;
     let mut json_path: Option<String> = None;
     let mut cfg = ServerConfig::new();
+    let mut wal_dir: Option<std::path::PathBuf> = None;
+    let mut sync_every = 32u64;
+    let mut snapshot_every = 4_096u64;
+    let mut crash_after: Option<u64> = None;
+    let mut recover = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -183,10 +304,41 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--wal" => match args.next() {
+                Some(dir) => wal_dir = Some(std::path::PathBuf::from(dir)),
+                None => {
+                    eprintln!("--wal needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--sync-every" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) if n > 0 => sync_every = n,
+                _ => {
+                    eprintln!("--sync-every needs a positive integer");
+                    return ExitCode::from(2);
+                }
+            },
+            "--snapshot-every" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) => snapshot_every = n,
+                None => {
+                    eprintln!("--snapshot-every needs an integer (0 disables snapshots)");
+                    return ExitCode::from(2);
+                }
+            },
+            "--crash-after" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) => crash_after = Some(n),
+                None => {
+                    eprintln!("--crash-after needs an event count");
+                    return ExitCode::from(2);
+                }
+            },
+            "--recover" => recover = true,
             "--help" | "-h" => {
                 println!(
                     "usage: protocol_server [--executor NAME|all] \
-                     [--transport inproc|loopback|tcp] [--events N] [--json PATH]\n\
+                     [--transport inproc|loopback|tcp] [--events N] [--json PATH] \
+                     [--wal DIR [--sync-every N] [--snapshot-every N] [--crash-after N]] \
+                     [--recover --wal DIR]\n\
                      NAME is one of {EXECUTOR_NAMES:?}. PDQ_WORKERS sets the worker count."
                 );
                 return ExitCode::SUCCESS;
@@ -217,6 +369,50 @@ fn main() -> ExitCode {
         },
     };
 
+    let names: Vec<&str> = if executor == "all" {
+        EXECUTOR_NAMES.to_vec()
+    } else {
+        vec![executor.as_str()]
+    };
+
+    if recover {
+        let Some(dir) = &wal_dir else {
+            eprintln!("--recover needs --wal DIR to know where the log lives");
+            return ExitCode::from(2);
+        };
+        return run_recovery(dir, &names, workers, json_path.as_deref());
+    }
+
+    let wal_opts = match wal_dir {
+        None => {
+            if crash_after.is_some() {
+                eprintln!("--crash-after only makes sense with --wal DIR");
+                return ExitCode::from(2);
+            }
+            None
+        }
+        Some(dir) => {
+            if executor == "all" {
+                eprintln!("--wal needs a single named --executor (one log, one server)");
+                return ExitCode::from(2);
+            }
+            if transport == TransportKind::Tcp {
+                eprintln!("--wal is only wired to the loopback transport");
+                return ExitCode::from(2);
+            }
+            if transport == TransportKind::Inproc {
+                println!("--wal upgrades the inproc transport to loopback (the log sits in the framed serve loop)\n");
+                transport = TransportKind::Loopback;
+            }
+            Some(WalOpts {
+                dir,
+                sync_every,
+                snapshot_every,
+                crash_after,
+            })
+        }
+    };
+
     println!(
         "protocol server: {} DSM events over {} blocks, {workers} workers, \
          transport {}, queue capacity {CAPACITY}, window {WINDOW}\n",
@@ -225,16 +421,21 @@ fn main() -> ExitCode {
         transport.name()
     );
 
-    let names: Vec<&str> = if executor == "all" {
-        EXECUTOR_NAMES.to_vec()
-    } else {
-        vec![executor.as_str()]
-    };
     let mut aggregates = Vec::new();
     for name in &names {
-        match run_one(name, workers, &cfg, transport) {
+        match run_one(name, workers, &cfg, transport, wal_opts.as_ref()) {
             Some(Ok(aggregate)) => aggregates.push(aggregate),
             Some(Err(e)) => {
+                let armed_crash = wal_opts.as_ref().is_some_and(|o| o.crash_after.is_some())
+                    && e.to_string().contains("crashed at the armed cut point");
+                if armed_crash {
+                    println!(
+                        "[{name}/{}] server crashed at the armed cut point as requested; \
+                         recover with `--recover --wal DIR`",
+                        transport.name()
+                    );
+                    return ExitCode::SUCCESS;
+                }
                 eprintln!("[{name}/{}] server run failed: {e}", transport.name());
                 return ExitCode::FAILURE;
             }
