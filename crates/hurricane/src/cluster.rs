@@ -252,7 +252,7 @@ impl ClusterSim {
     fn report(&self) -> SimReport {
         let mut queue_stats = QueueStats::new();
         for q in &self.pdqs {
-            queue_stats.merge(q.stats());
+            queue_stats.merge(&q.stats());
         }
         SimReport {
             config: self.cfg,

@@ -219,9 +219,14 @@ pub struct ExecutorStats {
     /// Iterations spent busy-waiting on contended in-handler locks
     /// ([`SpinLockExecutor`] only).
     pub spin_iterations: u64,
-    /// Times a worker or idle-waiter woke up and found nothing to do
-    /// ([`MultiQueueExecutor`] only; the PDQ executors use targeted wakeups).
+    /// Times a worker or idle-waiter woke up and found nothing to do.
     pub spurious_wakeups: u64,
+    /// `NoSync` submissions that took the lock-free ring fast path instead of
+    /// the dispatch mutex (PDQ-family executors only).
+    pub ring_submits: u64,
+    /// Ring fast-path jobs executed by a worker of a *different* shard than
+    /// the one they were submitted to (`"sharded-pdq"` only).
+    pub stolen: u64,
 }
 
 /// The common interface of every executor: keyed submission with optional
@@ -515,6 +520,10 @@ pub struct ExecutorSpec {
     pub capacity: Option<usize>,
     /// Associative search window of the dispatch queue (PDQ family only).
     pub search_window: Option<usize>,
+    /// Whether `NoSync` jobs may use the lock-free ring fast path (PDQ
+    /// family only). `None` defers to the `PDQ_RING` environment variable
+    /// (see [`ring_enabled_from_env`]), defaulting to enabled.
+    pub ring: Option<bool>,
 }
 
 impl ExecutorSpec {
@@ -526,6 +535,7 @@ impl ExecutorSpec {
             shards: None,
             capacity: None,
             search_window: None,
+            ring: None,
         }
     }
 
@@ -549,6 +559,60 @@ impl ExecutorSpec {
         self.search_window = Some(window);
         self
     }
+
+    /// Forces the `NoSync` ring fast path on or off (PDQ family), overriding
+    /// the `PDQ_RING` environment variable.
+    #[must_use]
+    pub fn ring(mut self, enabled: bool) -> Self {
+        self.ring = Some(enabled);
+        self
+    }
+}
+
+/// Reads the `PDQ_RING` environment variable: `"1"` enables the lock-free
+/// `NoSync` ring fast path, `"0"` disables it, unset (or empty) expresses no
+/// preference. Any other value is an error — like `PDQ_WORKERS`, a malformed
+/// toggle must be rejected loudly, not silently defaulted, or an A/B byte-diff
+/// run could compare a configuration against itself.
+///
+/// # Errors
+///
+/// Returns a human-readable message naming the variable and the offending
+/// value.
+pub fn ring_enabled_from_env() -> Result<Option<bool>, String> {
+    match std::env::var("PDQ_RING") {
+        Err(std::env::VarError::NotPresent) => Ok(None),
+        Err(std::env::VarError::NotUnicode(raw)) => Err(format!(
+            "PDQ_RING must be 0 or 1, got non-unicode value {raw:?}"
+        )),
+        Ok(raw) => parse_ring_value(&raw),
+    }
+}
+
+/// Validates one `PDQ_RING` value: empty means unset, otherwise it must be
+/// exactly `"0"` or `"1"`. Pure function of its argument so frontends can
+/// unit-test their rejection paths without touching the process environment.
+pub fn parse_ring_value(raw: &str) -> Result<Option<bool>, String> {
+    match raw {
+        "" => Ok(None),
+        "0" => Ok(Some(false)),
+        "1" => Ok(Some(true)),
+        other => Err(format!("PDQ_RING must be 0 or 1, got {other:?}")),
+    }
+}
+
+/// Resolves a builder's ring override against the environment: an explicit
+/// builder/spec setting wins, then `PDQ_RING`, then the default (enabled).
+///
+/// Panics on a malformed `PDQ_RING` — builders have no error channel, and a
+/// silently defaulted toggle would invalidate A/B comparisons. Frontends that
+/// want a clean exit instead validate via [`ring_enabled_from_env`] first.
+pub(super) fn resolve_ring(builder_override: Option<bool>) -> bool {
+    builder_override.unwrap_or_else(|| {
+        ring_enabled_from_env()
+            .unwrap_or_else(|msg| panic!("{msg}"))
+            .unwrap_or(true)
+    })
 }
 
 /// Builds one of the built-in executors by registry name (see
@@ -567,6 +631,9 @@ pub fn build_executor(name: &str, spec: &ExecutorSpec) -> Option<Box<dyn Executo
             if let Some(c) = spec.capacity {
                 b = b.capacity(c);
             }
+            if let Some(r) = spec.ring {
+                b = b.ring(r);
+            }
             Box::new(b.build())
         }
         "sharded-pdq" => {
@@ -579,6 +646,9 @@ pub fn build_executor(name: &str, spec: &ExecutorSpec) -> Option<Box<dyn Executo
             }
             if let Some(c) = spec.capacity {
                 b = b.capacity(c);
+            }
+            if let Some(r) = spec.ring {
+                b = b.ring(r);
             }
             Box::new(b.build())
         }
@@ -620,6 +690,44 @@ mod tests {
     #[test]
     fn factory_rejects_unknown_names() {
         assert!(build_executor("bogus", &ExecutorSpec::new(1)).is_none());
+    }
+
+    #[test]
+    fn ring_toggle_parses_strictly() {
+        // The parser is exercised directly (not via set_var) so this test
+        // cannot race other tests that build executors in parallel.
+        assert_eq!(parse_ring_value(""), Ok(None));
+        assert_eq!(parse_ring_value("0"), Ok(Some(false)));
+        assert_eq!(parse_ring_value("1"), Ok(Some(true)));
+        assert!(parse_ring_value("yes").is_err());
+        assert!(parse_ring_value("2").is_err());
+        assert!(parse_ring_value(" 1").is_err());
+        assert!(parse_ring_value("true").unwrap_err().contains("PDQ_RING"));
+    }
+
+    #[test]
+    fn spec_ring_toggle_reaches_the_pdq_executors() {
+        for name in ["pdq", "sharded-pdq"] {
+            for ring in [false, true] {
+                let pool = build_executor(name, &ExecutorSpec::new(2).ring(ring)).expect("builds");
+                let counter = Arc::new(AtomicU64::new(0));
+                for _ in 0..50u64 {
+                    let counter = Arc::clone(&counter);
+                    pool.submit_nosync(move || {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+                pool.flush();
+                assert_eq!(counter.load(Ordering::Relaxed), 50, "{name}");
+                let stats = pool.stats();
+                assert_eq!(stats.executed, 50, "{name}");
+                if ring {
+                    assert!(stats.ring_submits > 0, "{name}: ring on but unused");
+                } else {
+                    assert_eq!(stats.ring_submits, 0, "{name}: ring off but used");
+                }
+            }
+        }
     }
 
     #[test]

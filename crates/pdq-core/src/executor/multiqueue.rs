@@ -63,6 +63,13 @@ struct QueueInner {
     /// FIFO of submissions parked behind this queue's capacity bound; the
     /// queue's worker admits from the front as it frees slots.
     overflow: VecDeque<(Job, Arc<SubmitWaiter>)>,
+    /// Whether this queue's worker is currently parked on the `work`
+    /// condvar. Maintained under the queue lock, so submitters can skip the
+    /// wakeup when the worker is awake anyway (it re-checks the queue before
+    /// parking) — notifying a busy worker is what made `spurious_wakeups`
+    /// inflate on mixed keyed/`NoSync` bursts: each chained `notify_one`
+    /// landed after the worker had already popped the job.
+    worker_parked: bool,
 }
 
 struct WorkerQueue {
@@ -131,6 +138,7 @@ impl MultiQueueExecutor {
                     inner: Mutex::new(QueueInner {
                         jobs: VecDeque::new(),
                         overflow: VecDeque::new(),
+                        worker_parked: false,
                     }),
                     work: Condvar::new(),
                     max_depth: AtomicUsize::new(0),
@@ -238,10 +246,16 @@ impl Executor for MultiQueueExecutor {
                 return Err(TrySubmitError::WouldBlock(job));
             }
             inner.jobs.push_back(job);
+            // Signalled under the lock: the parked flag and the wait are
+            // protected by the same mutex, so the wakeup provably reaches a
+            // worker that is (still) parked — a notify after unlocking could
+            // instead land after a timeout re-park and count as spurious.
+            if inner.worker_parked {
+                q.work.notify_one();
+            }
             inner.jobs.len()
         };
         q.max_depth.fetch_max(depth, Ordering::Relaxed);
-        q.work.notify_one();
         Ok(())
     }
 
@@ -265,10 +279,13 @@ impl Executor for MultiQueueExecutor {
         } else {
             inner.jobs.push_back(job);
             let depth = inner.jobs.len();
+            // Under the lock for the same exactness argument as try_submit.
+            if inner.worker_parked {
+                q.work.notify_one();
+            }
             drop(inner);
             q.max_depth.fetch_max(depth, Ordering::Relaxed);
             waiter.admit();
-            q.work.notify_one();
         }
     }
 
@@ -317,11 +334,15 @@ impl Executor for MultiQueueExecutor {
                         admitted += 1;
                     }
                 }
+                // Under the lock for the same exactness argument as
+                // try_submit.
+                if admitted > 0 && inner.worker_parked {
+                    q.work.notify_one();
+                }
                 inner.jobs.len()
             };
             if admitted > 0 {
                 q.max_depth.fetch_max(depth, Ordering::Relaxed);
-                q.work.notify_one();
             }
             admitted_total += admitted;
         }
@@ -425,7 +446,15 @@ fn worker_loop(shared: &Shared, index: usize) {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
+                // The parked flag and the wait share the queue lock, so a
+                // submitter either sees the flag and notifies, or pushed its
+                // job before the worker's empty-check above — never neither.
+                // With wakeups thus targeted at genuinely parked workers, a
+                // signalled wakeup that finds no job is a real accounting
+                // miss, so the counter below is exact, not an estimate.
+                inner.worker_parked = true;
                 let woken = queue.work.wait_for(&mut inner, PARK_BACKSTOP);
+                inner.worker_parked = false;
                 if !woken.timed_out()
                     && inner.jobs.is_empty()
                     && !shared.shutdown.load(Ordering::SeqCst)
@@ -589,5 +618,32 @@ mod tests {
         pool.flush();
         let stats = pool.multiqueue_stats();
         assert!(stats.spurious_wakeups <= 50);
+    }
+
+    #[test]
+    fn mixed_burst_wakeups_are_exact() {
+        // Regression: unconditional chained notify_one on mixed
+        // keyed/NoSync bursts used to land on workers that were already
+        // awake (the worker had popped the job before the signal arrived),
+        // inflating spurious_wakeups. Wakeups are now signalled under the
+        // queue lock and only to a provably parked worker, and only that
+        // worker pops its queue — so a signalled worker always finds its
+        // job, and this single-threaded schedule must count exactly zero.
+        let pool = MultiQueueExecutor::new(2);
+        for round in 0..50u64 {
+            for i in 0..4u64 {
+                pool.submit_keyed(round * 4 + i, || {});
+            }
+            for _ in 0..4 {
+                pool.submit_nosync(|| {});
+            }
+            pool.flush();
+        }
+        let stats = pool.multiqueue_stats();
+        assert_eq!(stats.executed(), 400);
+        assert_eq!(
+            stats.spurious_wakeups, 0,
+            "every signalled wakeup must find its job"
+        );
     }
 }

@@ -1,7 +1,46 @@
 //! The PDQ thread-pool executor.
+//!
+//! # Two dispatch paths
+//!
+//! Since PR 8 the executor dispatches over **two** paths:
+//!
+//! * **Fast path** — `NoSync` jobs go through a lock-free MPMC ring
+//!   ([`MpmcRing`]); submit is an atomic fence check plus a ring push, and a
+//!   worker pops and runs the job without ever touching the dispatch mutex.
+//! * **Slow path** — keyed and `Sequential` jobs keep the mutex-protected
+//!   [`DispatchQueue`], which is what implements per-key FIFO, exclusivity,
+//!   and barrier semantics.
+//!
+//! ## The two-path ordering fence
+//!
+//! The only semantic coupling between the paths is the `Sequential` barrier:
+//! a `Sequential` job must run **alone**, including against fast-path jobs.
+//! Two SeqCst counters enforce it (a Dekker-style protocol):
+//!
+//! * `nosync_outstanding` — fast-path jobs advertised but not yet finished. A
+//!   submitter increments it *before* checking for a pending barrier and
+//!   decrements it when the job's execution completes (or on back-off).
+//! * `seq_pending` — `Sequential` entries accepted (queued or parked) and not
+//!   yet completed, maintained under the dispatch mutex.
+//!
+//! Submit side: increment `nosync_outstanding`, then load `seq_pending`; if
+//! it is non-zero, back off to the mutex path, where the queue orders the job
+//! behind the barrier. Dispatch side: a worker that receives a `Sequential`
+//! dispatch waits for `nosync_outstanding == 0` (helping by draining its own
+//! ring) before running the body. In the SeqCst total order either the
+//! submitter's increment precedes the barrier's quiescence check — so the
+//! barrier waits for that job — or the submitter's load sees the barrier and
+//! the job takes the slow path. While the barrier is pending no new job can
+//! enter the ring, so the body runs with the fast path drained and closed.
+//!
+//! Cross-key ordering between a fast-path job and earlier *keyed* submissions
+//! was never promised by the executor and is not preserved by the ring (a
+//! `NoSync` job may run while earlier keyed submissions are still parked
+//! behind a full queue).
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -15,24 +54,38 @@ use parking_lot::{Condvar, Mutex};
 /// hiccup instead of a deadlocked worker or CI job.
 const PARK_BACKSTOP: Duration = Duration::from_millis(50);
 
+/// Ring capacity when the queue is unbounded. Bounded queues reuse their
+/// configured capacity so total buffering stays proportional to it.
+const DEFAULT_RING_CAPACITY: usize = 1024;
+
 use crate::config::QueueConfig;
 use crate::key::SyncKey;
 use crate::queue::DispatchQueue;
-use crate::stats::QueueStats;
+use crate::ring::{CachePadded, MpmcRing};
+use crate::stats::{QueueStats, QueueStatsCells};
 
 use super::completion::SubmitWaiter;
-use super::{Executor, ExecutorStats, Job, SubmitBatch, TrySubmitError};
+use super::{resolve_ring, Executor, ExecutorStats, Job, SubmitBatch, TrySubmitError};
 
 /// Statistics of a [`PdqExecutor`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PdqExecutorStats {
-    /// Statistics of the underlying [`DispatchQueue`].
+    /// Statistics of the underlying [`DispatchQueue`], with the ring fast
+    /// path folded in (a ring job counts as enqueued on push, dispatched and
+    /// `nosync` on pop, completed after it runs).
     pub queue: QueueStats,
     /// Jobs that ran to completion.
     pub executed: u64,
     /// Jobs that panicked. The panic is contained; the worker keeps running
     /// and the job's key is released.
     pub panicked: u64,
+    /// `NoSync` jobs that took the lock-free ring fast path.
+    pub ring_submits: u64,
+    /// Ring jobs this executor's workers stole from sibling shards (always
+    /// zero outside the sharded executor).
+    pub stolen: u64,
+    /// Worker wakeups that found nothing to run.
+    pub spurious_wakeups: u64,
 }
 
 /// A submission parked behind a full bounded queue, waiting for admission.
@@ -47,11 +100,31 @@ pub(super) struct State {
     /// FIFO of submissions that found the queue at capacity. Workers admit
     /// from the front whenever a dispatch frees a slot; because every
     /// submission goes to the back of this list while it is non-empty, later
-    /// submissions can never barge past earlier parked ones.
+    /// submissions can never barge past earlier parked ones. (`NoSync`
+    /// fast-path submissions are exempt: they carry no ordering contract and
+    /// may overtake parked entries via the ring.)
     overflow: VecDeque<Parked>,
     shutdown: bool,
-    executed: u64,
-    panicked: u64,
+}
+
+/// Monotone relaxed counters for one queue/shard, grouped on their own cache
+/// line so the hot fence counters next to them do not false-share.
+#[derive(Default)]
+struct HotCounters {
+    /// Fast-path jobs pushed into the ring.
+    ring_pushed: AtomicU64,
+    /// Fast-path jobs popped from the ring (dispatched).
+    ring_popped: AtomicU64,
+    /// Fast-path jobs that finished executing.
+    ring_completed: AtomicU64,
+    /// Ring jobs this shard's workers stole from sibling shards.
+    stolen: AtomicU64,
+    /// Jobs (either path) that ran to completion.
+    executed: AtomicU64,
+    /// Jobs (either path) that panicked.
+    panicked: AtomicU64,
+    /// Worker wakeups that found nothing to run.
+    spurious_wakeups: AtomicU64,
 }
 
 /// One dispatch queue plus the synchronization its worker threads park on.
@@ -64,25 +137,96 @@ pub(super) struct Shared {
     work: Condvar,
     /// Signalled when the queue becomes idle (for [`PdqExecutor::flush`]).
     idle: Condvar,
+    /// The `NoSync` fast path. Jobs here need no synchronization, so any
+    /// worker — including a sibling shard's — may pop and run them.
+    ring: MpmcRing<Job>,
+    /// Whether `NoSync` submissions may use the ring at all.
+    ring_enabled: bool,
+    /// The queue's seqlock counter block; lets [`snapshot`](Self::snapshot)
+    /// read queue statistics without the dispatch mutex.
+    queue_stats: Arc<QueueStatsCells>,
+    /// Fence, submit side: fast-path jobs advertised and not yet finished.
+    /// Cache-line padded — it is the single hottest cross-thread counter.
+    nosync_outstanding: CachePadded<AtomicUsize>,
+    /// Fence, barrier side: `Sequential` entries accepted and not completed.
+    seq_pending: CachePadded<AtomicUsize>,
+    /// Mirrors `State::shutdown` for lock-free fast-path checks. Exact for
+    /// trait callers: `shutdown` takes `&mut self`, so it can never overlap
+    /// a `&self` submission call.
+    shutdown_flag: AtomicBool,
+    /// Mirrors `State::overflow.len()` for the lock-free `queued()`.
+    overflow_len: AtomicUsize,
+    counters: CachePadded<HotCounters>,
 }
 
 impl Shared {
-    pub(super) fn new(config: QueueConfig) -> Self {
+    pub(super) fn new(config: QueueConfig, ring_enabled: bool) -> Self {
+        let queue = DispatchQueue::with_config(config);
+        let queue_stats = queue.stats_cells();
         Self {
             state: Mutex::new(State {
-                queue: DispatchQueue::with_config(config),
+                queue,
                 overflow: VecDeque::new(),
                 shutdown: false,
-                executed: 0,
-                panicked: 0,
             }),
             work: Condvar::new(),
             idle: Condvar::new(),
+            ring: MpmcRing::new(config.capacity.unwrap_or(DEFAULT_RING_CAPACITY)),
+            ring_enabled,
+            queue_stats,
+            nosync_outstanding: CachePadded::new(AtomicUsize::new(0)),
+            seq_pending: CachePadded::new(AtomicUsize::new(0)),
+            shutdown_flag: AtomicBool::new(false),
+            overflow_len: AtomicUsize::new(0),
+            counters: CachePadded::new(HotCounters::default()),
+        }
+    }
+
+    /// Attempts the lock-free fast path for a `NoSync` job. Hands the job
+    /// back when the fast path is unavailable — ring disabled, a `Sequential`
+    /// barrier pending, or the ring full — and the caller must take the
+    /// mutex path.
+    fn try_ring_submit(&self, job: Job) -> Result<(), Job> {
+        if !self.ring_enabled {
+            return Err(job);
+        }
+        // Two-path fence, submit side: advertise the job *before* checking
+        // for a pending barrier (see the module docs for the SeqCst total-
+        // order argument).
+        self.nosync_outstanding.0.fetch_add(1, Ordering::SeqCst);
+        if self.seq_pending.0.load(Ordering::SeqCst) != 0 {
+            self.nosync_outstanding.0.fetch_sub(1, Ordering::SeqCst);
+            return Err(job);
+        }
+        match self.ring.push(job) {
+            Ok(()) => {
+                self.counters.ring_pushed.fetch_add(1, Ordering::Relaxed);
+                self.work.notify_one();
+                Ok(())
+            }
+            Err(job) => {
+                // Full ring: back off to the bounded mutex path. The back-off
+                // decrement needs no wakeup — no job ran, and idle waiters
+                // re-check under PARK_BACKSTOP anyway.
+                self.nosync_outstanding.0.fetch_sub(1, Ordering::SeqCst);
+                Err(job)
+            }
         }
     }
 
     /// Non-blocking submit: enqueues now or hands the job back.
     pub(super) fn try_submit(&self, key: SyncKey, job: Job) -> Result<(), TrySubmitError> {
+        if self.shutdown_flag.load(Ordering::Acquire) {
+            return Err(TrySubmitError::Shutdown(job));
+        }
+        let job = if key == SyncKey::NoSync {
+            match self.try_ring_submit(job) {
+                Ok(()) => return Ok(()),
+                Err(job) => job,
+            }
+        } else {
+            job
+        };
         let mut state = self.state.lock();
         if state.shutdown {
             return Err(TrySubmitError::Shutdown(job));
@@ -94,6 +238,9 @@ impl Shared {
         }
         match state.queue.enqueue(key, job) {
             Ok(()) => {
+                if key == SyncKey::Sequential {
+                    self.seq_pending.0.fetch_add(1, Ordering::SeqCst);
+                }
                 drop(state);
                 self.work.notify_one();
                 Ok(())
@@ -105,11 +252,27 @@ impl Shared {
     /// Queued submit: enqueues now (admitting `waiter` immediately) or parks
     /// the submission in the overflow FIFO. Never blocks the caller.
     pub(super) fn submit_queued(&self, key: SyncKey, job: Job, waiter: Arc<SubmitWaiter>) {
+        let job = if key == SyncKey::NoSync && !self.shutdown_flag.load(Ordering::Acquire) {
+            match self.try_ring_submit(job) {
+                Ok(()) => {
+                    waiter.admit();
+                    return;
+                }
+                Err(job) => job,
+            }
+        } else {
+            job
+        };
         let mut state = self.state.lock();
         if state.shutdown {
             drop(state);
             waiter.abort();
             return;
+        }
+        if key == SyncKey::Sequential {
+            // Counted from acceptance (queued *or* parked) to completion, so
+            // the fast-path gate is closed for the barrier's whole lifetime.
+            self.seq_pending.0.fetch_add(1, Ordering::SeqCst);
         }
         if state.overflow.is_empty() {
             match state.queue.enqueue(key, job) {
@@ -124,10 +287,14 @@ impl Shared {
                         job: full.payload,
                         waiter,
                     });
+                    self.overflow_len
+                        .store(state.overflow.len(), Ordering::Relaxed);
                 }
             }
         } else {
             state.overflow.push_back(Parked { key, job, waiter });
+            self.overflow_len
+                .store(state.overflow.len(), Ordering::Relaxed);
         }
     }
 
@@ -138,6 +305,10 @@ impl Shared {
     /// positions, preserving relative order. Returns `(admitted, refused)` —
     /// `refused` is `true` once this queue has rejected an entry, so callers
     /// spreading one batch over several queues know to stop feeding this one.
+    ///
+    /// Batches stay on the mutex path even for `NoSync` entries: a batch
+    /// already amortizes the lock over its length, and in-order admission is
+    /// part of the batch contract.
     pub(super) fn enqueue_batch(
         &self,
         items: Vec<(usize, SyncKey, Job)>,
@@ -157,7 +328,12 @@ impl Shared {
                     continue;
                 }
                 match state.queue.enqueue(key, job) {
-                    Ok(()) => admitted += 1,
+                    Ok(()) => {
+                        if key == SyncKey::Sequential {
+                            self.seq_pending.0.fetch_add(1, Ordering::SeqCst);
+                        }
+                        admitted += 1;
+                    }
                     Err(full) => {
                         refused = true;
                         remaining.push((idx, full.key, full.payload));
@@ -176,11 +352,14 @@ impl Shared {
         (admitted, refused)
     }
 
-    /// Blocks until the queue has nothing waiting, nothing parked, and
-    /// nothing in flight.
+    /// Blocks until the queue has nothing waiting, nothing parked, nothing in
+    /// flight, and no outstanding fast-path jobs.
     pub(super) fn wait_idle(&self) {
         let mut state = self.state.lock();
-        while !(state.queue.is_idle() && state.overflow.is_empty()) {
+        while !(state.queue.is_idle()
+            && state.overflow.is_empty()
+            && self.nosync_outstanding.0.load(Ordering::SeqCst) == 0)
+        {
             self.idle.wait_for(&mut state, PARK_BACKSTOP);
         }
     }
@@ -188,12 +367,19 @@ impl Shared {
     /// Flags shutdown, drops parked submissions (aborting their waiters),
     /// and wakes every parked worker.
     pub(super) fn begin_shutdown(&self) {
+        self.shutdown_flag.store(true, Ordering::SeqCst);
         let parked: Vec<Parked> = {
             let mut state = self.state.lock();
             state.shutdown = true;
+            self.overflow_len.store(0, Ordering::Relaxed);
             state.overflow.drain(..).collect()
         };
         for p in parked {
+            if p.key == SyncKey::Sequential {
+                // A dropped parked barrier will never complete; reopen the
+                // fast-path gate it was holding shut.
+                self.seq_pending.0.fetch_sub(1, Ordering::SeqCst);
+            }
             // Dropping the job resolves any attached completion slot as
             // Aborted; the waiter tells blocking/async submitters.
             drop(p.job);
@@ -206,39 +392,134 @@ impl Shared {
     /// `shutdown` takes `&mut self`, so it can never overlap a `&self`
     /// submission call.
     pub(super) fn is_shutdown(&self) -> bool {
-        self.state.lock().shutdown
+        self.shutdown_flag.load(Ordering::Acquire)
     }
 
     /// Number of jobs waiting (not yet dispatched), including parked
-    /// submissions.
+    /// submissions and fast-path jobs still in the ring. Lock-free: derived
+    /// from the monotone counters (each lower bound read before the counter
+    /// that bounds it from above, so the subtractions never underflow).
     pub(super) fn queued(&self) -> usize {
-        let state = self.state.lock();
-        state.queue.len() + state.overflow.len()
+        let ring_popped = self.counters.ring_popped.load(Ordering::Relaxed);
+        let ring_pushed = self.counters.ring_pushed.load(Ordering::Relaxed);
+        let s = self.queue_stats.snapshot();
+        (s.enqueued - s.dispatched) as usize
+            + self.overflow_len.load(Ordering::Relaxed)
+            + (ring_pushed - ring_popped) as usize
     }
 
-    /// Snapshot of the queue statistics and execution counters.
+    /// Snapshot of the queue statistics and execution counters. Lock-free:
+    /// the queue counters come from their seqlock cells and the ring/worker
+    /// counters are relaxed atomics — `stats()` never contends with dispatch.
     pub(super) fn snapshot(&self) -> PdqExecutorStats {
-        let state = self.state.lock();
+        // Monotone read order (completed before popped before pushed) keeps
+        // the folded counters ordered even against concurrent traffic.
+        let ring_completed = self.counters.ring_completed.load(Ordering::Relaxed);
+        let ring_popped = self.counters.ring_popped.load(Ordering::Relaxed);
+        let ring_pushed = self.counters.ring_pushed.load(Ordering::Relaxed);
+        let mut queue = self.queue_stats.snapshot();
+        queue.enqueued += ring_pushed;
+        queue.dispatched += ring_popped;
+        queue.completed += ring_completed;
+        queue.nosync_handlers += ring_popped;
         PdqExecutorStats {
-            queue: state.queue.stats().clone(),
-            executed: state.executed,
-            panicked: state.panicked,
+            queue,
+            executed: self.counters.executed.load(Ordering::Relaxed),
+            panicked: self.counters.panicked.load(Ordering::Relaxed),
+            ring_submits: ring_pushed,
+            stolen: self.counters.stolen.load(Ordering::Relaxed),
+            spurious_wakeups: self.counters.spurious_wakeups.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Sibling-shard view a worker uses to steal `NoSync` work when idle.
+/// Stealing is restricted to ring (fast-path) jobs: they need no
+/// synchronization, so running one on a foreign worker cannot violate
+/// per-key FIFO, exclusivity, or barrier order.
+#[derive(Clone)]
+pub(super) struct StealContext {
+    /// Every shard of the owning executor, including the worker's own.
+    pub(super) shards: Arc<Vec<Arc<Shared>>>,
+    /// Index of the worker's home shard in `shards`.
+    pub(super) home: usize,
+}
+
+/// Executes one job taken from `home`'s ring, crediting every counter to the
+/// job's **home** shard — a thief passes the victim's `Shared` here — so
+/// per-shard statistics and idle/barrier accounting stay exact even when the
+/// job executes elsewhere.
+fn run_ring_job(home: &Shared, job: Job) {
+    home.counters.ring_popped.fetch_add(1, Ordering::Relaxed);
+    match catch_unwind(AssertUnwindSafe(job)) {
+        Ok(()) => home.counters.executed.fetch_add(1, Ordering::Relaxed),
+        Err(_) => home.counters.panicked.fetch_add(1, Ordering::Relaxed),
+    };
+    home.counters.ring_completed.fetch_add(1, Ordering::Relaxed);
+    // Two-path fence, completion side: SeqCst so a Sequential gate (or a
+    // flush / shutdown drain) that observes zero also observes everything
+    // the job wrote.
+    if home.nosync_outstanding.0.fetch_sub(1, Ordering::SeqCst) == 1 {
+        // Possibly the last outstanding fast-path job: wake idle waiters and
+        // any Sequential gate. Signalled without the mutex; the PARK_BACKSTOP
+        // on every wait bounds the cost of the rare race where a waiter is
+        // between its re-check and its park.
+        home.idle.notify_all();
+        home.work.notify_all();
+    }
+}
+
+/// Steals and runs one ring job from a sibling shard. Returns whether a job
+/// was found. Victims are scanned starting after the thief's home shard so
+/// the load spreads instead of piling onto shard zero.
+fn steal_one(thief: &Shared, ctx: &StealContext) -> bool {
+    let n = ctx.shards.len();
+    for offset in 1..n {
+        let victim = &ctx.shards[(ctx.home + offset) % n];
+        if let Some(job) = victim.ring.pop() {
+            thief.counters.stolen.fetch_add(1, Ordering::Relaxed);
+            run_ring_job(victim, job);
+            return true;
+        }
+    }
+    false
+}
+
+/// Two-path fence, dispatch side: called by a worker holding a freshly
+/// dispatched `Sequential` entry, *before* running its body. Waits for every
+/// advertised fast-path job to finish, helping by draining the home ring —
+/// which also makes a single-worker shard self-sufficient (the gate would
+/// otherwise wait forever for a ring job only this worker could run). New
+/// fast-path submissions cannot arrive: `seq_pending` has been non-zero since
+/// the barrier was accepted.
+fn wait_fast_path_quiescent(shared: &Shared) {
+    while shared.nosync_outstanding.0.load(Ordering::SeqCst) != 0 {
+        if let Some(job) = shared.ring.pop() {
+            run_ring_job(shared, job);
+        } else {
+            // A peer (or thief) is finishing the last jobs; these are
+            // fine-grain handlers, so yield rather than park.
+            std::thread::yield_now();
         }
     }
 }
 
 /// Spawns `count` worker threads running [`worker_loop`] over `shared`.
+/// `steal` gives sharded workers their sibling view; `None` disables
+/// stealing (single-queue executor).
 pub(super) fn spawn_workers(
     shared: &Arc<Shared>,
     count: usize,
     name_prefix: &str,
+    steal: Option<StealContext>,
 ) -> Vec<JoinHandle<()>> {
     (0..count)
         .map(|i| {
             let shared = Arc::clone(shared);
+            let steal = steal.clone();
             std::thread::Builder::new()
                 .name(format!("{name_prefix}-{i}"))
-                .spawn(move || worker_loop(&shared))
+                .spawn(move || worker_loop(&shared, steal.as_ref()))
                 .expect("failed to spawn pdq worker thread")
         })
         .collect()
@@ -259,6 +540,7 @@ pub(super) fn spawn_workers(
 pub struct PdqBuilder {
     workers: usize,
     config: QueueConfig,
+    ring: Option<bool>,
 }
 
 impl PdqBuilder {
@@ -271,6 +553,7 @@ impl PdqBuilder {
         Self {
             workers,
             config: QueueConfig::default(),
+            ring: None,
         }
     }
 
@@ -297,6 +580,15 @@ impl PdqBuilder {
         self
     }
 
+    /// Forces the lock-free `NoSync` ring fast path on or off. Unset, the
+    /// `PDQ_RING` environment variable decides (strictly `0` or `1`; any
+    /// other value panics at build time), defaulting to **on**.
+    #[must_use]
+    pub fn ring(mut self, enabled: bool) -> Self {
+        self.ring = Some(enabled);
+        self
+    }
+
     /// Builds the executor and spawns its worker threads.
     pub fn build(&self) -> PdqExecutor {
         PdqExecutor::with_builder(self)
@@ -312,7 +604,7 @@ impl Default for PdqBuilder {
 /// A thread pool whose work items are synchronized *in the queue*: jobs with
 /// equal user keys never run concurrently and run in submission order, a
 /// [`SyncKey::Sequential`] job runs in isolation, and a [`SyncKey::NoSync`]
-/// job runs without any synchronization.
+/// job runs without any synchronization (on a lock-free fast path).
 ///
 /// Workers never block inside a job waiting for a synchronization key; a job
 /// is only handed to a worker once its key is free. This is the paper's
@@ -359,18 +651,19 @@ impl PdqExecutor {
     }
 
     fn with_builder(builder: &PdqBuilder) -> Self {
-        let shared = Arc::new(Shared::new(builder.config));
-        let workers = spawn_workers(&shared, builder.workers.max(1), "pdq-worker");
+        let shared = Arc::new(Shared::new(builder.config, resolve_ring(builder.ring)));
+        let workers = spawn_workers(&shared, builder.workers.max(1), "pdq-worker", None);
         Self { shared, workers }
     }
 
-    /// Returns a snapshot of the executor's detailed statistics.
+    /// Returns a snapshot of the executor's detailed statistics, without
+    /// acquiring the dispatch lock.
     pub fn pdq_stats(&self) -> PdqExecutorStats {
         self.shared.snapshot()
     }
 
     /// Number of jobs currently waiting in the queue (including parked
-    /// submissions).
+    /// submissions and ring fast-path jobs).
     pub fn queued(&self) -> usize {
         self.shared.queued()
     }
@@ -428,6 +721,9 @@ impl Executor for PdqExecutor {
             panicked: snap.panicked,
             queued: self.shared.queued(),
             queue: Some(snap.queue),
+            ring_submits: snap.ring_submits,
+            stolen: snap.stolen,
+            spurious_wakeups: snap.spurious_wakeups,
             ..ExecutorStats::default()
         }
     }
@@ -439,9 +735,15 @@ impl Drop for PdqExecutor {
     }
 }
 
-pub(super) fn worker_loop(shared: &Shared) {
-    let mut state = shared.state.lock();
+pub(super) fn worker_loop(shared: &Shared, steal: Option<&StealContext>) {
     loop {
+        // Fast path first: the shard's own ring, no mutex.
+        if let Some(job) = shared.ring.pop() {
+            run_ring_job(shared, job);
+            continue;
+        }
+
+        let mut state = shared.state.lock();
         if let Some(dispatch) = state.queue.try_dispatch() {
             // The dispatch freed a waiting slot: admit parked submissions in
             // FIFO order while the queue has room. Doing it in the same
@@ -461,6 +763,9 @@ pub(super) fn worker_loop(shared: &Shared) {
                     }
                 }
             }
+            shared
+                .overflow_len
+                .store(state.overflow.len(), Ordering::Relaxed);
             // If more entries are dispatchable right now, hand one to a
             // parked peer instead of letting it wait for the next
             // submit/complete signal. Targeted `notify_one` wakeups (rather
@@ -477,15 +782,22 @@ pub(super) fn worker_loop(shared: &Shared) {
             if more {
                 shared.work.notify_one();
             }
+            if dispatch.key == SyncKey::Sequential {
+                wait_fast_path_quiescent(shared);
+            }
             let outcome = catch_unwind(AssertUnwindSafe(dispatch.payload));
-            state = shared.state.lock();
+            match outcome {
+                Ok(()) => shared.counters.executed.fetch_add(1, Ordering::Relaxed),
+                Err(_) => shared.counters.panicked.fetch_add(1, Ordering::Relaxed),
+            };
+            let mut state = shared.state.lock();
             state
                 .queue
                 .complete(dispatch.ticket)
                 .expect("worker completes the ticket it dispatched");
-            match outcome {
-                Ok(()) => state.executed += 1,
-                Err(_) => state.panicked += 1,
+            if dispatch.key == SyncKey::Sequential {
+                // The barrier is done: reopen the fast-path gate.
+                shared.seq_pending.0.fetch_sub(1, Ordering::SeqCst);
             }
             if state.queue.is_idle() && state.overflow.is_empty() {
                 shared.idle.notify_all();
@@ -501,20 +813,57 @@ pub(super) fn worker_loop(shared: &Shared) {
             }
             continue;
         }
-        if state.shutdown && state.queue.is_idle() {
-            return;
-        }
-        if state.shutdown && state.queue.is_empty() && state.queue.in_flight() > 0 {
-            // Another worker is finishing the last jobs; wait for it.
+
+        let fast_quiet = shared.nosync_outstanding.0.load(Ordering::SeqCst) == 0;
+        if state.shutdown {
+            if state.queue.is_idle() && fast_quiet {
+                return;
+            }
+            if !shared.ring.is_empty() {
+                // Undrained fast-path jobs: the loop top pops them.
+                continue;
+            }
+            if state.queue.has_dispatchable() {
+                continue;
+            }
+            if state.queue.in_flight() == 0 && fast_quiet {
+                // Shutdown with undispatchable work should be impossible
+                // (keys are always eventually released), but never spin here.
+                return;
+            }
+            // Peers (or thieves) are finishing the last jobs; wait for them.
             shared.work.wait_for(&mut state, PARK_BACKSTOP);
             continue;
         }
-        if state.shutdown && !state.queue.has_dispatchable() && state.queue.in_flight() == 0 {
-            // Shutdown with undispatchable work should be impossible (keys are
-            // always eventually released), but never spin here.
-            return;
+
+        // Nothing dispatchable locally and not shutting down: scan sibling
+        // shards' rings before parking.
+        if let Some(ctx) = steal {
+            drop(state);
+            if steal_one(shared, ctx) {
+                continue;
+            }
+            state = shared.state.lock();
+            if state.shutdown || state.queue.has_dispatchable() {
+                continue;
+            }
         }
-        shared.work.wait_for(&mut state, PARK_BACKSTOP);
+        if !shared.ring.is_empty() {
+            // Re-check under the lock immediately before parking: a push
+            // may have raced the pop at the loop top.
+            continue;
+        }
+        let woken = shared.work.wait_for(&mut state, PARK_BACKSTOP);
+        if !woken.timed_out()
+            && !state.shutdown
+            && !state.queue.has_dispatchable()
+            && shared.ring.is_empty()
+        {
+            shared
+                .counters
+                .spurious_wakeups
+                .fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -637,6 +986,97 @@ mod tests {
     }
 
     #[test]
+    fn sequential_barrier_excludes_ring_fast_path_jobs() {
+        // NoSync jobs ride the lock-free ring; a Sequential barrier must
+        // still run alone against them (the two-path ordering fence).
+        let pool = PdqBuilder::new().workers(4).build();
+        let running = Arc::new(AtomicUsize::new(0));
+        let violation = Arc::new(AtomicBool::new(false));
+        for i in 0..400u64 {
+            let running = Arc::clone(&running);
+            let violation = Arc::clone(&violation);
+            if i % 40 == 0 {
+                pool.submit_sequential(move || {
+                    if running.fetch_add(1, Ordering::SeqCst) != 0 {
+                        violation.store(true, Ordering::SeqCst);
+                    }
+                    std::thread::sleep(Duration::from_micros(200));
+                    running.fetch_sub(1, Ordering::SeqCst);
+                });
+            } else {
+                pool.submit_nosync(move || {
+                    running.fetch_add(1, Ordering::SeqCst);
+                    std::hint::spin_loop();
+                    running.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+        }
+        pool.flush();
+        assert!(
+            !violation.load(Ordering::SeqCst),
+            "a ring fast-path job overlapped a sequential handler"
+        );
+        let stats = pool.pdq_stats();
+        assert_eq!(stats.queue.sequential_handlers, 10);
+        assert_eq!(stats.queue.nosync_handlers, 390);
+        assert_eq!(stats.executed, 400);
+    }
+
+    #[test]
+    fn nosync_jobs_take_the_ring_fast_path() {
+        let pool = PdqBuilder::new().workers(2).build();
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..500u64 {
+            let counter = Arc::clone(&counter);
+            pool.submit_nosync(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.flush();
+        assert_eq!(counter.load(Ordering::Relaxed), 500);
+        let stats = pool.pdq_stats();
+        assert_eq!(stats.executed, 500);
+        assert_eq!(stats.queue.nosync_handlers, 500);
+        assert_eq!(stats.queue.completed, 500);
+        assert!(
+            stats.ring_submits > 0,
+            "NoSync submissions should use the ring fast path"
+        );
+    }
+
+    #[test]
+    fn ring_can_be_disabled_per_builder() {
+        let pool = PdqBuilder::new().workers(2).ring(false).build();
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..100u64 {
+            let counter = Arc::clone(&counter);
+            pool.submit_nosync(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.flush();
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+        let stats = pool.pdq_stats();
+        assert_eq!(stats.ring_submits, 0, "disabled ring must never be used");
+        assert_eq!(stats.queue.nosync_handlers, 100);
+        assert_eq!(stats.executed, 100);
+    }
+
+    #[test]
+    fn panicking_ring_job_is_contained() {
+        let pool = PdqBuilder::new().workers(2).build();
+        pool.submit_nosync(|| panic!("fast-path failure"));
+        let ran = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&ran);
+        pool.submit_nosync(move || flag.store(true, Ordering::SeqCst));
+        pool.flush();
+        assert!(ran.load(Ordering::SeqCst));
+        let stats = pool.pdq_stats();
+        assert_eq!(stats.panicked, 1);
+        assert_eq!(stats.executed, 1);
+    }
+
+    #[test]
     fn panicking_job_releases_its_key() {
         let pool = PdqBuilder::new().workers(2).build();
         let ran_after = Arc::new(AtomicBool::new(false));
@@ -700,6 +1140,21 @@ mod tests {
         }
         pool.shutdown();
         assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn shutdown_drains_ring_fast_path_work() {
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut pool = PdqBuilder::new().workers(2).build();
+        for _ in 0..300u64 {
+            let counter = Arc::clone(&counter);
+            pool.submit_nosync(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::Relaxed), 300);
+        assert_eq!(pool.pdq_stats().executed, 300);
     }
 
     #[test]
@@ -768,5 +1223,52 @@ mod tests {
         let pool = PdqExecutor::new(1);
         pool.flush();
         assert_eq!(pool.workers(), 1);
+    }
+
+    #[test]
+    fn stats_never_take_the_dispatch_lock() {
+        // A contended workload runs while stats() is hammered in a tight
+        // loop; progress on both sides pins the no-dispatch-lock claim (a
+        // stats() that took the mutex would serialize against dispatch and
+        // this test would crawl or deadlock under a lock-ordering bug).
+        let pool = Arc::new(PdqBuilder::new().workers(2).build());
+        let stop = Arc::new(AtomicBool::new(false));
+        let reader = {
+            let pool = Arc::clone(&pool);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut reads = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let s = pool.pdq_stats();
+                    assert!(s.queue.completed <= s.queue.dispatched);
+                    assert!(s.queue.dispatched <= s.queue.enqueued);
+                    reads += 1;
+                }
+                reads
+            })
+        };
+        let counter = Arc::new(AtomicU64::new(0));
+        for i in 0..20_000u64 {
+            let counter = Arc::clone(&counter);
+            if i % 2 == 0 {
+                pool.submit_keyed(i % 5, move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            } else {
+                pool.submit_nosync(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        }
+        pool.flush();
+        stop.store(true, Ordering::Relaxed);
+        let reads = reader.join().unwrap();
+        assert!(reads > 0);
+        assert_eq!(counter.load(Ordering::Relaxed), 20_000);
+        // Post-flush the snapshot is exact.
+        let s = pool.pdq_stats();
+        assert_eq!(s.executed, 20_000);
+        assert_eq!(s.queue.enqueued, 20_000);
+        assert_eq!(s.queue.completed, 20_000);
     }
 }

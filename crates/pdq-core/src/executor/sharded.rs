@@ -40,8 +40,8 @@ use crate::key::SyncKey;
 use crate::stats::QueueStats;
 
 use super::completion::SubmitWaiter;
-use super::pdq::{spawn_workers, Shared};
-use super::{Executor, ExecutorStats, Job, SubmitBatch, TrySubmitError};
+use super::pdq::{spawn_workers, Shared, StealContext};
+use super::{resolve_ring, Executor, ExecutorStats, Job, SubmitBatch, TrySubmitError};
 
 /// Fibonacci multiplier used to spread user keys across shards (the same
 /// constant the other executors use for lock/queue routing).
@@ -63,6 +63,14 @@ pub struct ShardedPdqStats {
     /// Jobs that panicked. The panic is contained; the worker keeps running
     /// and the job's key (or the sequential barrier) is released.
     pub panicked: u64,
+    /// `NoSync` submissions that took a shard's lock-free ring fast path.
+    pub ring_submits: u64,
+    /// Ring jobs executed by a worker of a different shard than the one they
+    /// were submitted to (work stealing; counters still credit the home
+    /// shard, this only counts the migrations).
+    pub stolen: u64,
+    /// Worker wakeups that found nothing to run.
+    pub spurious_wakeups: u64,
 }
 
 /// Builder for [`ShardedPdqExecutor`].
@@ -82,6 +90,7 @@ pub struct ShardedPdqBuilder {
     workers: usize,
     shards: Option<usize>,
     config: QueueConfig,
+    ring: Option<bool>,
 }
 
 impl ShardedPdqBuilder {
@@ -96,6 +105,7 @@ impl ShardedPdqBuilder {
             workers,
             shards: None,
             config: QueueConfig::default(),
+            ring: None,
         }
     }
 
@@ -131,6 +141,16 @@ impl ShardedPdqBuilder {
     #[must_use]
     pub fn capacity(mut self, capacity: usize) -> Self {
         self.config = self.config.capacity(capacity);
+        self
+    }
+
+    /// Forces the lock-free `NoSync` ring fast path on or off for every
+    /// shard. Unset, the `PDQ_RING` environment variable decides (strictly
+    /// `0` or `1`), defaulting to **on**. Work stealing only operates on the
+    /// rings, so disabling them also disables stealing.
+    #[must_use]
+    pub fn ring(mut self, enabled: bool) -> Self {
+        self.ring = Some(enabled);
         self
     }
 
@@ -321,15 +341,25 @@ impl ShardedPdqExecutor {
         let shard_count = builder
             .shards
             .unwrap_or_else(|| (builder.workers / 4).max(1));
+        let ring = resolve_ring(builder.ring);
         let shards: Vec<Arc<Shared>> = (0..shard_count)
-            .map(|_| Arc::new(Shared::new(builder.config)))
+            .map(|_| Arc::new(Shared::new(builder.config, ring)))
             .collect();
+        // Workers are spawned only after every shard exists so each can carry
+        // a view of all its siblings for work stealing. Stealing needs the
+        // rings; with them disabled (or a single shard) there is nothing to
+        // scan, so workers skip the steal pass entirely.
+        let steal_view = (ring && shard_count > 1).then(|| Arc::new(shards.clone()));
         let base = builder.workers / shard_count;
         let extra = builder.workers % shard_count;
         let mut workers = Vec::new();
         for (i, shard) in shards.iter().enumerate() {
             let count = (base + usize::from(i < extra)).max(1);
-            workers.extend(spawn_workers(shard, count, &format!("pdq-shard{i}")));
+            let steal = steal_view.as_ref().map(|view| StealContext {
+                shards: Arc::clone(view),
+                home: i,
+            });
+            workers.extend(spawn_workers(shard, count, &format!("pdq-shard{i}"), steal));
         }
         Self {
             shards,
@@ -394,6 +424,9 @@ impl ShardedPdqExecutor {
             stats.per_shard.push(snap.queue);
             stats.executed += snap.executed;
             stats.panicked += snap.panicked;
+            stats.ring_submits += snap.ring_submits;
+            stats.stolen += snap.stolen;
+            stats.spurious_wakeups += snap.spurious_wakeups;
         }
         stats
     }
@@ -527,9 +560,12 @@ impl Executor for ShardedPdqExecutor {
     }
 
     fn flush(&self) {
-        // Jobs never migrate between shards, so once a shard reports idle,
-        // everything submitted to it before this call has finished; one pass
-        // over the shards therefore covers all previously submitted jobs.
+        // Mutex-path jobs never migrate between shards, and a *stolen* ring
+        // job still counts against its home shard's outstanding-work counter
+        // until it finishes (the thief runs it against the victim's
+        // accounting). Once a shard reports idle, everything submitted to it
+        // before this call has therefore finished — wherever it ran — and one
+        // pass over the shards covers all previously submitted jobs.
         for shard in &self.shards {
             shard.wait_idle();
         }
@@ -551,6 +587,9 @@ impl Executor for ShardedPdqExecutor {
             panicked: snap.panicked,
             queued: self.queued(),
             queue: Some(snap.queue),
+            ring_submits: snap.ring_submits,
+            stolen: snap.stolen,
+            spurious_wakeups: snap.spurious_wakeups,
             ..ExecutorStats::default()
         }
     }
@@ -804,6 +843,85 @@ mod tests {
         for shard in &stats.per_shard {
             assert_eq!(shard.nosync_handlers, 100);
         }
+    }
+
+    #[test]
+    fn idle_workers_steal_ring_jobs_from_busy_shards() {
+        // Four shards, one worker each. Gate the workers of shards 1..=3
+        // inside keyed jobs, then submit NoSync work: the jobs round-robined
+        // onto the gated shards' rings can only run if shard 0's idle worker
+        // steals them.
+        let pool = ShardedPdqBuilder::new().workers(4).shards(4).build();
+        let key_for = |shard: usize| (0u64..).find(|&k| pool.shard_index(k) == shard).unwrap();
+        let release = Arc::new(AtomicBool::new(false));
+        let gates_running = Arc::new(AtomicUsize::new(0));
+        for shard in 1..4 {
+            let release = Arc::clone(&release);
+            let gates_running = Arc::clone(&gates_running);
+            pool.submit_keyed(key_for(shard), move || {
+                gates_running.fetch_add(1, Ordering::SeqCst);
+                while !release.load(Ordering::SeqCst) {
+                    std::thread::yield_now();
+                }
+            });
+        }
+        while gates_running.load(Ordering::SeqCst) < 3 {
+            std::thread::yield_now();
+        }
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..200u64 {
+            let counter = Arc::clone(&counter);
+            pool.submit_nosync(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        // All 200 must complete while three of the four workers stay gated.
+        while counter.load(Ordering::Relaxed) < 200 {
+            std::thread::yield_now();
+        }
+        release.store(true, Ordering::SeqCst);
+        pool.flush();
+        let stats = pool.sharded_stats();
+        // Round-robin put 150 jobs on the gated shards; every one of them
+        // was necessarily stolen (their own workers never left the gate).
+        assert_eq!(stats.stolen, 150);
+        assert_eq!(stats.executed, 203);
+        // Stolen jobs still credit their home shard's counters.
+        for shard in &stats.per_shard {
+            assert_eq!(shard.nosync_handlers, 50);
+        }
+    }
+
+    #[test]
+    fn sequential_barrier_excludes_ring_jobs_across_shards() {
+        let pool = ShardedPdqBuilder::new().workers(4).shards(2).build();
+        let running = Arc::new(AtomicUsize::new(0));
+        let violation = Arc::new(AtomicBool::new(false));
+        for i in 0..300u64 {
+            let running = Arc::clone(&running);
+            let violation = Arc::clone(&violation);
+            if i % 50 == 0 {
+                pool.submit_sequential(move || {
+                    if running.fetch_add(1, Ordering::SeqCst) != 0 {
+                        violation.store(true, Ordering::SeqCst);
+                    }
+                    std::thread::sleep(Duration::from_micros(200));
+                    running.fetch_sub(1, Ordering::SeqCst);
+                });
+            } else {
+                pool.submit_nosync(move || {
+                    running.fetch_add(1, Ordering::SeqCst);
+                    std::hint::spin_loop();
+                    running.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+        }
+        pool.flush();
+        assert!(
+            !violation.load(Ordering::SeqCst),
+            "a ring fast-path job overlapped a global sequential barrier"
+        );
+        assert_eq!(pool.sharded_stats().queue.nosync_handlers, 294);
     }
 
     #[test]

@@ -76,6 +76,7 @@ mod error;
 mod fasthash;
 mod key;
 mod queue;
+mod ring;
 mod stats;
 mod ticket;
 
@@ -86,7 +87,8 @@ pub use error::{QueueFullError, ShutdownError, UnknownTicketError};
 pub use fasthash::FastHasher;
 pub use key::SyncKey;
 pub use queue::{Dispatch, DispatchQueue};
-pub use stats::QueueStats;
+pub use ring::{CachePadded, MpmcRing};
+pub use stats::{QueueStats, QueueStatsCells};
 pub use ticket::Ticket;
 
 #[cfg(test)]
@@ -101,6 +103,7 @@ mod send_sync_tests {
         assert_send_sync::<QueueConfig>();
         assert_send_sync::<QueueStats>();
         assert_send_sync::<DispatchQueue<u64>>();
+        assert_send_sync::<MpmcRing<u64>>();
         assert_send_sync::<executor::PdqExecutor>();
         assert_send_sync::<executor::ShardedPdqExecutor>();
         assert_send_sync::<executor::SpinLockExecutor>();
@@ -249,7 +252,7 @@ mod property_tests {
                     Op::CompleteOldest => { if !in_flight.is_empty() { q.complete(in_flight.remove(0)).unwrap(); } }
                     Op::CompleteNewest => { if let Some(t) = in_flight.pop() { q.complete(t).unwrap(); } }
                 }
-                let s = q.stats().clone();
+                let s = q.stats();
                 prop_assert_eq!(s.enqueued as usize, q.len() + s.dispatched as usize);
                 prop_assert_eq!(s.in_flight() as usize, q.in_flight());
                 prop_assert!(s.completed <= s.dispatched);

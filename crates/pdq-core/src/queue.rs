@@ -48,11 +48,13 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
+use std::sync::Arc;
+
 use crate::config::QueueConfig;
 use crate::error::{QueueFullError, UnknownTicketError};
 use crate::fasthash::{FastMap, FastSet};
 use crate::key::SyncKey;
-use crate::stats::QueueStats;
+use crate::stats::{QueueStats, QueueStatsCells};
 use crate::ticket::{Ticket, TicketCounter};
 
 /// An entry handed out by [`DispatchQueue::try_dispatch`].
@@ -123,7 +125,7 @@ struct KeyChain {
 /// q.complete(first.ticket).unwrap();
 /// assert_eq!(q.try_dispatch().unwrap().payload, "fetch&add a again");
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct DispatchQueue<T> {
     /// Entry slab; `None` slots are free and tracked in `free`.
     slots: Vec<Option<Entry<T>>>,
@@ -155,7 +157,36 @@ pub struct DispatchQueue<T> {
     sequential_running: bool,
     config: QueueConfig,
     tickets: TicketCounter,
-    stats: QueueStats,
+    /// Shared seqlock-guarded counters. Mutated only through `&mut self`
+    /// (single writer); executors clone the `Arc` so their `stats()` can
+    /// snapshot the counters without taking the mutex that guards the queue.
+    stats: Arc<QueueStatsCells>,
+}
+
+impl<T: Clone> Clone for DispatchQueue<T> {
+    fn clone(&self) -> Self {
+        Self {
+            slots: self.slots.clone(),
+            free: self.free.clone(),
+            head: self.head,
+            tail: self.tail,
+            waiting: self.waiting,
+            next_seq: self.next_seq,
+            chains: self.chains.clone(),
+            sequential_waiting: self.sequential_waiting.clone(),
+            ready: self.ready.clone(),
+            window_tail: self.window_tail,
+            in_window: self.in_window,
+            in_flight: self.in_flight.clone(),
+            active_keys: self.active_keys.clone(),
+            sequential_running: self.sequential_running,
+            config: self.config,
+            tickets: self.tickets.clone(),
+            // A fresh cell block (preloaded with the current counts), not a
+            // shared `Arc`: the clone's statistics must diverge on their own.
+            stats: Arc::new(QueueStatsCells::from_snapshot(&self.stats.snapshot())),
+        }
+    }
 }
 
 impl<T> DispatchQueue<T> {
@@ -187,7 +218,7 @@ impl<T> DispatchQueue<T> {
             sequential_running: false,
             config,
             tickets: TicketCounter::default(),
-            stats: QueueStats::new(),
+            stats: Arc::new(QueueStatsCells::new()),
         }
     }
 
@@ -222,14 +253,21 @@ impl<T> DispatchQueue<T> {
     }
 
     /// Statistics accumulated since construction (or the last
-    /// [`reset_stats`](Self::reset_stats)).
-    pub fn stats(&self) -> &QueueStats {
-        &self.stats
+    /// [`reset_stats`](Self::reset_stats)), as a consistent snapshot.
+    pub fn stats(&self) -> QueueStats {
+        self.stats.snapshot()
+    }
+
+    /// The shared counter block behind [`stats`](Self::stats). Executors keep
+    /// a clone of this `Arc` so their own `stats()` can snapshot the queue's
+    /// counters **without acquiring the mutex** that guards the queue itself.
+    pub fn stats_cells(&self) -> Arc<QueueStatsCells> {
+        Arc::clone(&self.stats)
     }
 
     /// Clears the accumulated statistics.
     pub fn reset_stats(&mut self) {
-        self.stats = QueueStats::new();
+        self.stats.reset();
     }
 
     fn slot(&self, id: usize) -> &Entry<T> {
@@ -346,7 +384,7 @@ impl<T> DispatchQueue<T> {
     pub fn enqueue(&mut self, key: SyncKey, payload: T) -> Result<(), QueueFullError<T>> {
         if let Some(cap) = self.config.capacity {
             if self.waiting >= cap {
-                self.stats.rejected_full += 1;
+                self.stats.record_rejected_full();
                 return Err(QueueFullError { key, payload });
             }
         }
@@ -395,8 +433,7 @@ impl<T> DispatchQueue<T> {
         // waiting entry is already in it, so the refill admits exactly the
         // entry just linked at the tail.
         self.refill_window();
-        self.stats.enqueued += 1;
-        self.stats.max_queue_len = self.stats.max_queue_len.max(self.waiting);
+        self.stats.record_enqueued(self.waiting);
         Ok(())
     }
 
@@ -414,7 +451,7 @@ impl<T> DispatchQueue<T> {
     /// Returns `None` when no entry is currently dispatchable.
     pub fn try_dispatch(&mut self) -> Option<Dispatch<T>> {
         if self.sequential_running {
-            self.stats.sequential_stalls += 1;
+            self.stats.record_sequential_stall();
             return None;
         }
 
@@ -426,20 +463,24 @@ impl<T> DispatchQueue<T> {
             .copied()
             .filter(|&s| self.slot(s).in_window);
 
+        // Key-blocked entries the equivalent scan would have skipped before
+        // choosing the dispatched entry (folded into one stats write section
+        // at the end, with the dispatch itself).
+        let blocked_ahead;
         let chosen = match barrier {
             None => match self.ready.peek().map(|&Reverse(top)| top) {
                 Some((_, id)) => {
                     // Every in-window entry older than the oldest ready entry
                     // is a blocked user-key entry; the scan counted each as a
                     // key conflict before choosing this one.
-                    self.stats.key_conflicts += self.position_of(id) as u64;
+                    blocked_ahead = self.position_of(id) as u64;
                     id
                 }
                 None => {
                     // No barrier and nothing ready: every in-window entry is
                     // a user-key entry blocked on an in-flight key.
-                    self.stats.key_conflicts += self.in_window as u64;
-                    self.stats.empty_dispatches += 1;
+                    self.stats
+                        .record_empty_dispatch(self.in_window as u64, false);
                     return None;
                 }
             },
@@ -448,7 +489,7 @@ impl<T> DispatchQueue<T> {
                 match self.ready.peek().map(|&Reverse(top)| top) {
                     // An entry older than the barrier is dispatchable.
                     Some((seq, id)) if seq < barrier_seq => {
-                        self.stats.key_conflicts += self.position_of(id) as u64;
+                        blocked_ahead = self.position_of(id) as u64;
                         id
                     }
                     _ => {
@@ -456,18 +497,17 @@ impl<T> DispatchQueue<T> {
                             if self.in_flight.is_empty() {
                                 // Sequential entry at the head of an idle
                                 // queue: dispatch it.
+                                blocked_ahead = 0;
                                 s
                             } else {
-                                self.stats.sequential_stalls += 1;
-                                self.stats.empty_dispatches += 1;
+                                self.stats.record_empty_dispatch(0, true);
                                 return None;
                             }
                         } else {
                             // Blocked entries ahead of the barrier, then the
                             // barrier itself stalls the scan.
-                            self.stats.key_conflicts += self.position_of(s) as u64;
-                            self.stats.sequential_stalls += 1;
-                            self.stats.empty_dispatches += 1;
+                            self.stats
+                                .record_empty_dispatch(self.position_of(s) as u64, true);
                             return None;
                         }
                     }
@@ -484,18 +524,19 @@ impl<T> DispatchQueue<T> {
             }
             SyncKey::Sequential => {
                 self.sequential_running = true;
-                self.stats.sequential_handlers += 1;
             }
-            SyncKey::NoSync => {
-                self.stats.nosync_handlers += 1;
-            }
+            SyncKey::NoSync => {}
         }
         // Refill after activating the key so the admitted entry's readiness
         // reflects the dispatch that just happened.
         self.refill_window();
         self.in_flight.insert(ticket, entry.key);
-        self.stats.dispatched += 1;
-        self.stats.max_in_flight = self.stats.max_in_flight.max(self.in_flight.len());
+        self.stats.record_dispatched(
+            entry.key == SyncKey::Sequential,
+            entry.key == SyncKey::NoSync,
+            blocked_ahead,
+            self.in_flight.len(),
+        );
 
         Some(Dispatch {
             ticket,
@@ -545,7 +586,7 @@ impl<T> DispatchQueue<T> {
             }
             SyncKey::NoSync => {}
         }
-        self.stats.completed += 1;
+        self.stats.record_completed();
         Ok(())
     }
 

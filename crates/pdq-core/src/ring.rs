@@ -1,0 +1,456 @@
+//! Bounded lock-free MPMC ring buffer for the non-keyed (`NoSync`) fast path.
+//!
+//! The executors route `NoSync` submissions through this ring instead of the
+//! shard mutex: the paper's whole argument is that per-message software
+//! overhead dominates fine-grain protocol cost, and for entries that need *no*
+//! synchronization the mutex handoff around [`DispatchQueue`] is pure
+//! overhead. Keyed and `Sequential` entries keep the mutex-protected slow
+//! path — the ring carries only work that is free to run at any time, which is
+//! also what makes cross-shard work stealing safe (a stolen `NoSync` job
+//! cannot violate per-key FIFO or exclusivity, because it participates in
+//! neither).
+//!
+//! ## Slot-state protocol
+//!
+//! This is the classic sequence-numbered bounded MPMC queue (Vyukov). Each
+//! slot carries a sequence number; producers and consumers claim positions
+//! from two monotonically increasing counters (`tail` for push, `head` for
+//! pop) and use the slot's sequence to decide whether the slot is ready for
+//! them:
+//!
+//! ```text
+//! slot i, capacity C, position p with p % C == i:
+//!   seq == p       slot empty, ready for the producer claiming position p
+//!   seq == p + 1   slot full, ready for the consumer claiming position p
+//!   seq == p + C   slot empty again, ready for the producer at lap p + C
+//! ```
+//!
+//! A producer CASes `tail` from `p` to `p + 1` (claiming the slot), writes the
+//! value, then publishes with `seq = p + 1` (Release). A consumer CASes `head`
+//! from `p` to `p + 1`, reads the value (Acquire on `seq` pairs with the
+//! producer's Release, so the payload write is visible), then recycles the
+//! slot with `seq = p + C`. No mutex, no spinning on a slot owned by a stalled
+//! peer: a full ring fails the push immediately (the caller falls back to the
+//! mutex path) and an empty ring fails the pop.
+//!
+//! The protocol needs `C >= 2`: with a single slot, "full at `p`"
+//! (`seq == p + 1`) and "empty at `p + C`" (`seq == p + 1` again) are the
+//! same number, so a producer could overwrite a value that was never popped.
+//! [`MpmcRing::new`] therefore rounds every requested capacity up to at
+//! least two slots.
+//!
+//! `head` and `tail` live on separate cache lines ([`CachePadded`]) so
+//! producers and consumers do not false-share.
+//!
+//! [`DispatchQueue`]: crate::DispatchQueue
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Pads and aligns a value to a 64-byte cache line.
+///
+/// Used for the ring's `head`/`tail` counters and for per-shard hot state so
+/// that two counters updated by different threads never share a line (false
+/// sharing turns independent relaxed increments into cache-line ping-pong,
+/// which is exactly the handoff cost this module exists to remove).
+#[derive(Debug, Default)]
+#[repr(align(64))]
+pub struct CachePadded<T>(pub T);
+
+impl<T> CachePadded<T> {
+    /// Wraps `value` in a cache-line-aligned cell.
+    pub const fn new(value: T) -> Self {
+        CachePadded(value)
+    }
+}
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T> std::ops::DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+/// One ring slot: a sequence number and the payload cell it guards.
+///
+/// The `seq` protocol (module docs) guarantees exclusive access to `value`:
+/// exactly one thread — the producer or consumer whose position matches — may
+/// touch the cell between two sequence transitions.
+struct Slot<T> {
+    seq: AtomicUsize,
+    value: UnsafeCell<Option<T>>,
+}
+
+/// A bounded, lock-free, multi-producer multi-consumer ring buffer.
+///
+/// `push` and `pop` are non-blocking and never take a lock; both fail fast
+/// (full / empty) instead of waiting. Capacity is rounded up to a power of
+/// two so position-to-slot mapping is a mask, not a division.
+pub struct MpmcRing<T> {
+    slots: Box<[Slot<T>]>,
+    mask: usize,
+    /// Next position to pop (consumer counter).
+    head: CachePadded<AtomicUsize>,
+    /// Next position to push (producer counter).
+    tail: CachePadded<AtomicUsize>,
+}
+
+// SAFETY: the sequence protocol hands each slot's `UnsafeCell` to exactly one
+// thread at a time (the producer that claimed the position, then the consumer
+// that claimed it), with Release/Acquire edges on `seq` ordering the payload
+// writes. `T: Send` is required because values cross threads.
+unsafe impl<T: Send> Send for MpmcRing<T> {}
+// SAFETY: as above — shared access is mediated entirely by atomics.
+unsafe impl<T: Send> Sync for MpmcRing<T> {}
+
+impl<T> MpmcRing<T> {
+    /// Creates a ring with at least `capacity` slots (rounded up to the next
+    /// power of two, minimum two).
+    ///
+    /// Two slots is a structural minimum, not a tuning choice: the slot
+    /// protocol distinguishes "full at position `p`" (`seq == p + 1`) from
+    /// "empty at position `p + C`" (`seq == p + C`), and with a single slot
+    /// (`C == 1`, where position `p + 1` reuses the same slot immediately)
+    /// those two states collapse into the same sequence number — a producer
+    /// would claim the slot while the previous value is still in it and
+    /// silently overwrite it.
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(2).next_power_of_two();
+        let slots = (0..cap)
+            .map(|i| Slot {
+                seq: AtomicUsize::new(i),
+                value: UnsafeCell::new(None),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        MpmcRing {
+            slots,
+            mask: cap - 1,
+            head: CachePadded::new(AtomicUsize::new(0)),
+            tail: CachePadded::new(AtomicUsize::new(0)),
+        }
+    }
+
+    /// The number of slots (always a power of two).
+    pub fn capacity(&self) -> usize {
+        self.mask + 1
+    }
+
+    /// Attempts to push `value`. Fails with the value back if the ring is
+    /// full, so the caller can fall back to the mutex slow path without
+    /// losing the job.
+    pub fn push(&self, value: T) -> Result<(), T> {
+        let mut pos = self.tail.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let diff = seq as isize - pos as isize;
+            if diff == 0 {
+                // Slot is empty and it is this lap's turn: claim the position.
+                match self.tail.compare_exchange_weak(
+                    pos,
+                    pos + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: the CAS made this thread the unique owner of
+                        // the slot until the Release store below publishes it.
+                        unsafe { *slot.value.get() = Some(value) };
+                        slot.seq.store(pos + 1, Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(current) => pos = current,
+                }
+            } else if diff < 0 {
+                // The consumer of the previous lap has not recycled the slot:
+                // the ring is full.
+                return Err(value);
+            } else {
+                // Another producer claimed this position; retry at the
+                // current tail.
+                pos = self.tail.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Attempts to pop a value. Returns `None` if the ring is empty.
+    pub fn pop(&self) -> Option<T> {
+        let mut pos = self.head.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let diff = seq as isize - (pos + 1) as isize;
+            if diff == 0 {
+                // Slot is published and it is this lap's turn: claim it.
+                match self.head.compare_exchange_weak(
+                    pos,
+                    pos + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: the CAS made this thread the unique owner of
+                        // the slot until the Release store below recycles it.
+                        let value = unsafe { (*slot.value.get()).take() };
+                        slot.seq.store(pos + self.mask + 1, Ordering::Release);
+                        return Some(value.expect("published ring slot holds a value"));
+                    }
+                    Err(current) => pos = current,
+                }
+            } else if diff < 0 {
+                // The producer for this position has not published: empty.
+                return None;
+            } else {
+                // Another consumer claimed this position; retry at the
+                // current head.
+                pos = self.head.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Approximate number of queued values. Exact when the ring is quiescent;
+    /// under concurrent push/pop it may be momentarily stale (the two
+    /// counters are read independently), so use it for reporting, never for
+    /// synchronization.
+    pub fn len(&self) -> usize {
+        let tail = self.tail.load(Ordering::Relaxed);
+        let head = self.head.load(Ordering::Relaxed);
+        tail.saturating_sub(head)
+    }
+
+    /// Whether the ring is (approximately) empty — same caveat as [`len`].
+    ///
+    /// [`len`]: MpmcRing::len
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> std::fmt::Debug for MpmcRing<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MpmcRing")
+            .field("capacity", &self.capacity())
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn push_pop_is_fifo() {
+        let ring = MpmcRing::new(8);
+        for i in 0..5 {
+            ring.push(i).unwrap();
+        }
+        for i in 0..5 {
+            assert_eq!(ring.pop(), Some(i));
+        }
+        assert_eq!(ring.pop(), None);
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        // Minimum two slots: see `MpmcRing::new` — a one-slot ring cannot
+        // distinguish "full" from "recycled for the next lap".
+        assert_eq!(MpmcRing::<u32>::new(0).capacity(), 2);
+        assert_eq!(MpmcRing::<u32>::new(1).capacity(), 2);
+        assert_eq!(MpmcRing::<u32>::new(2).capacity(), 2);
+        assert_eq!(MpmcRing::<u32>::new(3).capacity(), 4);
+        assert_eq!(MpmcRing::<u32>::new(1000).capacity(), 1024);
+    }
+
+    #[test]
+    fn full_ring_returns_the_value_back() {
+        let ring = MpmcRing::new(2);
+        ring.push(10).unwrap();
+        ring.push(11).unwrap();
+        assert_eq!(ring.push(12), Err(12));
+        assert_eq!(ring.pop(), Some(10));
+        ring.push(12).unwrap();
+        assert_eq!(ring.push(13), Err(13));
+    }
+
+    #[test]
+    fn empty_pop_returns_none_and_len_tracks() {
+        let ring: MpmcRing<u8> = MpmcRing::new(4);
+        assert!(ring.is_empty());
+        assert_eq!(ring.len(), 0);
+        assert_eq!(ring.pop(), None);
+        ring.push(1).unwrap();
+        assert_eq!(ring.len(), 1);
+        assert!(!ring.is_empty());
+        ring.pop().unwrap();
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn wraparound_preserves_fifo_across_many_laps() {
+        let ring = MpmcRing::new(4);
+        let mut next_push = 0u64;
+        let mut next_pop = 0u64;
+        // Drive the positions far past several wraparounds of the 4-slot
+        // ring, with a varying occupancy so every slot sees every phase.
+        for round in 0..1000 {
+            let burst = 1 + (round % 4);
+            for _ in 0..burst {
+                ring.push(next_push).unwrap();
+                next_push += 1;
+            }
+            for _ in 0..burst {
+                assert_eq!(ring.pop(), Some(next_pop));
+                next_pop += 1;
+            }
+        }
+        assert_eq!(ring.pop(), None);
+    }
+
+    #[test]
+    fn capacity_one_request_alternates_full_and_empty() {
+        // A requested capacity of one is rounded up to the two-slot minimum
+        // (see `MpmcRing::new`); the smallest ring must still alternate
+        // full/empty exactly, never overwrite, and never hand out a stale
+        // value across laps.
+        let ring = MpmcRing::new(1);
+        assert_eq!(ring.capacity(), 2);
+        for i in (0..200).step_by(2) {
+            ring.push(i).unwrap();
+            ring.push(i + 1).unwrap();
+            assert_eq!(ring.push(i + 1000), Err(i + 1000), "two slots only");
+            assert_eq!(ring.pop(), Some(i));
+            assert_eq!(ring.pop(), Some(i + 1));
+            assert_eq!(ring.pop(), None);
+        }
+    }
+
+    #[test]
+    fn values_are_dropped_with_the_ring() {
+        let ring = MpmcRing::new(4);
+        let payload = Arc::new(());
+        ring.push(Arc::clone(&payload)).unwrap();
+        ring.push(Arc::clone(&payload)).unwrap();
+        drop(ring);
+        assert_eq!(Arc::strong_count(&payload), 1, "queued values leaked");
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_deliver_exactly_once() {
+        const PRODUCERS: usize = 4;
+        const CONSUMERS: usize = 4;
+        const PER_PRODUCER: u64 = 2_000;
+        let ring: Arc<MpmcRing<u64>> = Arc::new(MpmcRing::new(16));
+        let sum = Arc::new(AtomicU64::new(0));
+        let count = Arc::new(AtomicU64::new(0));
+
+        let consumers: Vec<_> = (0..CONSUMERS)
+            .map(|_| {
+                let ring = Arc::clone(&ring);
+                let sum = Arc::clone(&sum);
+                let count = Arc::clone(&count);
+                thread::spawn(move || loop {
+                    match ring.pop() {
+                        Some(v) => {
+                            sum.fetch_add(v, Ordering::Relaxed);
+                            if count.fetch_add(1, Ordering::Relaxed) + 1
+                                == (PRODUCERS as u64) * PER_PRODUCER
+                            {
+                                return;
+                            }
+                        }
+                        None => {
+                            if count.load(Ordering::Relaxed) == (PRODUCERS as u64) * PER_PRODUCER {
+                                return;
+                            }
+                            thread::yield_now();
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        let producers: Vec<_> = (0..PRODUCERS as u64)
+            .map(|p| {
+                let ring = Arc::clone(&ring);
+                thread::spawn(move || {
+                    for i in 0..PER_PRODUCER {
+                        let mut v = p * PER_PRODUCER + i + 1;
+                        // Spin on full: consumers are draining concurrently.
+                        loop {
+                            match ring.push(v) {
+                                Ok(()) => break,
+                                Err(back) => {
+                                    v = back;
+                                    thread::yield_now();
+                                }
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        for t in producers {
+            t.join().unwrap();
+        }
+        for t in consumers {
+            t.join().unwrap();
+        }
+        let n = (PRODUCERS as u64) * PER_PRODUCER;
+        assert_eq!(count.load(Ordering::Relaxed), n);
+        assert_eq!(sum.load(Ordering::Relaxed), n * (n + 1) / 2);
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn contended_capacity_one_ring_never_duplicates() {
+        // The degenerate smallest ring (a capacity-1 request, two slots) is
+        // where a claim/recycle bug shows first: every push races every pop
+        // on the same two slots, lap after lap.
+        let ring: Arc<MpmcRing<u64>> = Arc::new(MpmcRing::new(1));
+        let seen = Arc::new(AtomicU64::new(0));
+        const N: u64 = 4_000;
+        let consumer = {
+            let ring = Arc::clone(&ring);
+            let seen = Arc::clone(&seen);
+            thread::spawn(move || {
+                let mut expected = 0u64;
+                while expected < N {
+                    if let Some(v) = ring.pop() {
+                        assert_eq!(v, expected, "one-slot ring reordered or duplicated");
+                        expected += 1;
+                        seen.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        thread::yield_now();
+                    }
+                }
+            })
+        };
+        for i in 0..N {
+            let mut v = i;
+            loop {
+                match ring.push(v) {
+                    Ok(()) => break,
+                    Err(back) => {
+                        v = back;
+                        thread::yield_now();
+                    }
+                }
+            }
+        }
+        consumer.join().unwrap();
+        assert_eq!(seen.load(Ordering::Relaxed), N);
+    }
+}

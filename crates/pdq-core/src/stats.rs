@@ -1,6 +1,15 @@
 //! Dispatch-queue statistics.
+//!
+//! Two layers: [`QueueStats`] is the plain snapshot value callers consume,
+//! and [`QueueStatsCells`] is the seqlock-guarded block of relaxed atomic
+//! counters the queue (and its executors) actually mutate. The split is what
+//! lets `stats()` on every executor read counters **without touching the
+//! dispatch mutex**: writers update the cells while already holding whatever
+//! exclusivity they have (`&mut DispatchQueue`, or the shard mutex around
+//! it), readers take a consistent snapshot lock-free.
 
 use std::fmt;
+use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
 
 /// Counters describing the behaviour of a [`DispatchQueue`](crate::DispatchQueue).
 ///
@@ -104,6 +113,211 @@ impl fmt::Display for QueueStats {
     }
 }
 
+/// Seqlock-guarded atomic counter block backing [`QueueStats`].
+///
+/// **Writer side** (exactly one writer at a time — guaranteed externally by
+/// `&mut DispatchQueue` or the executor's shard mutex): each `record_*`
+/// method bumps the version counter to odd, applies relaxed stores, and bumps
+/// it back to even with a Release store.
+///
+/// **Reader side** ([`snapshot`](Self::snapshot)): reads the version, the
+/// fields, then the version again; an even, unchanged version proves the
+/// fields form a consistent cut. The read loop is bounded: under sustained
+/// write churn it falls back to the last (per-field-valid, possibly torn
+/// across fields) read instead of spinning forever, which is the right trade
+/// for a monitoring surface — and the moment the queue is quiescent (e.g.
+/// after `flush`) the first pass succeeds and the snapshot is exact.
+#[derive(Debug, Default)]
+pub struct QueueStatsCells {
+    /// Seqlock version: odd while a write section is open.
+    version: AtomicU64,
+    enqueued: AtomicU64,
+    rejected_full: AtomicU64,
+    dispatched: AtomicU64,
+    completed: AtomicU64,
+    key_conflicts: AtomicU64,
+    order_holds: AtomicU64,
+    empty_dispatches: AtomicU64,
+    sequential_stalls: AtomicU64,
+    sequential_handlers: AtomicU64,
+    nosync_handlers: AtomicU64,
+    max_queue_len: AtomicUsize,
+    max_in_flight: AtomicUsize,
+}
+
+impl QueueStatsCells {
+    /// Creates a zeroed counter block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens a seqlock write section. Callers must hold external exclusivity
+    /// (single writer) and must pair with [`end_write`](Self::end_write).
+    fn begin_write(&self) -> u64 {
+        let v = self.version.load(Ordering::Relaxed);
+        self.version.store(v.wrapping_add(1), Ordering::Relaxed);
+        fence(Ordering::Release);
+        v
+    }
+
+    /// Closes the write section opened by [`begin_write`](Self::begin_write).
+    fn end_write(&self, v: u64) {
+        self.version.store(v.wrapping_add(2), Ordering::Release);
+    }
+
+    fn read_fields(&self) -> QueueStats {
+        // Field order matters for the torn-read fallback: each counter in the
+        // chain `completed ≤ dispatched ≤ enqueued` is read before the ones
+        // that bound it from above. The counters are monotone, so even a
+        // snapshot torn across write sections preserves those inequalities
+        // (the later-read upper bound can only have grown).
+        QueueStats {
+            completed: self.completed.load(Ordering::Relaxed),
+            dispatched: self.dispatched.load(Ordering::Relaxed),
+            enqueued: self.enqueued.load(Ordering::Relaxed),
+            rejected_full: self.rejected_full.load(Ordering::Relaxed),
+            key_conflicts: self.key_conflicts.load(Ordering::Relaxed),
+            order_holds: self.order_holds.load(Ordering::Relaxed),
+            empty_dispatches: self.empty_dispatches.load(Ordering::Relaxed),
+            sequential_stalls: self.sequential_stalls.load(Ordering::Relaxed),
+            sequential_handlers: self.sequential_handlers.load(Ordering::Relaxed),
+            nosync_handlers: self.nosync_handlers.load(Ordering::Relaxed),
+            max_queue_len: self.max_queue_len.load(Ordering::Relaxed),
+            max_in_flight: self.max_in_flight.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Takes a lock-free snapshot of the counters (see the type docs for the
+    /// consistency contract).
+    pub fn snapshot(&self) -> QueueStats {
+        const MAX_TRIES: usize = 64;
+        let mut last = self.read_fields();
+        for _ in 0..MAX_TRIES {
+            let v1 = self.version.load(Ordering::Acquire);
+            if v1 & 1 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let snap = self.read_fields();
+            fence(Ordering::Acquire);
+            if self.version.load(Ordering::Relaxed) == v1 {
+                return snap;
+            }
+            last = snap;
+        }
+        last
+    }
+
+    /// Records an enqueue rejected at capacity.
+    pub(crate) fn record_rejected_full(&self) {
+        let v = self.begin_write();
+        self.rejected_full.fetch_add(1, Ordering::Relaxed);
+        self.end_write(v);
+    }
+
+    /// Records an accepted enqueue; `queue_len` is the waiting count after
+    /// the insert (for the high-water mark).
+    pub(crate) fn record_enqueued(&self, queue_len: usize) {
+        let v = self.begin_write();
+        self.enqueued.fetch_add(1, Ordering::Relaxed);
+        self.max_queue_len.fetch_max(queue_len, Ordering::Relaxed);
+        self.end_write(v);
+    }
+
+    /// Records a dispatch attempt suppressed because a `Sequential` handler
+    /// is running.
+    pub(crate) fn record_sequential_stall(&self) {
+        let v = self.begin_write();
+        self.sequential_stalls.fetch_add(1, Ordering::Relaxed);
+        self.end_write(v);
+    }
+
+    /// Records a dispatch attempt that chose no entry. `blocked_ahead` is the
+    /// number of key-blocked entries the equivalent scan would have skipped;
+    /// `sequential_stall` is whether a waiting `Sequential` barrier stalled
+    /// the attempt.
+    pub(crate) fn record_empty_dispatch(&self, blocked_ahead: u64, sequential_stall: bool) {
+        let v = self.begin_write();
+        self.key_conflicts
+            .fetch_add(blocked_ahead, Ordering::Relaxed);
+        if sequential_stall {
+            self.sequential_stalls.fetch_add(1, Ordering::Relaxed);
+        }
+        self.empty_dispatches.fetch_add(1, Ordering::Relaxed);
+        self.end_write(v);
+    }
+
+    /// Records a successful dispatch. `sequential`/`nosync` classify the
+    /// entry's key, `blocked_ahead` is the key-blocked entries skipped before
+    /// choosing it, and `in_flight` is the in-flight count after the
+    /// dispatch (for the high-water mark).
+    pub(crate) fn record_dispatched(
+        &self,
+        sequential: bool,
+        nosync: bool,
+        blocked_ahead: u64,
+        in_flight: usize,
+    ) {
+        let v = self.begin_write();
+        self.key_conflicts
+            .fetch_add(blocked_ahead, Ordering::Relaxed);
+        if sequential {
+            self.sequential_handlers.fetch_add(1, Ordering::Relaxed);
+        }
+        if nosync {
+            self.nosync_handlers.fetch_add(1, Ordering::Relaxed);
+        }
+        self.dispatched.fetch_add(1, Ordering::Relaxed);
+        self.max_in_flight.fetch_max(in_flight, Ordering::Relaxed);
+        self.end_write(v);
+    }
+
+    /// Records a handler completion.
+    pub(crate) fn record_completed(&self) {
+        let v = self.begin_write();
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.end_write(v);
+    }
+
+    /// Zeroes every counter.
+    pub(crate) fn reset(&self) {
+        let v = self.begin_write();
+        self.enqueued.store(0, Ordering::Relaxed);
+        self.rejected_full.store(0, Ordering::Relaxed);
+        self.dispatched.store(0, Ordering::Relaxed);
+        self.completed.store(0, Ordering::Relaxed);
+        self.key_conflicts.store(0, Ordering::Relaxed);
+        self.order_holds.store(0, Ordering::Relaxed);
+        self.empty_dispatches.store(0, Ordering::Relaxed);
+        self.sequential_stalls.store(0, Ordering::Relaxed);
+        self.sequential_handlers.store(0, Ordering::Relaxed);
+        self.nosync_handlers.store(0, Ordering::Relaxed);
+        self.max_queue_len.store(0, Ordering::Relaxed);
+        self.max_in_flight.store(0, Ordering::Relaxed);
+        self.end_write(v);
+    }
+
+    /// Creates a new block preloaded from a snapshot (used when a queue is
+    /// cloned, so the clone's statistics diverge independently).
+    pub(crate) fn from_snapshot(s: &QueueStats) -> Self {
+        Self {
+            version: AtomicU64::new(0),
+            enqueued: AtomicU64::new(s.enqueued),
+            rejected_full: AtomicU64::new(s.rejected_full),
+            dispatched: AtomicU64::new(s.dispatched),
+            completed: AtomicU64::new(s.completed),
+            key_conflicts: AtomicU64::new(s.key_conflicts),
+            order_holds: AtomicU64::new(s.order_holds),
+            empty_dispatches: AtomicU64::new(s.empty_dispatches),
+            sequential_stalls: AtomicU64::new(s.sequential_stalls),
+            sequential_handlers: AtomicU64::new(s.sequential_handlers),
+            nosync_handlers: AtomicU64::new(s.nosync_handlers),
+            max_queue_len: AtomicUsize::new(s.max_queue_len),
+            max_in_flight: AtomicUsize::new(s.max_in_flight),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,5 +366,85 @@ mod tests {
     #[test]
     fn display_is_nonempty() {
         assert!(!QueueStats::new().to_string().is_empty());
+    }
+
+    #[test]
+    fn cells_snapshot_reflects_recorded_events() {
+        let cells = QueueStatsCells::new();
+        cells.record_enqueued(1);
+        cells.record_enqueued(2);
+        cells.record_rejected_full();
+        cells.record_dispatched(false, true, 3, 1);
+        cells.record_dispatched(true, false, 0, 1);
+        cells.record_sequential_stall();
+        cells.record_empty_dispatch(2, true);
+        cells.record_completed();
+        let s = cells.snapshot();
+        assert_eq!(s.enqueued, 2);
+        assert_eq!(s.rejected_full, 1);
+        assert_eq!(s.dispatched, 2);
+        assert_eq!(s.completed, 1);
+        assert_eq!(s.key_conflicts, 5);
+        assert_eq!(s.empty_dispatches, 1);
+        assert_eq!(s.sequential_stalls, 2);
+        assert_eq!(s.sequential_handlers, 1);
+        assert_eq!(s.nosync_handlers, 1);
+        assert_eq!(s.max_queue_len, 2);
+        assert_eq!(s.max_in_flight, 1);
+        cells.reset();
+        assert_eq!(cells.snapshot(), QueueStats::new());
+    }
+
+    #[test]
+    fn cells_from_snapshot_round_trips() {
+        let original = QueueStats {
+            enqueued: 7,
+            dispatched: 5,
+            completed: 4,
+            max_queue_len: 3,
+            ..QueueStats::new()
+        };
+        let cells = QueueStatsCells::from_snapshot(&original);
+        assert_eq!(cells.snapshot(), original);
+    }
+
+    #[test]
+    fn concurrent_snapshots_never_observe_torn_invariants() {
+        // One writer records matched dispatch/complete pairs inside single
+        // write sections; concurrent readers must never see completed >
+        // dispatched (the seqlock makes each write section atomic to them).
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let cells = Arc::new(QueueStatsCells::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let cells = Arc::clone(&cells);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        let s = cells.snapshot();
+                        assert!(
+                            s.completed <= s.dispatched,
+                            "snapshot tore a write section: {s}"
+                        );
+                    }
+                })
+            })
+            .collect();
+        for i in 0..20_000usize {
+            cells.record_dispatched(false, false, 0, 1);
+            cells.record_completed();
+            if i % 1024 == 0 {
+                std::thread::yield_now();
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+        let s = cells.snapshot();
+        assert_eq!(s.dispatched, 20_000);
+        assert_eq!(s.completed, 20_000);
     }
 }

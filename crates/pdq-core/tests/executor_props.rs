@@ -10,8 +10,9 @@ use std::sync::{Arc, Mutex};
 
 use pdq_core::executor::{
     build_executor, Executor, ExecutorExt, ExecutorSpec, MultiQueueExecutor, PdqBuilder,
-    ShardedPdqBuilder, SpinLockExecutor, SubmitBatch, EXECUTOR_NAMES,
+    ShardedPdqBuilder, SpinLockExecutor, SubmitBatch, TrySubmitError, EXECUTOR_NAMES,
 };
+use pdq_core::SyncKey;
 use proptest::prelude::*;
 
 /// Number of distinct user keys the generated workloads draw from. Small, so
@@ -562,6 +563,231 @@ proptest! {
                 late_slot.load(Ordering::SeqCst), 2,
                 "{}: post-shutdown entry must abort observably", name
             );
+        }
+    }
+
+    /// `NoSync` jobs ride the lock-free ring fast path (and, on the sharded
+    /// executor, may be *stolen* by a sibling shard's worker). Under a
+    /// shutdown fired at a random point in a concurrent submission stream,
+    /// every fast-path job must execute exactly once or abort observably —
+    /// never vanish, never run twice — for shard counts 1..=8 and with the
+    /// ring both on and off (the two paths must make the same promise).
+    #[test]
+    fn shutdown_racing_nosync_fast_path_never_loses_jobs(
+        shards in 1usize..9,
+        workers in 1usize..5,
+        jobs in 20usize..120,
+        cut_pct in 0u32..=100,
+        ring in any::<bool>(),
+    ) {
+        for name in ["pdq", "sharded-pdq"] {
+            let mut spec = ExecutorSpec::new(workers).ring(ring);
+            if name == "sharded-pdq" {
+                spec = spec.shards(shards);
+            }
+            let pool = std::sync::RwLock::new(
+                build_executor(name, &spec).expect("registry name builds"),
+            );
+            let double_run = Arc::new(AtomicBool::new(false));
+            let ran = Arc::new(AtomicU64::new(0));
+            let slots: Vec<Arc<AtomicU8>> =
+                (0..jobs).map(|_| Arc::new(AtomicU8::new(0))).collect();
+            let threshold = (jobs as u64 * u64::from(cut_pct)) / 100;
+            let closed = AtomicBool::new(false);
+
+            std::thread::scope(|scope| {
+                let submitter = scope.spawn(|| {
+                    for slot in &slots {
+                        let mut job: Box<dyn FnOnce() + Send> = Box::new(FateProbe::job(
+                            Arc::clone(slot),
+                            Arc::clone(&double_run),
+                            Arc::clone(&ran),
+                        ));
+                        loop {
+                            match pool.read().unwrap().try_submit(SyncKey::NoSync, job) {
+                                Ok(()) => break,
+                                Err(TrySubmitError::Shutdown(handed_back)) => {
+                                    // Dropping stamps the probe as aborted.
+                                    drop(handed_back);
+                                    break;
+                                }
+                                Err(TrySubmitError::WouldBlock(handed_back)) => {
+                                    if closed.load(Ordering::SeqCst) {
+                                        drop(handed_back);
+                                        break;
+                                    }
+                                    job = handed_back;
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                    }
+                });
+                let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+                while ran.load(Ordering::SeqCst) < threshold
+                    && std::time::Instant::now() < deadline
+                {
+                    std::hint::spin_loop();
+                }
+                pool.write().unwrap().shutdown();
+                closed.store(true, Ordering::SeqCst);
+                submitter.join().expect("submitter thread");
+            });
+
+            prop_assert!(
+                !double_run.load(Ordering::SeqCst),
+                "{name}: a fast-path job executed twice across the shutdown race"
+            );
+            let executed = slots.iter().filter(|s| s.load(Ordering::SeqCst) == 1).count();
+            let aborted = slots.iter().filter(|s| s.load(Ordering::SeqCst) == 2).count();
+            let lost = slots.iter().filter(|s| s.load(Ordering::SeqCst) == 0).count();
+            prop_assert_eq!(
+                lost, 0,
+                "{}: {} NoSync jobs vanished silently (executed {}, aborted {}, ring {})",
+                name, lost, executed, aborted, ring
+            );
+            prop_assert_eq!(
+                executed + aborted, jobs,
+                "{}: fates must cover the stream exactly (ring {})", name, ring
+            );
+            let stats = pool.read().unwrap().stats();
+            prop_assert_eq!(
+                stats.executed as usize, executed,
+                "{}: executed counter diverged from observed executions", name
+            );
+            if !ring {
+                prop_assert_eq!(stats.ring_submits, 0, "{name}: ring off but used");
+            }
+        }
+    }
+
+    /// A storm of `NoSync` jobs on the ring fast path (with stealing, on the
+    /// sharded executor) must not weaken the keyed contract: same-key jobs
+    /// still run exclusively and in submission order, `Sequential` entries
+    /// still run, and every job of both kinds executes — on all four registry
+    /// executors, shard counts 1..=8.
+    #[test]
+    fn keyed_fifo_and_barriers_hold_under_nosync_storm(
+        shards in 1usize..9,
+        keys in proptest::collection::vec(any::<u8>(), 1..120),
+    ) {
+        for name in EXECUTOR_NAMES {
+            let mut spec = ExecutorSpec::new(4);
+            if name == "sharded-pdq" {
+                spec = spec.shards(shards);
+            }
+            let pool = build_executor(name, &spec).expect("registry name builds");
+            let observed = Observed::new();
+            let nosync_ran = Arc::new(AtomicU64::new(0));
+            let barriers_ran = Arc::new(AtomicU64::new(0));
+            let mut barriers_submitted = 0u64;
+            let mut submitted: Vec<Vec<u64>> = vec![Vec::new(); KEY_SPACE];
+            for (seq, &key) in keys.iter().enumerate() {
+                let key = usize::from(key) % KEY_SPACE;
+                submitted[key].push(seq as u64);
+                pool.submit_keyed(key as u64, observer_job(&observed, key, seq as u64));
+                let counter = Arc::clone(&nosync_ran);
+                pool.submit_nosync(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+                if seq % 16 == 15 {
+                    barriers_submitted += 1;
+                    let counter = Arc::clone(&barriers_ran);
+                    pool.submit_sequential(move || {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            }
+            pool.wait_idle();
+            prop_assert_eq!(
+                nosync_ran.load(Ordering::SeqCst),
+                keys.len() as u64,
+                "{}: NoSync jobs lost in the storm", name
+            );
+            prop_assert_eq!(
+                barriers_ran.load(Ordering::SeqCst),
+                barriers_submitted,
+                "{}: Sequential entries lost under the storm", name
+            );
+            if name == "spinlock" {
+                prop_assert!(
+                    !observed.overlap.load(Ordering::SeqCst),
+                    "spinlock: two same-key jobs ran concurrently"
+                );
+                for (key, expected) in submitted.iter().enumerate() {
+                    let mut actual = observed.order[key].lock().unwrap().clone();
+                    actual.sort_unstable();
+                    prop_assert_eq!(
+                        &actual, expected,
+                        "spinlock: key {} job set differs under the storm", key
+                    );
+                }
+            } else {
+                check(submitted, &observed, &format!("{name} (nosync storm)"))?;
+            }
+        }
+    }
+
+    /// The lock-free `stats()` snapshot must be *exact* once the executor is
+    /// idle: after `flush`, the folded seqlock/ring counters equal the true
+    /// post-hoc counts (no torn or dropped increments), and mid-run snapshots
+    /// never violate the monotone counter ordering — for both PDQ executors,
+    /// shard counts 1..=8, ring on and off.
+    #[test]
+    fn stats_snapshots_are_exact_after_flush(
+        shards in 1usize..9,
+        jobs in proptest::collection::vec((any::<u8>(), 0u8..3), 1..150),
+        ring in any::<bool>(),
+    ) {
+        for name in ["pdq", "sharded-pdq"] {
+            let mut spec = ExecutorSpec::new(3).ring(ring);
+            if name == "sharded-pdq" {
+                spec = spec.shards(shards);
+            }
+            let pool = build_executor(name, &spec).expect("registry name builds");
+            let mut sequentials = 0u64;
+            let mut nosyncs = 0u64;
+            for (i, &(key, kind)) in jobs.iter().enumerate() {
+                match kind {
+                    0 => {
+                        sequentials += 1;
+                        pool.submit_sequential(|| {});
+                    }
+                    1 => {
+                        nosyncs += 1;
+                        pool.submit_nosync(|| {});
+                    }
+                    _ => pool.submit_keyed(u64::from(key), || {}),
+                }
+                if i % 8 == 0 {
+                    // Mid-run snapshot: allowed to lag, never to be torn.
+                    let s = pool.stats();
+                    let q = s.queue.clone().expect("PDQ executors report queue stats");
+                    prop_assert!(q.completed <= q.dispatched);
+                    prop_assert!(q.dispatched <= q.enqueued);
+                }
+            }
+            pool.flush();
+            let s = pool.stats();
+            let q = s.queue.expect("PDQ executors report queue stats");
+            // A sequential submission on a multi-shard executor expands into
+            // one barrier stub per shard; every stub is a real handler.
+            let stubs_per_barrier = if name == "sharded-pdq" && shards > 1 {
+                shards as u64
+            } else {
+                1
+            };
+            let total = (jobs.len() as u64 - sequentials) + sequentials * stubs_per_barrier;
+            prop_assert_eq!(s.executed, total, "{}: executed drifted", name);
+            prop_assert_eq!(q.enqueued, total, "{}: enqueued drifted", name);
+            prop_assert_eq!(q.dispatched, total, "{}: dispatched drifted", name);
+            prop_assert_eq!(q.completed, total, "{}: completed drifted", name);
+            prop_assert_eq!(q.nosync_handlers, nosyncs, "{}: nosync count drifted", name);
+            prop_assert_eq!(s.queued, 0, "{}: queued must be zero when idle", name);
+            if !ring {
+                prop_assert_eq!(s.ring_submits, 0, "{name}: ring off but used");
+                prop_assert_eq!(s.stolen, 0, "{name}: stealing needs the ring");
+            }
         }
     }
 }

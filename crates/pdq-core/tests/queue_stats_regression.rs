@@ -252,7 +252,7 @@ fn replay(config: QueueConfig, trace: &[Op], trace_name: &str) {
             }
         }
         assert_eq!(
-            indexed.stats(),
+            &indexed.stats(),
             &reference.stats,
             "{trace_name}: QueueStats diverged after step {step} ({op:?})"
         );
@@ -284,14 +284,14 @@ fn replay(config: QueueConfig, trace: &[Op], trace_name: &str) {
             (a, b) => panic!("{trace_name}: drain dispatch diverged: {a:?} vs {b:?}"),
         }
         assert_eq!(
-            indexed.stats(),
+            &indexed.stats(),
             &reference.stats,
             "{trace_name}: drain stats"
         );
     }
     assert!(indexed.is_idle());
     assert_eq!(
-        indexed.stats(),
+        &indexed.stats(),
         &reference.stats,
         "{trace_name}: final stats"
     );
