@@ -49,8 +49,8 @@ use pdq_sim::DetRng;
 use crate::protocol_server::{reference_aggregate, ServerAggregate, ServerError, ServerState};
 use crate::service::{
     decode_ack, decode_aggregate_reply, decode_request, encode_aggregate_request,
-    encode_event_request, recv_frame, serve, serve_durable, serve_tcp, Durability, ProtocolService,
-    Reply, WireRequest, ACK_DONE, ACK_PANICKED,
+    encode_event_request, recv_frame, serve, serve_durable, serve_tcp_once, Durability,
+    ProtocolService, Reply, WireRequest, ACK_DONE, ACK_PANICKED,
 };
 use crate::transport::{loopback_pair, Transport, MAX_FRAME_LEN};
 use crate::wal::{replay, scan_bytes, scan_bytes_full, SharedSink, WalFaultPlan, WalWriter};
@@ -977,11 +977,12 @@ fn run_malformed(executor: &dyn Executor, cfg: &ChaosConfig) -> Result<ChaosRepo
         match decode_request(&wire) {
             Ok(WireRequest::Event(event)) => dispatched.push(event),
             // A one-bit flip cannot turn REQ_EVENT (0x01) into REQ_AGGREGATE
-            // (0x02), and truncation keeps the tag byte, so this arm is
-            // unreachable for the plan above; treat it as a driver bug.
-            Ok(WireRequest::Aggregate) => {
+            // (0x02), and a flip to REQ_DRAIN (0x03) leaves the event body as
+            // trailing bytes (a decode error), so these arms are unreachable
+            // for the plan above; treat them as a driver bug.
+            Ok(WireRequest::Aggregate | WireRequest::Drain) => {
                 return Err(ServerError::Protocol(
-                    "malformed: mutation produced an aggregate request".into(),
+                    "malformed: mutation produced a control request".into(),
                 ))
             }
             Err(_) => {
@@ -1025,7 +1026,7 @@ fn run_malformed(executor: &dyn Executor, cfg: &ChaosConfig) -> Result<ChaosRepo
     let addr = listener.local_addr().map_err(ServerError::Io)?;
     for (label, blob) in hostile_wire_blobs() {
         let outcome = std::thread::scope(|scope| {
-            let server = scope.spawn(|| serve_tcp(&listener, &service, cfg.window));
+            let server = scope.spawn(|| serve_tcp_once(&listener, &service, cfg.window));
             let mut stream = TcpStream::connect(addr).map_err(ServerError::Io)?;
             use std::io::Write;
             stream.write_all(&blob).map_err(ServerError::Io)?;
@@ -1202,7 +1203,7 @@ fn run_disconnect(executor: &dyn Executor, cfg: &ChaosConfig) -> Result<ChaosRep
         let listener = TcpListener::bind("127.0.0.1:0").map_err(ServerError::Io)?;
         let addr = listener.local_addr().map_err(ServerError::Io)?;
         let outcome = std::thread::scope(|scope| {
-            let server = scope.spawn(|| serve_tcp(&listener, &service, w));
+            let server = scope.spawn(|| serve_tcp_once(&listener, &service, w));
             let mut stream = TcpStream::connect(addr).map_err(ServerError::Io)?;
             use std::io::Write;
             stream.write_all(&[0x08, 0x00]).map_err(ServerError::Io)?;

@@ -25,6 +25,7 @@
 mod app;
 pub mod chaos;
 pub mod protocol_server;
+pub mod server;
 pub mod service;
 mod trace;
 pub mod transport;
@@ -39,12 +40,19 @@ pub use protocol_server::{
     generate_events, reference_aggregate, run_server, ServerAggregate, ServerConfig, ServerError,
     ServerState,
 };
+pub use server::{
+    client_config, merged_reference_aggregate, pool_wal_dir, serve_poll, serve_pool, PollOptions,
+    PollReport, PoolOptions, PoolReport, PoolWal,
+};
 pub use service::{
-    run_client, serve, serve_durable, serve_tcp, Durability, ExecutorService, ProtocolService,
-    Reply,
+    run_client, run_client_events, serve, serve_durable, serve_tcp_once, BatchService,
+    ClientReport, Durability, ExecutorService, ProtocolService, Reply,
 };
 pub use trace::{Action, Topology, Workload, WorkloadScale};
-pub use transport::{loopback_pair, LoopbackTransport, TcpTransport, Transport};
+pub use transport::{
+    loopback_pair, FillStatus, FrameDecoder, FrameEncoder, LoopbackTransport, TcpTransport,
+    Transport, DECODER_SOFT_CAP,
+};
 pub use wal::{
     recover_dir, replay, scan_bytes, scan_bytes_full, FaultSink, SharedSink, WalFaultPlan,
     WalRecovery, WalSnapshot, WalWriter,

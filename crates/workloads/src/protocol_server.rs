@@ -68,6 +68,12 @@ impl From<std::io::Error> for ServerError {
     }
 }
 
+impl From<pdq_core::ShutdownError> for ServerError {
+    fn from(_: pdq_core::ShutdownError) -> Self {
+        ServerError::Shutdown
+    }
+}
+
 /// Configuration of a protocol-server run: the event stream is a pure
 /// function of this value.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

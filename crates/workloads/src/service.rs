@@ -27,8 +27,13 @@
 use std::collections::VecDeque;
 use std::net::TcpListener;
 use std::sync::Arc;
+use std::time::Instant;
 
-use pdq_core::executor::{Executor, ExecutorExt, JobError, TypedFuture};
+use pdq_core::executor::{
+    attach_returning, Executor, ExecutorExt, Job, JobError, SubmitBatch, TrySubmitError,
+    TypedFuture, TypedHandle,
+};
+use pdq_core::{ShutdownError, SyncKey};
 use pdq_dsm::{BlockAddr, Message, PageAddr, ProtocolEvent, Request};
 
 use crate::protocol_server::{
@@ -100,7 +105,7 @@ pub trait ProtocolService: Send + Sync {
 }
 
 /// [`ProtocolService`] over any [`Executor`]: each request becomes a
-/// value-returning job keyed by the event's [`SyncKey`](pdq_core::SyncKey),
+/// value-returning job keyed by the event's [`SyncKey`],
 /// submitted through `submit_async_returning`.
 pub struct ExecutorService<'a> {
     executor: &'a dyn Executor,
@@ -149,6 +154,72 @@ impl ProtocolService for ExecutorService<'_> {
     }
 }
 
+/// A [`ProtocolService`] that can also expose its calls as *raw batch
+/// entries* for amortized admission.
+///
+/// [`ProtocolService::call`] pays the executor's dispatch lock once per
+/// request. The readiness-polled server ([`serve_poll`](crate::serve_poll))
+/// instead drains every frame a readiness wakeup buffered, turns each into a
+/// prepared entry ([`prepare`](Self::prepare)), and admits the whole slice
+/// through **one** [`Executor::try_submit_batch`] call
+/// ([`try_admit`](Self::try_admit)) — and, unlike `call`, a full bounded
+/// queue *refuses* entries instead of parking them, so the server can convert
+/// executor backpressure into per-connection TCP flow control.
+pub trait BatchService: ProtocolService {
+    /// Builds the raw entry for one request: the synchronization key, the
+    /// boxed handler job, and the typed handle that resolves with the
+    /// [`Reply`] once the job has run. The job is **not** submitted; push it
+    /// into a [`SubmitBatch`] and admit via [`try_admit`](Self::try_admit).
+    fn prepare(&self, request: ProtocolEvent) -> (SyncKey, Job, TypedHandle<Reply>);
+
+    /// Admits as many entries from the front of `batch` as fit without
+    /// blocking (one amortized dispatch pass) and returns how many were
+    /// admitted. Refused entries stay in the batch for a later retry; their
+    /// handles simply stay unresolved until the entries are admitted and run.
+    ///
+    /// # Errors
+    ///
+    /// [`ShutdownError`] if the executor has shut down — retrying can never
+    /// succeed, so the caller must tear the connection down instead of
+    /// spinning.
+    fn try_admit(&self, batch: &mut SubmitBatch) -> Result<usize, ShutdownError>;
+}
+
+impl BatchService for ExecutorService<'_> {
+    fn prepare(&self, request: ProtocolEvent) -> (SyncKey, Job, TypedHandle<Reply>) {
+        let state = Arc::clone(&self.state);
+        let key = request.sync_key();
+        let (job, handle) = attach_returning(move || {
+            state.handle(&request);
+            Reply::for_event(&request)
+        });
+        (key, job, handle)
+    }
+
+    fn try_admit(&self, batch: &mut SubmitBatch) -> Result<usize, ShutdownError> {
+        let admitted = self.executor.try_submit_batch(batch);
+        if admitted == 0 && !batch.is_empty() {
+            // `try_submit_batch` reports "nothing admitted" both for a full
+            // queue and for a shut-down executor; probe one entry through
+            // `try_submit` to tell the retryable case from the fatal one.
+            if let Some((key, job)) = batch.pop_front() {
+                match self.executor.try_submit(key, job) {
+                    Ok(()) => return Ok(1),
+                    Err(TrySubmitError::WouldBlock(job)) => {
+                        batch.push_front(key, job);
+                        return Ok(0);
+                    }
+                    Err(TrySubmitError::Shutdown(job)) => {
+                        batch.push_front(key, job);
+                        return Err(ShutdownError);
+                    }
+                }
+            }
+        }
+        Ok(admitted)
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Wire format (frame payloads; framing itself lives in `transport`)
 // ---------------------------------------------------------------------------
@@ -157,6 +228,11 @@ impl ProtocolService for ExecutorService<'_> {
 const REQ_EVENT: u8 = 0x01;
 /// Request frame: drain in-flight calls and reply with the aggregate.
 const REQ_AGGREGATE: u8 = 0x02;
+/// Request frame: ack every in-flight call, but send no aggregate. Clients
+/// of a *shared* multi-connection server use this to collect their remaining
+/// acks before closing — the shared aggregate is meaningless per connection,
+/// so the pool/poll drivers fetch it once, after every client is done.
+const REQ_DRAIN: u8 = 0x03;
 /// Reply frame: per-event acknowledgement.
 const REP_ACK: u8 = 0x81;
 /// Reply frame: the final aggregate.
@@ -174,6 +250,8 @@ pub enum WireRequest {
     Event(ProtocolEvent),
     /// Drain outstanding calls and return the aggregate.
     Aggregate,
+    /// Ack every outstanding call without returning an aggregate.
+    Drain,
 }
 
 /// A decoded per-event acknowledgement.
@@ -397,6 +475,11 @@ pub fn encode_aggregate_request() -> Vec<u8> {
     vec![REQ_AGGREGATE]
 }
 
+/// Encodes the drain request frame payload.
+pub fn encode_drain_request() -> Vec<u8> {
+    vec![REQ_DRAIN]
+}
+
 /// Decodes a request frame payload.
 ///
 /// # Errors
@@ -408,6 +491,7 @@ pub fn decode_request(frame: &[u8]) -> Result<WireRequest, ServerError> {
     let decoded = match get_u8(frame, &mut pos)? {
         REQ_EVENT => WireRequest::Event(decode_event(frame, &mut pos)?),
         REQ_AGGREGATE => WireRequest::Aggregate,
+        REQ_DRAIN => WireRequest::Drain,
         other => {
             return Err(ServerError::Protocol(format!(
                 "unknown request tag {other:#x}"
@@ -449,7 +533,7 @@ pub(crate) fn decode_ack(frame: &[u8]) -> Result<Ack, ServerError> {
     })
 }
 
-fn encode_aggregate_reply(agg: &ServerAggregate) -> Vec<u8> {
+pub(crate) fn encode_aggregate_reply(agg: &ServerAggregate) -> Vec<u8> {
     let mut buf = Vec::with_capacity(1 + 13 * 8);
     buf.push(REP_AGGREGATE);
     for word in [
@@ -684,6 +768,14 @@ pub fn serve_durable(
                     }
                 }
             }
+            WireRequest::Drain => {
+                while let Some(fut) = pending.pop_front() {
+                    let ack = resolve_ack(fut, &mut completed)?;
+                    transport.send(&ack).map_err(ServerError::Io)?;
+                    answered += 1;
+                }
+                transport.flush().map_err(ServerError::Io)?;
+            }
             WireRequest::Aggregate => {
                 while let Some(fut) = pending.pop_front() {
                     let ack = resolve_ack(fut, &mut completed)?;
@@ -707,16 +799,24 @@ pub fn serve_durable(
 /// Binds the service to one TCP connection: accepts a single client on
 /// `listener` and serves it to completion.
 ///
+/// This is the **one-shot** path — it accepts exactly one connection and
+/// returns when that client disconnects. A real multi-client server is the
+/// [`server`](crate::server) module's business ([`serve_pool`](crate::serve_pool)
+/// / [`serve_poll`](crate::serve_poll)).
+///
 /// # Errors
 ///
-/// As [`serve`], plus [`ServerError::Io`] if accepting the connection fails.
-pub fn serve_tcp(
+/// As [`serve`], plus [`ServerError::Io`] if accepting the connection or
+/// configuring the socket (`TCP_NODELAY`) fails — a socket the server could
+/// not configure would silently serve with different latency behaviour, so
+/// the failure surfaces instead of being swallowed.
+pub fn serve_tcp_once(
     listener: &TcpListener,
     service: &dyn ProtocolService,
     window: usize,
 ) -> Result<u64, ServerError> {
     let (stream, _) = listener.accept().map_err(ServerError::Io)?;
-    stream.set_nodelay(true).ok();
+    stream.set_nodelay(true).map_err(ServerError::Io)?;
     let mut transport = TcpTransport::new(stream).map_err(ServerError::Io)?;
     serve(service, &mut transport, window)
 }
@@ -793,6 +893,103 @@ pub fn run_client(
         )));
     }
     Ok(aggregate)
+}
+
+/// What one [`run_client_events`] run observed.
+#[derive(Debug, Default, Clone)]
+pub struct ClientReport {
+    /// Events streamed to the server.
+    pub sent: u64,
+    /// Acks received and digest-verified.
+    pub acked: u64,
+    /// Acks reporting a panicked handler.
+    pub panicked: u64,
+    /// Per-reply latency samples (nanoseconds from sending a request to
+    /// receiving its ack), in request order. Empty unless requested.
+    pub latencies_ns: Vec<u64>,
+}
+
+/// Streams `events` to a protocol server, digest-verifies every ack, and
+/// returns without fetching an aggregate — the client driver for
+/// **multi-client** runs, where the server state is shared and a
+/// per-connection aggregate snapshot would be racy and meaningless. The run
+/// ends with a drain request so the server acks the tail of the window
+/// before the client closes.
+///
+/// With `record_latency`, every request's send time is kept and the
+/// ack-to-send delta recorded in [`ClientReport::latencies_ns`] — the soak
+/// driver merges these across clients into its percentile report.
+///
+/// As with [`run_client`], `window` (the maximum unanswered requests before
+/// the client stops to read an ack) must exceed the server's reply window on
+/// windowed serve loops ([`serve`] / the pool tier); the poll tier acks
+/// eagerly and accepts any window.
+///
+/// # Errors
+///
+/// [`ServerError::Io`] on transport failure, [`ServerError::Protocol`] on a
+/// malformed or mismatching reply or a server that closes early.
+pub fn run_client_events(
+    transport: &mut dyn Transport,
+    events: &[ProtocolEvent],
+    window: usize,
+    record_latency: bool,
+) -> Result<ClientReport, ServerError> {
+    let window = window.max(1);
+    let mut expected: VecDeque<Reply> = VecDeque::with_capacity(window);
+    let mut sent_at: VecDeque<Instant> = VecDeque::new();
+    let mut report = ClientReport::default();
+    let read_ack = |transport: &mut dyn Transport,
+                    expected: &mut VecDeque<Reply>,
+                    sent_at: &mut VecDeque<Instant>,
+                    report: &mut ClientReport|
+     -> Result<(), ServerError> {
+        let frame = recv_frame(transport)?
+            .ok_or_else(|| ServerError::Protocol("server closed before acking".into()))?;
+        let ack = decode_ack(&frame)?;
+        let want = expected
+            .pop_front()
+            .expect("an ack is only awaited for an outstanding request");
+        if let Some(at) = sent_at.pop_front() {
+            report
+                .latencies_ns
+                .push(u64::try_from(at.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+        report.acked += 1;
+        match ack.status {
+            ACK_DONE if ack.reply == want => Ok(()),
+            ACK_DONE => Err(ServerError::Protocol(format!(
+                "reply mismatch: got {:?}, expected {:?}",
+                ack.reply, want
+            ))),
+            ACK_PANICKED => {
+                report.panicked += 1;
+                Ok(())
+            }
+            other => Err(ServerError::Protocol(format!("unknown ack status {other}"))),
+        }
+    };
+    for event in events {
+        transport
+            .send(&encode_event_request(event))
+            .map_err(ServerError::Io)?;
+        report.sent += 1;
+        expected.push_back(Reply::for_event(event));
+        if record_latency {
+            sent_at.push_back(Instant::now());
+        }
+        if expected.len() >= window {
+            read_ack(transport, &mut expected, &mut sent_at, &mut report)?;
+        }
+    }
+    transport
+        .send(&encode_drain_request())
+        .map_err(ServerError::Io)?;
+    transport.flush().map_err(ServerError::Io)?;
+    while !expected.is_empty() {
+        read_ack(transport, &mut expected, &mut sent_at, &mut report)?;
+    }
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -879,6 +1076,10 @@ mod tests {
         assert_eq!(
             decode_request(&encode_aggregate_request()).expect("well-formed frame"),
             WireRequest::Aggregate
+        );
+        assert_eq!(
+            decode_request(&encode_drain_request()).expect("well-formed frame"),
+            WireRequest::Drain
         );
     }
 
@@ -1013,7 +1214,7 @@ mod tests {
         let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
         let addr = listener.local_addr().expect("local addr");
         let tcp_aggregate = std::thread::scope(|scope| {
-            let server = scope.spawn(|| serve_tcp(&listener, &service, 32));
+            let server = scope.spawn(|| serve_tcp_once(&listener, &service, 32));
             let stream = std::net::TcpStream::connect(addr).expect("connect");
             let mut transport = TcpTransport::new(stream).expect("transport");
             let aggregate = run_client(&mut transport, &cfg, 64).expect("client run");
@@ -1130,7 +1331,7 @@ mod tests {
         let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
         let addr = listener.local_addr().expect("local addr");
         let outcome = std::thread::scope(|scope| {
-            let server = scope.spawn(|| serve_tcp(&listener, &service, 4));
+            let server = scope.spawn(|| serve_tcp_once(&listener, &service, 4));
             let mut stream = std::net::TcpStream::connect(addr).expect("connect");
             use std::io::Write;
             // Claim 100 payload bytes, deliver 3, then close.

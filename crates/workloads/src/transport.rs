@@ -111,6 +111,228 @@ pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
     Ok(Some(payload))
 }
 
+// ---------------------------------------------------------------------------
+// Resumable (non-blocking) frame codec
+// ---------------------------------------------------------------------------
+
+/// Soft cap on bytes staged inside a [`FrameDecoder`] per
+/// [`fill_from`](FrameDecoder::fill_from) pass (256 KiB). A peer that keeps
+/// the socket readable forever (an open-loop firehose) cannot make one fill
+/// pass buffer without bound: the pass returns once the cap is reached and
+/// the caller drains decoded frames before reading again.
+pub const DECODER_SOFT_CAP: usize = 256 * 1024;
+
+/// Outcome of one [`FrameDecoder::fill_from`] pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FillStatus {
+    /// Bytes moved from the reader into the staging buffer.
+    pub read: usize,
+    /// Whether the reader reported end of stream.
+    pub eof: bool,
+}
+
+/// Staged, resumable frame *decoder* for non-blocking streams.
+///
+/// [`read_frame`] blocks until a whole frame has arrived, which is exactly
+/// wrong for a readiness-polled event loop: a connection may deliver half a
+/// length prefix now and the rest three wakeups later. `FrameDecoder` keeps
+/// the partial bytes staged across calls instead — feed it whatever the
+/// socket has ([`fill_from`](Self::fill_from) reads until `WouldBlock`, EOF,
+/// or the [`DECODER_SOFT_CAP`]), then drain every already-complete frame with
+/// [`next_frame`](Self::next_frame). The decode state machine (inside the
+/// length prefix / inside the payload) is implicit in the staged byte count,
+/// so resumption is trivially correct for any chunking of the stream.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    head: usize,
+}
+
+impl FrameDecoder {
+    /// Creates an empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes staged but not yet consumed by [`next_frame`](Self::next_frame).
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.head
+    }
+
+    /// Whether the staging buffer ends inside an unfinished frame — at EOF
+    /// this distinguishes a clean close (frame boundary) from a truncated
+    /// stream.
+    pub fn has_partial(&self) -> bool {
+        self.buffered() > 0
+    }
+
+    /// Reads from `r` until it would block, the stream ends, or
+    /// [`DECODER_SOFT_CAP`] bytes are staged. `Interrupted` reads are
+    /// retried; `WouldBlock` ends the pass without error (that is the normal
+    /// "socket drained" outcome on a non-blocking stream).
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure other than `WouldBlock`/`Interrupted`.
+    pub fn fill_from<R: Read + ?Sized>(&mut self, r: &mut R) -> io::Result<FillStatus> {
+        let mut status = FillStatus {
+            read: 0,
+            eof: false,
+        };
+        let mut chunk = [0u8; 8192];
+        while self.buffered() < DECODER_SOFT_CAP {
+            match r.read(&mut chunk) {
+                Ok(0) => {
+                    status.eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.buf.extend_from_slice(&chunk[..n]);
+                    status.read += n;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(status)
+    }
+
+    /// Pops the next complete frame out of the staging buffer, or `None` if
+    /// the staged bytes end mid-frame (feed more bytes and call again).
+    ///
+    /// # Errors
+    ///
+    /// A staged length prefix above [`MAX_FRAME_LEN`] is
+    /// [`io::ErrorKind::InvalidData`] — validated before any payload
+    /// allocation, exactly like [`read_frame`].
+    pub fn next_frame(&mut self) -> io::Result<Option<Vec<u8>>> {
+        if self.buffered() < 4 {
+            return Ok(None);
+        }
+        let mut len_buf = [0u8; 4];
+        len_buf.copy_from_slice(&self.buf[self.head..self.head + 4]);
+        let len = u32::from_le_bytes(len_buf);
+        if len > MAX_FRAME_LEN {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame length {len} exceeds MAX_FRAME_LEN"),
+            ));
+        }
+        let len = len as usize;
+        if self.buffered() < 4 + len {
+            return Ok(None);
+        }
+        let start = self.head + 4;
+        let payload = self.buf[start..start + len].to_vec();
+        self.head = start + len;
+        // Reclaim consumed prefix space once it dominates the buffer, so a
+        // long-lived connection does not grow its staging buffer forever.
+        if self.head == self.buf.len() {
+            self.buf.clear();
+            self.head = 0;
+        } else if self.head >= 64 * 1024 {
+            self.buf.drain(..self.head);
+            self.head = 0;
+        }
+        Ok(Some(payload))
+    }
+}
+
+/// Staged, resumable frame *encoder* for non-blocking streams.
+///
+/// The mirror of [`FrameDecoder`]: [`push_frame`](Self::push_frame) stages a
+/// length-prefixed frame in an outgoing byte buffer, and
+/// [`write_to`](Self::write_to) pushes as much of the staged backlog as the
+/// stream accepts, stopping cleanly at `WouldBlock` — a partial write leaves
+/// the unsent suffix staged, and the next call resumes mid-frame. The staged
+/// byte count ([`staged`](Self::staged)) is the server's per-connection
+/// outgoing backlog, which the poll loop bounds by dropping read interest
+/// when a peer stops draining its replies.
+#[derive(Debug, Default)]
+pub struct FrameEncoder {
+    buf: Vec<u8>,
+    head: usize,
+}
+
+impl FrameEncoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes staged and not yet accepted by the stream.
+    pub fn staged(&self) -> usize {
+        self.buf.len() - self.head
+    }
+
+    /// Whether every staged byte has been written.
+    pub fn is_empty(&self) -> bool {
+        self.staged() == 0
+    }
+
+    /// Stages one length-prefixed frame for writing.
+    ///
+    /// # Errors
+    ///
+    /// An oversized payload is [`io::ErrorKind::InvalidInput`] and stages
+    /// nothing.
+    pub fn push_frame(&mut self, payload: &[u8]) -> io::Result<()> {
+        let len = u32::try_from(payload.len())
+            .ok()
+            .filter(|&len| len <= MAX_FRAME_LEN)
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!(
+                        "frame payload of {} bytes exceeds MAX_FRAME_LEN",
+                        payload.len()
+                    ),
+                )
+            })?;
+        self.buf.extend_from_slice(&len.to_le_bytes());
+        self.buf.extend_from_slice(payload);
+        Ok(())
+    }
+
+    /// Writes staged bytes to `w` until the backlog drains or the stream
+    /// would block; returns how many bytes were accepted. `Interrupted`
+    /// writes are retried; `WouldBlock` ends the pass without error.
+    ///
+    /// # Errors
+    ///
+    /// Any other I/O failure; a stream accepting zero bytes is
+    /// [`io::ErrorKind::WriteZero`].
+    pub fn write_to<W: Write + ?Sized>(&mut self, w: &mut W) -> io::Result<usize> {
+        let mut written = 0;
+        while self.staged() > 0 {
+            match w.write(&self.buf[self.head..]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "stream accepted zero bytes of a staged frame",
+                    ))
+                }
+                Ok(n) => {
+                    self.head += n;
+                    written += n;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        if self.head == self.buf.len() {
+            self.buf.clear();
+            self.head = 0;
+        } else if self.head >= 64 * 1024 {
+            self.buf.drain(..self.head);
+            self.head = 0;
+        }
+        Ok(written)
+    }
+}
+
 /// One endpoint of a bidirectional framed byte stream.
 ///
 /// `send`/`recv` move whole frame payloads; `flush` pushes buffered frames to
@@ -307,6 +529,153 @@ mod tests {
             wire.is_empty(),
             "a refused frame must leave no bytes behind"
         );
+    }
+
+    /// A reader that hands out its bytes in fixed chunks, interleaving a
+    /// `WouldBlock` after every chunk — the shape of a non-blocking socket
+    /// that dribbles data across readiness wakeups.
+    struct DribbleReader {
+        bytes: Vec<u8>,
+        pos: usize,
+        chunk: usize,
+        ready: bool,
+    }
+
+    impl Read for DribbleReader {
+        fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+            if !self.ready {
+                self.ready = true;
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "not ready"));
+            }
+            self.ready = false;
+            let n = self.chunk.min(out.len()).min(self.bytes.len() - self.pos);
+            out[..n].copy_from_slice(&self.bytes[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn frame_decoder_resumes_across_arbitrary_chunk_boundaries() {
+        let payloads: Vec<Vec<u8>> = vec![b"hello".to_vec(), vec![], vec![0xAB; 300]];
+        let mut wire = Vec::new();
+        for p in &payloads {
+            write_frame(&mut wire, p).unwrap();
+        }
+        // Every chunk size from one byte up must yield the same frames: the
+        // decoder resumes inside the prefix and inside the payload alike.
+        for chunk in 1..=9 {
+            let mut reader = DribbleReader {
+                bytes: wire.clone(),
+                pos: 0,
+                chunk,
+                ready: false,
+            };
+            let mut decoder = FrameDecoder::new();
+            let mut decoded: Vec<Vec<u8>> = Vec::new();
+            loop {
+                let status = decoder.fill_from(&mut reader).unwrap();
+                while let Some(frame) = decoder.next_frame().unwrap() {
+                    decoded.push(frame);
+                }
+                if status.eof {
+                    break;
+                }
+            }
+            assert_eq!(decoded, payloads, "chunk size {chunk}");
+            assert!(!decoder.has_partial(), "clean EOF on a frame boundary");
+        }
+    }
+
+    #[test]
+    fn frame_decoder_flags_partial_frames_at_eof() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"payload").unwrap();
+        wire.truncate(6); // cut inside the payload
+        let mut r = io::Cursor::new(wire);
+        let mut decoder = FrameDecoder::new();
+        let status = decoder.fill_from(&mut r).unwrap();
+        assert!(status.eof);
+        assert!(decoder.next_frame().unwrap().is_none());
+        assert!(decoder.has_partial(), "EOF mid-frame must be detectable");
+    }
+
+    #[test]
+    fn frame_decoder_rejects_oversized_prefixes_before_allocating() {
+        let wire = (MAX_FRAME_LEN + 1).to_le_bytes().to_vec();
+        let mut r = io::Cursor::new(wire);
+        let mut decoder = FrameDecoder::new();
+        decoder.fill_from(&mut r).unwrap();
+        assert_eq!(
+            decoder.next_frame().unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+    }
+
+    /// A writer that accepts at most `window` bytes per call and interleaves
+    /// a `WouldBlock` after every accepted chunk — a non-blocking socket with
+    /// a tiny send buffer.
+    struct DribbleWriter {
+        accepted: Vec<u8>,
+        window: usize,
+        ready: bool,
+    }
+
+    impl Write for DribbleWriter {
+        fn write(&mut self, bytes: &[u8]) -> io::Result<usize> {
+            if !self.ready {
+                self.ready = true;
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "full"));
+            }
+            self.ready = false;
+            let n = self.window.min(bytes.len());
+            self.accepted.extend_from_slice(&bytes[..n]);
+            Ok(n)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn frame_encoder_resumes_partial_writes() {
+        let payloads: Vec<Vec<u8>> = vec![b"abc".to_vec(), vec![0x5A; 200], vec![]];
+        for window in 1..=7 {
+            let mut encoder = FrameEncoder::new();
+            for p in &payloads {
+                encoder.push_frame(p).unwrap();
+            }
+            let mut expected = Vec::new();
+            for p in &payloads {
+                write_frame(&mut expected, p).unwrap();
+            }
+            assert_eq!(encoder.staged(), expected.len());
+            let mut sink = DribbleWriter {
+                accepted: Vec::new(),
+                window,
+                ready: false,
+            };
+            // Each write_to pass makes window bytes of progress (one accepted
+            // chunk) and stops cleanly at the next WouldBlock.
+            let mut passes = 0;
+            while !encoder.is_empty() {
+                encoder.write_to(&mut sink).unwrap();
+                passes += 1;
+                assert!(passes < 10_000, "encoder failed to make progress");
+            }
+            assert_eq!(sink.accepted, expected, "window {window}");
+        }
+    }
+
+    #[test]
+    fn frame_encoder_refuses_oversized_payloads_without_staging() {
+        let mut encoder = FrameEncoder::new();
+        let over = vec![0u8; MAX_FRAME_LEN as usize + 1];
+        assert_eq!(
+            encoder.push_frame(&over).unwrap_err().kind(),
+            io::ErrorKind::InvalidInput
+        );
+        assert!(encoder.is_empty(), "a refused frame must stage nothing");
     }
 
     #[test]

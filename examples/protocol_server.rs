@@ -19,7 +19,9 @@
 //!   transport: events are encoded, framed, decoded, dispatched via
 //!   `submit_async_returning`, and each reply is acked back;
 //! * `tcp` — the same client/server split over a real `127.0.0.1` TCP
-//!   socket.
+//!   socket, served by the multi-connection pool server (`serve_pool`);
+//!   `--clients N` runs N concurrent clients on per-client seeded streams
+//!   and checks the merged aggregate against the sequential reference fold.
 //!
 //! The aggregate is executor-independent **and** transport-independent: CI
 //! runs every executor under `PDQ_WORKERS=4` on both `inproc` and `tcp` and
@@ -30,20 +32,24 @@
 //! every `--sync-every` events, snapshotted every `--snapshot-every`; `0`
 //! disables snapshots) before the executor sees it; this needs a single
 //! named `--executor` and a framed transport (`inproc` is upgraded to
-//! `loopback`). `--crash-after N` kills the server with a torn half-record
-//! after event `N` — the run exits successfully once the crash is confirmed.
-//! `--recover` skips serving entirely: it loads the log from `--wal DIR`
-//! (latest valid snapshot plus the surviving suffix, torn tail truncated)
-//! and replays it through the selected executors, checking they agree.
+//! `loopback`; `tcp` logs each connection into `DIR/conn-NNNN`).
+//! `--crash-after N` kills the server with a torn half-record after event
+//! `N` — the run exits successfully once the crash is confirmed.
+//! `--recover` skips serving entirely: it loads the log(s) from `--wal DIR`
+//! (single log or `conn-NNNN` per-connection logs; latest valid snapshot
+//! plus the surviving suffix, torn tail truncated) and replays each through
+//! the selected executors, checking they agree.
 
 use std::net::{TcpListener, TcpStream};
 use std::process::ExitCode;
 
 use pdq_repro::core::executor::{build_executor, ExecutorSpec, EXECUTOR_NAMES};
+use pdq_repro::workloads::serve_pool;
 use pdq_repro::workloads::{
-    loopback_pair, recover_dir, replay, run_client, run_server, serve, serve_durable, serve_tcp,
-    Durability, ExecutorService, ServerAggregate, ServerConfig, ServerError, TcpTransport,
-    WalWriter,
+    client_config, generate_events, loopback_pair, merged_reference_aggregate, recover_dir, replay,
+    run_client, run_client_events, run_server, serve, serve_durable, ClientReport, Durability,
+    ExecutorService, PoolOptions, PoolWal, ProtocolService, ServerAggregate, ServerConfig,
+    ServerError, TcpTransport, WalWriter,
 };
 
 /// Queue capacity bound (per queue/shard): small enough that the intake loop
@@ -100,6 +106,7 @@ fn run_one(
     workers: usize,
     cfg: &ServerConfig,
     transport: TransportKind,
+    clients: usize,
     wal: Option<&WalOpts>,
 ) -> Option<Result<ServerAggregate, ServerError>> {
     let spec = ExecutorSpec::new(workers).capacity(CAPACITY);
@@ -152,26 +159,79 @@ fn run_one(
                 Ok(a) => a,
                 Err(e) => return Some(Err(ServerError::Io(e))),
             };
-            // Connect *before* spawning the server (the listener's backlog
-            // holds the connection): if the connect fails, nothing is ever
-            // blocked in accept(), so the error propagates instead of
-            // hanging the scope on server.join().
-            let mut transport = match TcpStream::connect(addr).and_then(|stream| {
-                stream.set_nodelay(true).ok();
-                TcpTransport::new(stream)
-            }) {
-                Ok(t) => t,
-                Err(e) => return Some(Err(ServerError::Io(e))),
+            let pool_opts = PoolOptions {
+                window: SERVICE_WINDOW,
+                accept: clients,
+                wal: wal.map(|opts| PoolWal {
+                    root: opts.dir.clone(),
+                    blocks: cfg.blocks,
+                    sync_every: opts.sync_every,
+                    snapshot_every: opts.snapshot_every,
+                    crash_after: opts.crash_after,
+                }),
             };
-            std::thread::scope(|scope| {
-                let server = scope.spawn(|| serve_tcp(&listener, &service, SERVICE_WINDOW));
-                let aggregate = run_client(&mut transport, cfg, WINDOW);
-                drop(transport);
-                match server.join().expect("server thread") {
-                    Err(e) => Err(e),
-                    Ok(_) => aggregate,
-                }
-            })
+            if clients == 1 {
+                // Connect *before* spawning the server (the listener's
+                // backlog holds the connection): if the connect fails,
+                // nothing is ever blocked in accept(), so the error
+                // propagates instead of hanging the scope on server.join().
+                let mut transport = match TcpStream::connect(addr).and_then(|stream| {
+                    stream.set_nodelay(true).ok();
+                    TcpTransport::new(stream)
+                }) {
+                    Ok(t) => t,
+                    Err(e) => return Some(Err(ServerError::Io(e))),
+                };
+                std::thread::scope(|scope| {
+                    let server = scope.spawn(|| serve_pool(&listener, &service, &pool_opts));
+                    let aggregate = run_client(&mut transport, cfg, WINDOW);
+                    drop(transport);
+                    match server.join().expect("server thread") {
+                        Err(e) => Err(e),
+                        Ok(_) => aggregate,
+                    }
+                })
+            } else {
+                // N concurrent clients over one shared service: every client
+                // streams its own seed-derived stream and drains its acks;
+                // the merged aggregate is fetched once, driver-side, and
+                // checked against the sequential reference fold.
+                std::thread::scope(|scope| {
+                    let server = scope.spawn(|| serve_pool(&listener, &service, &pool_opts));
+                    let mut joined = Vec::with_capacity(clients);
+                    for client in 0..clients as u64 {
+                        let events = generate_events(&client_config(cfg, client));
+                        joined.push(scope.spawn(move || -> Result<ClientReport, ServerError> {
+                            let stream = TcpStream::connect(addr).map_err(ServerError::Io)?;
+                            stream.set_nodelay(true).map_err(ServerError::Io)?;
+                            let mut t = TcpTransport::new(stream).map_err(ServerError::Io)?;
+                            run_client_events(&mut t, &events, WINDOW, false)
+                        }));
+                    }
+                    let mut completed = 0u64;
+                    let mut client_err: Option<ServerError> = None;
+                    for handle in joined {
+                        match handle.join().expect("client thread") {
+                            Ok(report) => completed += report.acked - report.panicked,
+                            Err(e) => {
+                                client_err.get_or_insert(e);
+                            }
+                        }
+                    }
+                    server.join().expect("server thread")?;
+                    if let Some(e) = client_err {
+                        return Err(e);
+                    }
+                    service.flush();
+                    let aggregate = service.aggregate(completed);
+                    if aggregate != merged_reference_aggregate(cfg, clients as u64) {
+                        return Err(ServerError::Protocol(
+                            "merged aggregate diverged from the sequential reference fold".into(),
+                        ));
+                    }
+                    Ok(aggregate)
+                })
+            }
         }
     };
     let elapsed = start.elapsed();
@@ -190,20 +250,76 @@ fn run_one(
     Some(outcome)
 }
 
-/// `--recover`: loads the log from `dir` (latest valid snapshot plus the
-/// surviving suffix, torn tail truncated), replays it through each selected
-/// executor, and checks the recovered aggregates agree byte for byte.
+/// The `conn-NNNN` per-connection log directories a pool server with `--wal`
+/// leaves under `root` (empty when `root` itself holds a single log).
+fn conn_log_dirs(root: &std::path::Path) -> Vec<std::path::PathBuf> {
+    let Ok(entries) = std::fs::read_dir(root) else {
+        return Vec::new();
+    };
+    let mut dirs: Vec<_> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.is_dir()
+                && p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("conn-"))
+        })
+        .collect();
+    dirs.sort();
+    dirs
+}
+
+/// `--recover`: loads the log(s) under `dir` — either a single log or the
+/// `conn-NNNN` per-connection logs a multi-client pool server left — replays
+/// each through every selected executor, and checks the recovered aggregates
+/// agree byte for byte.
 fn run_recovery(
     dir: &std::path::Path,
     names: &[&str],
     workers: usize,
     json_path: Option<&str>,
 ) -> ExitCode {
+    let conn_dirs = conn_log_dirs(dir);
+    if !conn_dirs.is_empty() {
+        println!(
+            "recovering {} per-connection logs under {}\n",
+            conn_dirs.len(),
+            dir.display()
+        );
+        if let Some(path) = json_path {
+            eprintln!(
+                "--json exports one log; pass --wal {}/conn-NNNN to export one ({path} not written)",
+                dir.display()
+            );
+            return ExitCode::from(2);
+        }
+        for conn_dir in &conn_dirs {
+            if let Err(code) = recover_single(conn_dir, names, workers, None) {
+                return code;
+            }
+            println!();
+        }
+        return ExitCode::SUCCESS;
+    }
+    match recover_single(dir, names, workers, json_path) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(code) => code,
+    }
+}
+
+/// Recovers and replays the single log in `dir` (see [`run_recovery`]).
+fn recover_single(
+    dir: &std::path::Path,
+    names: &[&str],
+    workers: usize,
+    json_path: Option<&str>,
+) -> Result<(), ExitCode> {
     let recovery = match recover_dir(dir) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("could not read the log in {}: {e}", dir.display());
-            return ExitCode::FAILURE;
+            return Err(ExitCode::FAILURE);
         }
     };
     println!(
@@ -230,7 +346,7 @@ fn run_recovery(
         let spec = ExecutorSpec::new(workers).capacity(CAPACITY);
         let Some(mut pool) = build_executor(name, &spec) else {
             eprintln!("unknown executor `{name}` (one of {EXECUTOR_NAMES:?} or `all`)");
-            return ExitCode::from(2);
+            return Err(ExitCode::from(2));
         };
         match replay(&recovery, &*pool) {
             Ok(aggregate) => {
@@ -239,7 +355,7 @@ fn run_recovery(
             }
             Err(e) => {
                 eprintln!("[{name}/recover] replay failed: {e}");
-                return ExitCode::FAILURE;
+                return Err(ExitCode::FAILURE);
             }
         }
         pool.shutdown();
@@ -247,7 +363,7 @@ fn run_recovery(
     let first = aggregates[0];
     if aggregates.iter().any(|a| *a != first) {
         eprintln!("executors disagree on the recovered aggregate!");
-        return ExitCode::FAILURE;
+        return Err(ExitCode::FAILURE);
     }
     println!(
         "\nrecovered aggregate (identical across the executors run):\n{}",
@@ -256,11 +372,11 @@ fn run_recovery(
     if let Some(path) = json_path {
         if let Err(e) = std::fs::write(path, first.to_json_string()) {
             eprintln!("could not write {path}: {e}");
-            return ExitCode::FAILURE;
+            return Err(ExitCode::FAILURE);
         }
         eprintln!("wrote {path}");
     }
-    ExitCode::SUCCESS
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -273,6 +389,7 @@ fn main() -> ExitCode {
     let mut snapshot_every = 4_096u64;
     let mut crash_after: Option<u64> = None;
     let mut recover = false;
+    let mut clients = 1usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -333,13 +450,23 @@ fn main() -> ExitCode {
                 }
             },
             "--recover" => recover = true,
+            "--clients" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => clients = n,
+                _ => {
+                    eprintln!("--clients needs a positive integer");
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => {
                 println!(
                     "usage: protocol_server [--executor NAME|all] \
-                     [--transport inproc|loopback|tcp] [--events N] [--json PATH] \
+                     [--transport inproc|loopback|tcp] [--clients N] [--events N] [--json PATH] \
                      [--wal DIR [--sync-every N] [--snapshot-every N] [--crash-after N]] \
                      [--recover --wal DIR]\n\
-                     NAME is one of {EXECUTOR_NAMES:?}. PDQ_WORKERS sets the worker count."
+                     NAME is one of {EXECUTOR_NAMES:?}. PDQ_WORKERS sets the worker count.\n\
+                     --clients N serves N concurrent TCP clients through the pool server \
+                     (per-client seeded streams, driver-side merged aggregate); with --wal \
+                     each connection logs into DIR/conn-NNNN."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -383,6 +510,10 @@ fn main() -> ExitCode {
         return run_recovery(dir, &names, workers, json_path.as_deref());
     }
 
+    if clients > 1 && transport != TransportKind::Tcp {
+        eprintln!("--clients N needs --transport tcp (the pool server serves real sockets)");
+        return ExitCode::from(2);
+    }
     let wal_opts = match wal_dir {
         None => {
             if crash_after.is_some() {
@@ -394,10 +525,6 @@ fn main() -> ExitCode {
         Some(dir) => {
             if executor == "all" {
                 eprintln!("--wal needs a single named --executor (one log, one server)");
-                return ExitCode::from(2);
-            }
-            if transport == TransportKind::Tcp {
-                eprintln!("--wal is only wired to the loopback transport");
                 return ExitCode::from(2);
             }
             if transport == TransportKind::Inproc {
@@ -415,7 +542,7 @@ fn main() -> ExitCode {
 
     println!(
         "protocol server: {} DSM events over {} blocks, {workers} workers, \
-         transport {}, queue capacity {CAPACITY}, window {WINDOW}\n",
+         transport {}, {clients} client(s), queue capacity {CAPACITY}, window {WINDOW}\n",
         cfg.events,
         cfg.blocks,
         transport.name()
@@ -423,7 +550,7 @@ fn main() -> ExitCode {
 
     let mut aggregates = Vec::new();
     for name in &names {
-        match run_one(name, workers, &cfg, transport, wal_opts.as_ref()) {
+        match run_one(name, workers, &cfg, transport, clients, wal_opts.as_ref()) {
             Some(Ok(aggregate)) => aggregates.push(aggregate),
             Some(Err(e)) => {
                 let armed_crash = wal_opts.as_ref().is_some_and(|o| o.crash_after.is_some())

@@ -1,0 +1,354 @@
+//! Many-client soak driver for the multi-connection protocol server.
+//!
+//! Hundreds of concurrent clients stream millions of events into one shared
+//! executor over real TCP sockets, through either server tier:
+//!
+//! ```text
+//! cargo run --release --example soak -- [--tier pool|poll] [--clients N] \
+//!     [--events TOTAL] [--executor NAME|all] [--json PATH] \
+//!     [--reference-json PATH]
+//! ```
+//!
+//! Each client drives its own deterministic stream (per-client seeds derived
+//! via `DetRng::stream` inside `client_config`) and digest-verifies every
+//! ack. After all clients drain, the driver fetches the merged aggregate
+//! once and checks it is **byte-identical** to the sequential reference fold
+//! of the concatenated streams — the determinism contract of the whole
+//! pipeline, independent of executor, tier, and interleaving. The run fails
+//! (non-zero exit) on any mismatch.
+//!
+//! The report gives throughput plus p50/p95/p99 reply-latency percentiles
+//! merged across every client, and — on the poll tier — how many readiness
+//! wakeups were admitted per `try_submit_batch` pass and how often executor
+//! `WouldBlock` suspended a connection's socket reads (TCP backpressure).
+//!
+//! `--events` is the **total** across clients (default 1,000,000 over 256
+//! clients); `PDQ_WORKERS` sets the executor worker count and, for the poll
+//! tier, `PDQ_POLL_THREADS` the number of polling threads (default 4, max
+//! 8). `--json` writes the merged aggregate; `--reference-json` writes the
+//! reference fold — CI byte-diffs the two.
+
+use std::net::{TcpListener, TcpStream};
+use std::process::ExitCode;
+use std::time::Instant;
+
+use pdq_repro::core::executor::{build_executor, ExecutorSpec, EXECUTOR_NAMES};
+use pdq_repro::workloads::{
+    client_config, generate_events, merged_reference_aggregate, run_client_events, serve_poll,
+    serve_pool, ClientReport, ExecutorService, PollOptions, PoolOptions, ProtocolService,
+    ServerAggregate, ServerConfig, ServerError, TcpTransport,
+};
+
+/// Executor queue capacity per queue/shard — big enough to keep hundreds of
+/// clients busy, small enough that the poll tier regularly sees `WouldBlock`
+/// backpressure at full blast.
+const CAPACITY: usize = 512;
+/// Client-side window (max unanswered requests before the client stops to
+/// read an ack). Strictly larger than the pool tier's reply window.
+const CLIENT_WINDOW: usize = 256;
+/// Pool tier per-connection reply window.
+const SERVICE_WINDOW: usize = 128;
+/// Poll tier per-connection in-flight cap.
+const MAX_PENDING: usize = 128;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Tier {
+    Pool,
+    Poll,
+}
+
+impl Tier {
+    fn name(self) -> &'static str {
+        match self {
+            Tier::Pool => "pool",
+            Tier::Poll => "poll",
+        }
+    }
+}
+
+/// A percentile of a **sorted** latency sample, in nanoseconds.
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64) * p).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+struct SoakOutcome {
+    aggregate: ServerAggregate,
+    elapsed: std::time::Duration,
+    latencies_ns: Vec<u64>,
+    answered: u64,
+    suspensions: u64,
+    batches: u64,
+}
+
+/// One soak run: `clients` concurrent TCP clients against one shared
+/// executor behind the selected tier.
+fn run_soak(
+    name: &str,
+    workers: usize,
+    poll_threads: usize,
+    tier: Tier,
+    base: &ServerConfig,
+    clients: usize,
+) -> Option<Result<SoakOutcome, ServerError>> {
+    let spec = ExecutorSpec::new(workers).capacity(CAPACITY);
+    let mut pool = build_executor(name, &spec)?;
+    let service = ExecutorService::new(&*pool, base.blocks);
+    let listener = match TcpListener::bind("127.0.0.1:0") {
+        Ok(l) => l,
+        Err(e) => return Some(Err(ServerError::Io(e))),
+    };
+    let addr = match listener.local_addr() {
+        Ok(a) => a,
+        Err(e) => return Some(Err(ServerError::Io(e))),
+    };
+    let start = Instant::now();
+    let outcome = std::thread::scope(|scope| {
+        let service = &service;
+        let server = scope.spawn(move || match tier {
+            Tier::Pool => serve_pool(
+                &listener,
+                service,
+                &PoolOptions::new(clients, SERVICE_WINDOW),
+            )
+            .map(|r| (r.answered, 0, 0)),
+            Tier::Poll => serve_poll(
+                &listener,
+                service,
+                &PollOptions {
+                    workers: poll_threads,
+                    accept: clients,
+                    max_pending: MAX_PENDING,
+                },
+            )
+            .map(|r| (r.answered, r.suspensions, r.batches)),
+        });
+        let mut joined = Vec::with_capacity(clients);
+        for client in 0..clients as u64 {
+            joined.push(scope.spawn(move || -> Result<ClientReport, ServerError> {
+                let events = generate_events(&client_config(base, client));
+                let stream = TcpStream::connect(addr).map_err(ServerError::Io)?;
+                stream.set_nodelay(true).map_err(ServerError::Io)?;
+                let mut transport = TcpTransport::new(stream).map_err(ServerError::Io)?;
+                run_client_events(&mut transport, &events, CLIENT_WINDOW, true)
+            }));
+        }
+        let mut latencies_ns = Vec::new();
+        let mut completed = 0u64;
+        let mut client_err: Option<ServerError> = None;
+        for handle in joined {
+            match handle.join().expect("client thread") {
+                Ok(report) => {
+                    completed += report.acked - report.panicked;
+                    latencies_ns.extend(report.latencies_ns);
+                }
+                Err(e) => {
+                    client_err.get_or_insert(e);
+                }
+            }
+        }
+        let (answered, suspensions, batches) = server.join().expect("server thread")?;
+        if let Some(e) = client_err {
+            return Err(e);
+        }
+        let elapsed = start.elapsed();
+        service.flush();
+        Ok(SoakOutcome {
+            aggregate: service.aggregate(completed),
+            elapsed,
+            latencies_ns,
+            answered,
+            suspensions,
+            batches,
+        })
+    });
+    pool.shutdown();
+    Some(outcome)
+}
+
+fn parse_env(name: &str, default: usize, range: std::ops::RangeInclusive<usize>) -> Option<usize> {
+    match std::env::var(name) {
+        Err(_) => Some(default),
+        Ok(v) if v.is_empty() => Some(default),
+        Ok(v) => match v.parse::<usize>() {
+            Ok(n) if range.contains(&n) => Some(n),
+            _ => {
+                eprintln!("{name}={v} is invalid (expected {range:?})");
+                None
+            }
+        },
+    }
+}
+
+fn main() -> ExitCode {
+    let mut tier = Tier::Poll;
+    let mut clients = 256usize;
+    let mut total_events = 1_000_000usize;
+    let mut executor = "sharded-pdq".to_string();
+    let mut json_path: Option<String> = None;
+    let mut reference_json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--tier" => match args.next().as_deref() {
+                Some("pool") => tier = Tier::Pool,
+                Some("poll") => tier = Tier::Poll,
+                _ => {
+                    eprintln!("--tier needs pool|poll");
+                    return ExitCode::from(2);
+                }
+            },
+            "--clients" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => clients = n,
+                _ => {
+                    eprintln!("--clients needs a positive integer");
+                    return ExitCode::from(2);
+                }
+            },
+            "--events" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => total_events = n,
+                _ => {
+                    eprintln!("--events needs a positive integer (total across clients)");
+                    return ExitCode::from(2);
+                }
+            },
+            "--executor" => match args.next() {
+                Some(name) => executor = name,
+                None => {
+                    eprintln!("--executor needs a name (one of {EXECUTOR_NAMES:?} or `all`)");
+                    return ExitCode::from(2);
+                }
+            },
+            "--json" => match args.next() {
+                Some(path) => json_path = Some(path),
+                None => {
+                    eprintln!("--json needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--reference-json" => match args.next() {
+                Some(path) => reference_json_path = Some(path),
+                None => {
+                    eprintln!("--reference-json needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "usage: soak [--tier pool|poll] [--clients N] [--events TOTAL] \
+                     [--executor NAME|all] [--json PATH] [--reference-json PATH]\n\
+                     NAME is one of {EXECUTOR_NAMES:?}. PDQ_WORKERS sets the executor \
+                     worker count, PDQ_POLL_THREADS the poll tier's thread count (1..=8)."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(workers) = parse_env("PDQ_WORKERS", 4, 1..=512) else {
+        return ExitCode::from(2);
+    };
+    let Some(poll_threads) = parse_env("PDQ_POLL_THREADS", 4, 1..=8) else {
+        return ExitCode::from(2);
+    };
+
+    let per_client = (total_events / clients).max(1);
+    let base = ServerConfig::new().events(per_client);
+    let total = per_client * clients;
+    let names: Vec<&str> = if executor == "all" {
+        EXECUTOR_NAMES.to_vec()
+    } else {
+        vec![executor.as_str()]
+    };
+
+    println!(
+        "soak: {clients} clients x {per_client} events = {total} total, tier {}, \
+         {workers} executor workers{}\n",
+        tier.name(),
+        match tier {
+            Tier::Poll => format!(", {poll_threads} poll threads"),
+            Tier::Pool => String::new(),
+        }
+    );
+
+    let reference = merged_reference_aggregate(&base, clients as u64);
+    let mut merged: Vec<ServerAggregate> = Vec::new();
+    for name in &names {
+        match run_soak(name, workers, poll_threads, tier, &base, clients) {
+            Some(Ok(outcome)) => {
+                let mut lat = outcome.latencies_ns;
+                lat.sort_unstable();
+                let throughput = total as f64 / outcome.elapsed.as_secs_f64().max(f64::EPSILON);
+                println!(
+                    "[{name}/{}] {total} events from {clients} clients in {:.2?}: \
+                     {throughput:.0} events/sec",
+                    tier.name(),
+                    outcome.elapsed,
+                );
+                println!(
+                    "    reply latency p50 {:.1} us, p95 {:.1} us, p99 {:.1} us \
+                     ({} samples, {} acks)",
+                    percentile(&lat, 0.50) as f64 / 1e3,
+                    percentile(&lat, 0.95) as f64 / 1e3,
+                    percentile(&lat, 0.99) as f64 / 1e3,
+                    lat.len(),
+                    outcome.answered,
+                );
+                if tier == Tier::Poll {
+                    println!(
+                        "    admission: {} events over {} batch passes ({:.1} events/pass), \
+                         {} read suspensions (executor WouldBlock -> TCP pushback)",
+                        total,
+                        outcome.batches,
+                        total as f64 / (outcome.batches.max(1)) as f64,
+                        outcome.suspensions,
+                    );
+                }
+                if outcome.aggregate != reference {
+                    eprintln!(
+                        "[{name}/{}] merged aggregate DIVERGED from the sequential \
+                         reference fold!",
+                        tier.name()
+                    );
+                    return ExitCode::FAILURE;
+                }
+                println!("    merged aggregate == sequential reference fold (byte-identical)");
+                merged.push(outcome.aggregate);
+            }
+            Some(Err(e)) => {
+                eprintln!("[{name}/{}] soak failed: {e}", tier.name());
+                return ExitCode::FAILURE;
+            }
+            None => {
+                eprintln!("unknown executor `{name}` (one of {EXECUTOR_NAMES:?} or `all`)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let first = merged[0];
+    if merged.iter().any(|a| *a != first) {
+        eprintln!("executors disagree on the merged aggregate!");
+        return ExitCode::FAILURE;
+    }
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(&path, first.to_json_string()) {
+            eprintln!("could not write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = reference_json_path {
+        if let Err(e) = std::fs::write(&path, reference.to_json_string()) {
+            eprintln!("could not write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}
