@@ -13,6 +13,7 @@
 
 use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
+use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pdq_bench::{drive_fetch_add, drive_nosync_contended, scaling_spec};
@@ -156,6 +157,73 @@ fn bench_nosync_fast_path(c: &mut Criterion) {
     group.finish();
 }
 
+/// Drives the contended dispatch workload with the exact instrumentation the
+/// observed server puts on its hot path: one relaxed counter increment per
+/// submission and one timestamped histogram record per completed job.
+fn drive_instrumented_submit(
+    executor: &dyn Executor,
+    jobs: u64,
+    keys: u64,
+    submits: &pdq_metrics::Counter,
+    latency: &pdq_metrics::Histogram,
+) {
+    for i in 0..jobs {
+        submits.inc();
+        let stamp = Instant::now();
+        let latency = latency.clone();
+        executor
+            .submit(
+                SyncKey::key(i % keys),
+                Box::new(move || {
+                    latency.record(stamp.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+                }),
+            )
+            .expect("executor is running");
+    }
+    executor.flush();
+}
+
+/// Cost of live observability on the dispatch hot path: the same contended
+/// single-submit workload as `submit_batch/single`, bare vs carrying the
+/// per-submission counter increment and per-job latency histogram record the
+/// instrumented server performs. Both sides pay the same dispatch and
+/// same-key serialization cost, so the delta is purely the relaxed-atomic
+/// bookkeeping. On a single-CPU host the absolute numbers time-slice one
+/// core, but the *relative* overhead is still what the target (<1%) bounds,
+/// since instrumentation adds per-job work, not parallelism.
+fn bench_metrics_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metrics_overhead");
+    group.sample_size(10);
+    for name in EXECUTOR_NAMES {
+        for (mode, instrumented) in [("bare", false), ("observed", true)] {
+            group.bench_function(BenchmarkId::new(name, mode), |b| {
+                b.iter_batched(
+                    || {
+                        let registry = pdq_metrics::Registry::new();
+                        (
+                            build_executor(name, &scaling_spec(name, 4))
+                                .expect("registry names build"),
+                            registry.counter("bench_submits_total"),
+                            registry.histogram("bench_job_latency_ns"),
+                        )
+                    },
+                    |(executor, submits, latency)| {
+                        if instrumented {
+                            drive_instrumented_submit(
+                                &*executor, JOBS, HOT_WORDS, &submits, &latency,
+                            );
+                        } else {
+                            drive_single_submit(&*executor, JOBS, HOT_WORDS);
+                        }
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
 fn bench_executors(c: &mut Criterion) {
     bench_workers(c, "fetch_add_4k_jobs", 4, HOT_WORDS);
     // 16 workers over 64 words: enough key parallelism that the queue
@@ -163,6 +231,7 @@ fn bench_executors(c: &mut Criterion) {
     bench_workers(c, "fetch_add_4k_jobs_16_workers", 16, 64);
     bench_submit_batch(c);
     bench_nosync_fast_path(c);
+    bench_metrics_overhead(c);
 }
 
 criterion_group!(benches, bench_executors);

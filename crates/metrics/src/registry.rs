@@ -1,0 +1,536 @@
+//! Named relaxed-atomic instruments and the registry that renders them.
+//!
+//! The hot-path contract: recording into a [`Counter`], [`Gauge`], or
+//! [`Histogram`] is a single relaxed atomic RMW on a pre-looked-up cell —
+//! no locks, no allocation, no branches beyond the bucket index. The
+//! [`Registry`]'s mutex guards only the name → instrument map, which is
+//! touched at registration time (server startup) and render time (a
+//! metrics scrape), never per event.
+//!
+//! Counts are *exact*, not sampled: `fetch_add` never loses an increment,
+//! so the sum of a histogram's buckets equals the number of `record` calls
+//! even under full concurrency — the property the proptests below pin.
+//! What is approximate is the value resolution: log₂ buckets give
+//! factor-of-two percentiles, which is what latency dashboards need and
+//! all a lock-free recorder can give without per-sample storage.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use pdq_core::CachePadded;
+
+/// Number of histogram buckets: bucket `i` counts values of bit length `i`
+/// (bucket 0 counts zeros), so 65 buckets cover the full `u64` range.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A monotonically increasing relaxed-atomic counter.
+///
+/// Clones share one cache-line-padded cell, so an instrument can be looked
+/// up once at startup and bumped from any thread without touching the
+/// registry again.
+#[derive(Clone, Debug)]
+pub struct Counter {
+    cell: Arc<CachePadded<AtomicU64>>,
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Self {
+            cell: Arc::new(CachePadded::new(AtomicU64::new(0))),
+        }
+    }
+}
+
+impl Counter {
+    /// A detached counter (not registered anywhere).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins relaxed-atomic gauge (queue depths, worker counts —
+/// values that go down as well as up).
+#[derive(Clone, Debug)]
+pub struct Gauge {
+    cell: Arc<CachePadded<AtomicU64>>,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self {
+            cell: Arc::new(CachePadded::new(AtomicU64::new(0))),
+        }
+    }
+}
+
+impl Gauge {
+    /// A detached gauge (not registered anywhere).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overwrites the value.
+    pub fn set(&self, v: u64) {
+        self.cell.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// The bucket a value lands in: its bit length (`0` for zero). Public so
+/// drivers can compare an exact percentile against a histogram's at bucket
+/// resolution.
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        (64 - value.leading_zeros()) as usize
+    }
+}
+
+/// The largest value bucket `index` counts: `0`, then `2^i - 1`, with the
+/// last bucket absorbing everything up to `u64::MAX`.
+pub fn bucket_upper_bound(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        i if i >= 64 => u64::MAX,
+        i => (1u64 << i) - 1,
+    }
+}
+
+/// A log₂-bucketed histogram: `record` is one relaxed `fetch_add` into the
+/// bucket matching the value's bit length.
+///
+/// The bucket array is padded as a whole (one [`CachePadded`] block) so a
+/// histogram never false-shares with a neighbouring instrument; buckets
+/// within one histogram share lines by design — concurrent recorders of
+/// *similar* values contend on the same cache line no matter the layout.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    buckets: Arc<CachePadded<[AtomicU64; HISTOGRAM_BUCKETS]>>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: Arc::new(CachePadded::new(
+                [(); HISTOGRAM_BUCKETS].map(|()| AtomicU64::new(0)),
+            )),
+        }
+    }
+}
+
+impl Histogram {
+    /// A detached histogram (not registered anywhere).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts one sample. Exact under concurrency: increments are never
+    /// lost, so bucket sums always equal the number of calls.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the bucket counts. Buckets are read one by
+    /// one (relaxed), so a snapshot taken *during* recording may split a
+    /// sample across two reads' worth of time — but any snapshot taken
+    /// after recorders quiesce is exact.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for (slot, bucket) in buckets.iter_mut().zip(self.buckets.iter()) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot { buckets }
+    }
+}
+
+/// A copied-out bucket vector with percentile arithmetic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts, indexed by [`bucket_index`].
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl HistogramSnapshot {
+    /// Total samples recorded.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// The bucket holding quantile `q` (the first bucket whose cumulative
+    /// count reaches `ceil(q * total)`); `0` when empty.
+    pub fn quantile_bucket(&self, q: f64) -> usize {
+        let total = self.total();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((total as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (index, count) in self.buckets.iter().enumerate() {
+            cumulative += count;
+            if cumulative >= target {
+                return index;
+            }
+        }
+        HISTOGRAM_BUCKETS - 1
+    }
+
+    /// Upper bound of the bucket holding quantile `q` — the histogram's
+    /// (factor-of-two) answer for "p50/p95/p99".
+    pub fn quantile(&self, q: f64) -> u64 {
+        bucket_upper_bound(self.quantile_bucket(q))
+    }
+}
+
+/// One registered instrument.
+#[derive(Clone, Debug)]
+enum Instrument {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// A named-instrument registry with Prometheus-style text rendering.
+///
+/// Clones share the map. Lookup is get-or-create: asking twice for the
+/// same name returns handles on the same cell, so layers can wire
+/// themselves up independently. Asking for a name that exists with a
+/// *different* instrument kind returns a detached (unregistered)
+/// instrument instead of panicking — the misuse shows up as a silent
+/// metric, not a crashed server.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    instruments: Arc<Mutex<BTreeMap<String, Instrument>>>,
+}
+
+/// Renders `name{k="v",...}` (or just `name` without labels) — the map key
+/// and the exact text the render emits for scalar instruments.
+fn full_name(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut out = String::with_capacity(name.len() + 16 * labels.len());
+    out.push_str(name);
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{v}\"");
+    }
+    out.push('}');
+    out
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Instrument>> {
+        self.instruments
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Get-or-create the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counter_labeled(name, &[])
+    }
+
+    /// Get-or-create the counter `name{labels}`.
+    pub fn counter_labeled(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let key = full_name(name, labels);
+        match self
+            .lock()
+            .entry(key)
+            .or_insert_with(|| Instrument::Counter(Counter::new()))
+        {
+            Instrument::Counter(c) => c.clone(),
+            _ => Counter::new(),
+        }
+    }
+
+    /// Get-or-create the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauge_labeled(name, &[])
+    }
+
+    /// Get-or-create the gauge `name{labels}`.
+    pub fn gauge_labeled(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let key = full_name(name, labels);
+        match self
+            .lock()
+            .entry(key)
+            .or_insert_with(|| Instrument::Gauge(Gauge::new()))
+        {
+            Instrument::Gauge(g) => g.clone(),
+            _ => Gauge::new(),
+        }
+    }
+
+    /// Get-or-create the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.histogram_labeled(name, &[])
+    }
+
+    /// Get-or-create the histogram `name{labels}`.
+    pub fn histogram_labeled(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        let key = full_name(name, labels);
+        match self
+            .lock()
+            .entry(key)
+            .or_insert_with(|| Instrument::Histogram(Histogram::new()))
+        {
+            Instrument::Histogram(h) => h.clone(),
+            _ => Histogram::new(),
+        }
+    }
+
+    /// Renders every instrument as `name{label="v"} value` lines, sorted by
+    /// key (the map is a `BTreeMap`, so the order is stable across renders).
+    ///
+    /// A histogram `h{k="v"}` renders its cumulative distribution the
+    /// Prometheus way — `h_bucket{k="v",le="N"} cum` lines up to the last
+    /// non-empty bucket, an `le="+Inf"` line, and `h_count` — plus
+    /// pre-computed `h_p50`/`h_p95`/`h_p99` convenience lines (bucket upper
+    /// bounds) so a raw TCP read needs no client-side math.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (key, instrument) in self.lock().iter() {
+            match instrument {
+                Instrument::Counter(c) => {
+                    let _ = writeln!(out, "{key} {}", c.get());
+                }
+                Instrument::Gauge(g) => {
+                    let _ = writeln!(out, "{key} {}", g.get());
+                }
+                Instrument::Histogram(h) => {
+                    render_histogram(&mut out, key, &h.snapshot());
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Splits a registry key into `(name, labels-with-trailing-comma)` so
+/// histogram sublines can splice in their `le` label.
+fn split_key(key: &str) -> (&str, String) {
+    match key.find('{') {
+        None => (key, String::new()),
+        Some(pos) => {
+            let labels = &key[pos + 1..key.len() - 1];
+            (&key[..pos], format!("{labels},"))
+        }
+    }
+}
+
+fn render_histogram(out: &mut String, key: &str, snap: &HistogramSnapshot) {
+    let (name, labels) = split_key(key);
+    let last_nonempty = snap
+        .buckets
+        .iter()
+        .rposition(|&c| c > 0)
+        .unwrap_or(0)
+        .min(HISTOGRAM_BUCKETS - 2);
+    let mut cumulative = 0u64;
+    for (index, count) in snap.buckets.iter().enumerate().take(last_nonempty + 1) {
+        cumulative += count;
+        let _ = writeln!(
+            out,
+            "{name}_bucket{{{labels}le=\"{}\"}} {cumulative}",
+            bucket_upper_bound(index)
+        );
+    }
+    let total = snap.total();
+    let _ = writeln!(out, "{name}_bucket{{{labels}le=\"+Inf\"}} {total}");
+    let _ = writeln!(
+        out,
+        "{name}_count{} {total}",
+        key.strip_prefix(name).unwrap_or("")
+    );
+    for (suffix, q) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
+        let _ = writeln!(
+            out,
+            "{name}_{suffix}{} {}",
+            key.strip_prefix(name).unwrap_or(""),
+            snap.quantile(q)
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_the_bit_length() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for i in 0..HISTOGRAM_BUCKETS {
+            assert_eq!(
+                bucket_index(bucket_upper_bound(i)),
+                i,
+                "bound of bucket {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn clones_share_the_cell_and_lookups_are_get_or_create() {
+        let registry = Registry::new();
+        let a = registry.counter("pdq_test_total");
+        let b = registry.counter("pdq_test_total");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        let g = registry.gauge("pdq_test_depth");
+        registry.gauge("pdq_test_depth").set(7);
+        assert_eq!(g.get(), 7);
+        let h = registry.histogram("pdq_test_ns");
+        registry.histogram("pdq_test_ns").record(5);
+        assert_eq!(h.snapshot().total(), 1);
+    }
+
+    #[test]
+    fn kind_mismatch_returns_a_detached_instrument() {
+        let registry = Registry::new();
+        registry.counter("pdq_test_total").inc();
+        let detached = registry.gauge("pdq_test_total");
+        detached.set(99);
+        assert!(!registry.render().contains("99"), "detached gauge leaked");
+        assert!(registry.render().contains("pdq_test_total 1"));
+    }
+
+    #[test]
+    fn render_is_sorted_and_stable() {
+        let registry = Registry::new();
+        registry.counter("pdq_b").add(2);
+        registry.counter("pdq_a").inc();
+        registry
+            .counter_labeled("pdq_c", &[("tier", "poll"), ("executor", "pdq")])
+            .add(4);
+        let text = registry.render();
+        assert_eq!(
+            text,
+            "pdq_a 1\npdq_b 2\npdq_c{tier=\"poll\",executor=\"pdq\"} 4\n"
+        );
+        assert_eq!(registry.render(), text, "render must be stable");
+    }
+
+    #[test]
+    fn histogram_renders_cumulative_buckets_and_quantiles() {
+        let registry = Registry::new();
+        let h = registry.histogram_labeled("pdq_lat_ns", &[("tier", "pool")]);
+        for v in [0, 1, 2, 3, 5, 9, 100] {
+            h.record(v);
+        }
+        let text = registry.render();
+        assert!(text.contains("pdq_lat_ns_bucket{tier=\"pool\",le=\"0\"} 1"));
+        assert!(text.contains("pdq_lat_ns_bucket{tier=\"pool\",le=\"1\"} 2"));
+        assert!(text.contains("pdq_lat_ns_bucket{tier=\"pool\",le=\"3\"} 4"));
+        assert!(text.contains("pdq_lat_ns_bucket{tier=\"pool\",le=\"+Inf\"} 7"));
+        assert!(text.contains("pdq_lat_ns_count{tier=\"pool\"} 7"));
+        assert!(text.contains("pdq_lat_ns_p50{tier=\"pool\"} 3"));
+        let snap = h.snapshot();
+        assert_eq!(snap.quantile_bucket(0.50), 2);
+        assert_eq!(snap.quantile(1.0), 127);
+        assert_eq!(snap.quantile(0.0), 0);
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let snap = Histogram::new().snapshot();
+        assert_eq!(snap.total(), 0);
+        assert_eq!(snap.quantile(0.5), 0);
+        assert_eq!(snap.quantile_bucket(0.99), 0);
+    }
+
+    mod concurrency_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+
+            /// Concurrent recording is exact: after the recorders join, every
+            /// bucket count equals the sequential reference, the bucket sum
+            /// equals the number of observations, and the CDF is monotone.
+            #[test]
+            fn concurrent_recording_is_exact(values in proptest::collection::vec(any::<u64>(), 1..256)) {
+                let h = Histogram::new();
+                let chunks: Vec<&[u64]> = values.chunks(values.len().div_ceil(4)).collect();
+                std::thread::scope(|scope| {
+                    for chunk in &chunks {
+                        let h = h.clone();
+                        scope.spawn(move || {
+                            for &v in *chunk {
+                                h.record(v);
+                            }
+                        });
+                    }
+                });
+                let mut reference = [0u64; HISTOGRAM_BUCKETS];
+                for &v in &values {
+                    reference[bucket_index(v)] += 1;
+                }
+                let snap = h.snapshot();
+                prop_assert_eq!(snap.buckets, reference);
+                prop_assert_eq!(snap.total(), values.len() as u64);
+                let mut cumulative = 0u64;
+                for count in snap.buckets {
+                    let next = cumulative + count;
+                    prop_assert!(next >= cumulative, "CDF must be monotone");
+                    cumulative = next;
+                }
+                prop_assert_eq!(cumulative, values.len() as u64);
+            }
+
+            /// Counters merge concurrent increments without loss.
+            #[test]
+            fn concurrent_counting_is_exact(per_thread in 1u64..2000) {
+                let c = Counter::new();
+                std::thread::scope(|scope| {
+                    for _ in 0..4 {
+                        let c = c.clone();
+                        scope.spawn(move || {
+                            for _ in 0..per_thread {
+                                c.inc();
+                            }
+                        });
+                    }
+                });
+                prop_assert_eq!(c.get(), 4 * per_thread);
+            }
+        }
+    }
+}

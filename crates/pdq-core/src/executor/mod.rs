@@ -229,6 +229,75 @@ pub struct ExecutorStats {
     pub stolen: u64,
 }
 
+impl ExecutorStats {
+    /// The stats as a JSON document with a stable field order, so equal
+    /// snapshots render byte-identically — the one structured rendering the
+    /// examples' report paths embed instead of ad-hoc per-example field
+    /// formatting (the metrics endpoint exports the same snapshot as
+    /// `pdq_executor_*` / `pdq_queue_*` gauges).
+    pub fn to_json_string(&self) -> String {
+        let queue = match &self.queue {
+            None => "null".to_string(),
+            Some(q) => format!(
+                "{{\n    \"enqueued\": {},\n    \"rejected_full\": {},\n    \
+                 \"dispatched\": {},\n    \"completed\": {},\n    \
+                 \"key_conflicts\": {},\n    \"order_holds\": {},\n    \
+                 \"empty_dispatches\": {},\n    \"sequential_stalls\": {},\n    \
+                 \"sequential_handlers\": {},\n    \"nosync_handlers\": {},\n    \
+                 \"max_queue_len\": {},\n    \"max_in_flight\": {}\n  }}",
+                q.enqueued,
+                q.rejected_full,
+                q.dispatched,
+                q.completed,
+                q.key_conflicts,
+                q.order_holds,
+                q.empty_dispatches,
+                q.sequential_stalls,
+                q.sequential_handlers,
+                q.nosync_handlers,
+                q.max_queue_len,
+                q.max_in_flight,
+            ),
+        };
+        format!(
+            "{{\n  \"executed\": {},\n  \"panicked\": {},\n  \"queued\": {},\n  \
+             \"spin_iterations\": {},\n  \"spurious_wakeups\": {},\n  \
+             \"ring_submits\": {},\n  \"stolen\": {},\n  \"queue\": {queue}\n}}\n",
+            self.executed,
+            self.panicked,
+            self.queued,
+            self.spin_iterations,
+            self.spurious_wakeups,
+            self.ring_submits,
+            self.stolen,
+        )
+    }
+}
+
+impl std::fmt::Display for ExecutorStats {
+    /// One line of `key=value` pairs, with the queue block appended when the
+    /// executor has one — the shared human-readable form the examples print
+    /// instead of ad-hoc per-example formatting.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "executed={} panicked={} queued={} spin_iterations={} \
+             spurious_wakeups={} ring_submits={} stolen={}",
+            self.executed,
+            self.panicked,
+            self.queued,
+            self.spin_iterations,
+            self.spurious_wakeups,
+            self.ring_submits,
+            self.stolen,
+        )?;
+        if let Some(queue) = &self.queue {
+            write!(f, " [{queue}]")?;
+        }
+        Ok(())
+    }
+}
+
 /// The common interface of every executor: keyed submission with optional
 /// backpressure, idle flushing, shutdown, and statistics.
 ///

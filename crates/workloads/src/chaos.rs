@@ -977,10 +977,11 @@ fn run_malformed(executor: &dyn Executor, cfg: &ChaosConfig) -> Result<ChaosRepo
         match decode_request(&wire) {
             Ok(WireRequest::Event(event)) => dispatched.push(event),
             // A one-bit flip cannot turn REQ_EVENT (0x01) into REQ_AGGREGATE
-            // (0x02), and a flip to REQ_DRAIN (0x03) leaves the event body as
-            // trailing bytes (a decode error), so these arms are unreachable
-            // for the plan above; treat them as a driver bug.
-            Ok(WireRequest::Aggregate | WireRequest::Drain) => {
+            // (0x02) or REQ_METRICS (0x04) — both differ in two bits — and a
+            // flip to REQ_DRAIN (0x03) leaves the event body as trailing
+            // bytes (a decode error), so these arms are unreachable for the
+            // plan above; treat them as a driver bug.
+            Ok(WireRequest::Aggregate | WireRequest::Drain | WireRequest::Metrics) => {
                 return Err(ServerError::Protocol(
                     "malformed: mutation produced a control request".into(),
                 ))

@@ -24,6 +24,7 @@
 
 mod app;
 pub mod chaos;
+pub mod metrics;
 pub mod protocol_server;
 pub mod server;
 pub mod service;
@@ -36,17 +37,19 @@ pub use chaos::{
     adversarial_events, poison_schedule, run_chaos, ChaosConfig, ChaosReport, ChaosService,
     FaultAction, FaultPlan, FaultTransport, KeyOrderRecorder, Scenario, Zipf,
 };
+pub use metrics::{scrape_metrics, serve_metrics, ConnObs, Observability, WalMetrics};
 pub use protocol_server::{
     generate_events, reference_aggregate, run_server, ServerAggregate, ServerConfig, ServerError,
     ServerState,
 };
 pub use server::{
-    client_config, merged_reference_aggregate, pool_wal_dir, serve_poll, serve_pool, PollOptions,
-    PollReport, PoolOptions, PoolReport, PoolWal,
+    client_config, merged_reference_aggregate, pool_wal_dir, serve_poll, serve_poll_observed,
+    serve_pool, serve_pool_observed, PollOptions, PollReport, PoolOptions, PoolReport, PoolWal,
 };
 pub use service::{
-    run_client, run_client_events, serve, serve_durable, serve_tcp_once, BatchService,
-    ClientReport, Durability, ExecutorService, ProtocolService, Reply,
+    run_client, run_client_events, run_metrics_probe, serve, serve_durable, serve_observed,
+    serve_tcp_once, BatchService, ClientReport, Durability, ExecutorService, ProtocolService,
+    Reply,
 };
 pub use trace::{Action, Topology, Workload, WorkloadScale};
 pub use transport::{

@@ -8,7 +8,7 @@
 //!
 //! * [`serve_pool`] — **thread-per-connection pool**. Every accepted
 //!   connection gets a scoped thread running the existing
-//!   [`serve_durable`] loop against the *shared*
+//!   [`serve_durable`](crate::serve_durable) loop against the *shared*
 //!   service, so all connections feed one executor. Optionally, each
 //!   connection write-ahead-logs its events into its own directory
 //!   (`conn-NNNN` under a shared root), so durability works over real
@@ -57,15 +57,16 @@ use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Mutex, PoisonError};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use pdq_core::executor::{JobError, SubmitBatch, TypedHandle};
 use pdq_sim::DetRng;
 
+use crate::metrics::{ConnObs, Observability};
 use crate::protocol_server::{ServerAggregate, ServerConfig, ServerError};
 use crate::service::{
-    decode_request, encode_ack, encode_aggregate_reply, serve, serve_durable, Ack, BatchService,
-    Durability, ProtocolService, Reply, WireRequest, ACK_DONE, ACK_PANICKED,
+    decode_request, encode_ack, encode_aggregate_reply, encode_metrics_reply, serve_observed, Ack,
+    BatchService, Durability, ProtocolService, Reply, WireRequest, ACK_DONE, ACK_PANICKED,
 };
 use crate::transport::{FrameDecoder, FrameEncoder, TcpTransport};
 use crate::wal::WalWriter;
@@ -106,7 +107,7 @@ pub struct PoolWal {
 pub struct PoolOptions {
     /// The server reply window each connection's serve loop runs with
     /// (clients must drive a strictly larger window, as with
-    /// [`serve`]).
+    /// [`serve`](crate::serve)).
     pub window: usize,
     /// How many connections to accept before the server stops accepting and
     /// waits for the accepted ones to finish.
@@ -148,16 +149,30 @@ fn serve_pool_conn(
     service: &dyn ProtocolService,
     opts: &PoolOptions,
     index: usize,
+    obs: Option<&Observability>,
 ) -> Result<u64, ServerError> {
     stream.set_nodelay(true).map_err(ServerError::Io)?;
     let mut transport = TcpTransport::new(stream).map_err(ServerError::Io)?;
-    match &opts.wal {
-        None => serve(service, &mut transport, opts.window),
+    let conn = obs.map(|o| o.conn(index as u64));
+    if let Some(conn) = &conn {
+        conn.opened();
+    }
+    let served = match &opts.wal {
+        None => serve_observed(
+            service,
+            &mut transport,
+            opts.window,
+            Durability::Off,
+            conn.as_ref(),
+        ),
         Some(w) => {
             let dir = pool_wal_dir(&w.root, index);
             let mut wal = WalWriter::create(&dir, w.blocks).map_err(ServerError::Io)?;
             if let Some(n) = w.crash_after {
                 wal.arm_crash_after_events(n);
+            }
+            if let Some(o) = obs {
+                wal.set_metrics(o.wal_metrics(index as u64));
             }
             let durability = if w.snapshot_every > 0 {
                 Durability::LogSnapshot {
@@ -171,9 +186,19 @@ fn serve_pool_conn(
                     sync_every: w.sync_every,
                 }
             };
-            serve_durable(service, &mut transport, opts.window, durability)
+            serve_observed(
+                service,
+                &mut transport,
+                opts.window,
+                durability,
+                conn.as_ref(),
+            )
         }
+    };
+    if let Some(conn) = &conn {
+        conn.closed(*served.as_ref().unwrap_or(&0));
     }
+    served
 }
 
 /// Serves `opts.accept` connections from `listener`, one scoped thread per
@@ -202,6 +227,27 @@ pub fn serve_pool(
     service: &dyn ProtocolService,
     opts: &PoolOptions,
 ) -> Result<PoolReport, ServerError> {
+    serve_pool_observed(listener, service, opts, None)
+}
+
+/// [`serve_pool`] with optional observability: connection lifecycle and WAL
+/// counters/trace events flow into `obs`, per-connection serve loops record
+/// reply latency, and a [`WireRequest::Metrics`] frame on any connection
+/// answers with the rendered registry. Pass `None` for the uninstrumented
+/// behaviour (identical to [`serve_pool`]).
+///
+/// # Errors
+///
+/// As [`serve_pool`].
+pub fn serve_pool_observed(
+    listener: &TcpListener,
+    service: &dyn ProtocolService,
+    opts: &PoolOptions,
+    obs: Option<&Observability>,
+) -> Result<PoolReport, ServerError> {
+    if let Some(o) = obs {
+        o.set_tier("pool");
+    }
     let accept = opts.accept.max(1);
     let answered = AtomicU64::new(0);
     let connections = AtomicU64::new(0);
@@ -218,7 +264,7 @@ pub fn serve_pool(
                     let answered = &answered;
                     let record_err = &record_err;
                     scope.spawn(
-                        move || match serve_pool_conn(stream, service, opts, index) {
+                        move || match serve_pool_conn(stream, service, opts, index, obs) {
                             Ok(n) => {
                                 answered.fetch_add(n, Ordering::Relaxed);
                             }
@@ -327,10 +373,23 @@ struct PollConn {
     eof: bool,
     completed: u64,
     report: PollReport,
+    /// Observability handle; `None` leaves the sweep uninstrumented.
+    obs: Option<ConnObs>,
+    /// Decode timestamps, index-parallel to `inflight` (only maintained
+    /// when `obs` is set).
+    stamps: VecDeque<Instant>,
+    /// Whether the connection is currently read-suspended by a parked
+    /// admission tail (tracked so the trace logs transitions, not sweeps).
+    suspended: bool,
+    /// Whether the encoder backlog is currently above the write watermark.
+    write_blocked: bool,
 }
 
 impl PollConn {
-    fn new(stream: TcpStream) -> Self {
+    fn new(stream: TcpStream, obs: Option<ConnObs>) -> Self {
+        if let Some(obs) = &obs {
+            obs.opened();
+        }
         Self {
             stream,
             decoder: FrameDecoder::new(),
@@ -341,6 +400,18 @@ impl PollConn {
             eof: false,
             completed: 0,
             report: PollReport::default(),
+            obs,
+            stamps: VecDeque::new(),
+            suspended: false,
+            write_blocked: false,
+        }
+    }
+
+    /// Records the connection's end (called once, when the worker retires
+    /// it — served to completion or torn down by an error).
+    fn finish(&self) {
+        if let Some(obs) = &self.obs {
+            obs.closed(self.report.answered);
         }
     }
 
@@ -408,7 +479,22 @@ impl PollConn {
                 .push_frame(&encode_ack(ack))
                 .map_err(ServerError::Io)?;
             self.report.answered += 1;
+            if let (Some(obs), Some(stamp)) = (&self.obs, self.stamps.pop_front()) {
+                let latency = stamp.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                obs.reply(latency);
+            }
             progress = true;
+        }
+
+        // Encoder-watermark backpressure: the peer stopped draining acks,
+        // so `read_interest` below goes false until the backlog shrinks.
+        // Observability logs the transition, not every blocked sweep.
+        if let Some(obs) = &self.obs {
+            let blocked = self.encoder.staged() >= ENCODER_WRITE_WATERMARK;
+            if blocked && !self.write_blocked {
+                obs.write_blocked(self.encoder.staged() as u64);
+            }
+            self.write_blocked = blocked;
         }
 
         // 3. One admission pass per sweep: either retry the parked tail or
@@ -419,6 +505,15 @@ impl PollConn {
             progress |= admitted > 0;
             if admitted > 0 {
                 self.report.batches += 1;
+                if let Some(obs) = &self.obs {
+                    obs.admitted(admitted as u64);
+                }
+            }
+            if self.parked.is_empty() && self.suspended {
+                self.suspended = false;
+                if let Some(obs) = &self.obs {
+                    obs.resumed();
+                }
             }
         } else if self.read_interest(max_pending) {
             let status = self.decoder.fill_from(&mut self.stream).map_err(io_error)?;
@@ -430,12 +525,22 @@ impl PollConn {
                         let (key, job, handle) = service.prepare(event);
                         self.parked.push(key, job);
                         self.inflight.push_back(handle);
+                        if self.obs.is_some() {
+                            self.stamps.push_back(Instant::now());
+                        }
                         self.report.events += 1;
                     }
                     // The poll tier acks eagerly as handles finish, so a
                     // drain request needs no action: the client's
                     // outstanding acks are already on their way.
                     WireRequest::Drain => {}
+                    WireRequest::Metrics => {
+                        let text = self.obs.as_ref().map(ConnObs::render).unwrap_or_default();
+                        self.encoder
+                            .push_frame(&encode_metrics_reply(&text))
+                            .map_err(ServerError::Io)?;
+                        progress = true;
+                    }
                     WireRequest::Aggregate => self.agg_requested = true,
                 }
             }
@@ -446,6 +551,9 @@ impl PollConn {
                 let admitted = service.try_admit(&mut self.parked)?;
                 if admitted > 0 {
                     self.report.batches += 1;
+                    if let Some(obs) = &self.obs {
+                        obs.admitted(admitted as u64);
+                    }
                     progress = true;
                 }
                 if !self.parked.is_empty() {
@@ -453,6 +561,12 @@ impl PollConn {
                     // stays parked and `read_interest` goes false, so the
                     // kernel buffer fills and TCP pushes back on the peer.
                     self.report.suspensions += 1;
+                    if !self.suspended {
+                        self.suspended = true;
+                        if let Some(obs) = &self.obs {
+                            obs.suspended(self.parked.len() as u64);
+                        }
+                    }
                 }
             }
         }
@@ -487,31 +601,33 @@ fn io_error(e: io::Error) -> ServerError {
 }
 
 fn poll_worker(
-    rx: &mpsc::Receiver<TcpStream>,
+    rx: &mpsc::Receiver<(TcpStream, u64)>,
     service: &dyn BatchService,
     max_pending: usize,
+    obs: Option<&Observability>,
 ) -> Result<PollReport, ServerError> {
     let mut report = PollReport::default();
     let mut conns: Vec<PollConn> = Vec::new();
     let mut disconnected = false;
+    let accept = |(stream, id): (TcpStream, u64)| PollConn::new(stream, obs.map(|o| o.conn(id)));
     loop {
         if conns.is_empty() {
             if disconnected {
                 return Ok(report);
             }
             match rx.recv() {
-                Ok(stream) => {
+                Ok(dealt) => {
                     report.connections += 1;
-                    conns.push(PollConn::new(stream));
+                    conns.push(accept(dealt));
                 }
                 Err(_) => return Ok(report),
             }
         }
         loop {
             match rx.try_recv() {
-                Ok(stream) => {
+                Ok(dealt) => {
                     report.connections += 1;
-                    conns.push(PollConn::new(stream));
+                    conns.push(accept(dealt));
                 }
                 Err(mpsc::TryRecvError::Empty) => break,
                 Err(mpsc::TryRecvError::Disconnected) => {
@@ -528,6 +644,7 @@ fn poll_worker(
                     progress |= p;
                     if conns[index].done() {
                         let conn = conns.swap_remove(index);
+                        conn.finish();
                         report.merge(&conn.report);
                     } else {
                         index += 1;
@@ -539,6 +656,7 @@ fn poll_worker(
                 Err(ServerError::Shutdown) => return Err(ServerError::Shutdown),
                 Err(_) => {
                     let conn = conns.swap_remove(index);
+                    conn.finish();
                     report.merge(&conn.report);
                     report.failed += 1;
                     progress = true;
@@ -572,6 +690,27 @@ pub fn serve_poll(
     service: &dyn BatchService,
     opts: &PollOptions,
 ) -> Result<PollReport, ServerError> {
+    serve_poll_observed(listener, service, opts, None)
+}
+
+/// [`serve_poll`] with optional observability: each worker's sweep records
+/// admission batches, backpressure transitions, and reply latency into
+/// `obs`, and a [`WireRequest::Metrics`] frame on any connection answers
+/// with the rendered registry. Pass `None` for the uninstrumented behaviour
+/// (identical to [`serve_poll`]).
+///
+/// # Errors
+///
+/// As [`serve_poll`].
+pub fn serve_poll_observed(
+    listener: &TcpListener,
+    service: &dyn BatchService,
+    opts: &PollOptions,
+    obs: Option<&Observability>,
+) -> Result<PollReport, ServerError> {
+    if let Some(o) = obs {
+        o.set_tier("poll");
+    }
     let workers = opts.workers.max(1);
     let accept = opts.accept.max(1);
     let max_pending = opts.max_pending.max(1);
@@ -579,9 +718,9 @@ pub fn serve_poll(
         let mut txs = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
-            let (tx, rx) = mpsc::channel::<TcpStream>();
+            let (tx, rx) = mpsc::channel::<(TcpStream, u64)>();
             txs.push(tx);
-            handles.push(scope.spawn(move || poll_worker(&rx, service, max_pending)));
+            handles.push(scope.spawn(move || poll_worker(&rx, service, max_pending, obs)));
         }
         let mut accept_err = None;
         for index in 0..accept {
@@ -597,7 +736,7 @@ pub fn serve_poll(
                 Ok(stream) => {
                     // A send only fails if the worker died; surface that as
                     // the worker's own error after the join below.
-                    let _ = txs[index % workers].send(stream);
+                    let _ = txs[index % workers].send((stream, index as u64));
                 }
                 Err(e) => {
                     accept_err = Some(e);

@@ -36,6 +36,7 @@ use pdq_core::executor::{
 use pdq_core::{ShutdownError, SyncKey};
 use pdq_dsm::{BlockAddr, Message, PageAddr, ProtocolEvent, Request};
 
+use crate::metrics::ConnObs;
 use crate::protocol_server::{
     generate_events, ServerAggregate, ServerConfig, ServerError, ServerState,
 };
@@ -233,10 +234,17 @@ const REQ_AGGREGATE: u8 = 0x02;
 /// acks before closing — the shared aggregate is meaningless per connection,
 /// so the pool/poll drivers fetch it once, after every client is done.
 const REQ_DRAIN: u8 = 0x03;
+/// Request frame: reply with the server's rendered metrics text. Served
+/// in-band so a scraper can ride an existing protocol connection; the
+/// sidecar listener ([`serve_metrics`](crate::serve_metrics)) is the
+/// out-of-band alternative.
+const REQ_METRICS: u8 = 0x04;
 /// Reply frame: per-event acknowledgement.
 const REP_ACK: u8 = 0x81;
 /// Reply frame: the final aggregate.
 const REP_AGGREGATE: u8 = 0x82;
+/// Reply frame: rendered metrics text (UTF-8).
+const REP_METRICS: u8 = 0x83;
 
 /// Ack status: the handler ran and produced its reply.
 pub(crate) const ACK_DONE: u8 = 0;
@@ -252,6 +260,9 @@ pub enum WireRequest {
     Aggregate,
     /// Ack every outstanding call without returning an aggregate.
     Drain,
+    /// Return the server's rendered metrics text (empty when the serving
+    /// loop has no observability attached).
+    Metrics,
 }
 
 /// A decoded per-event acknowledgement.
@@ -480,6 +491,11 @@ pub fn encode_drain_request() -> Vec<u8> {
     vec![REQ_DRAIN]
 }
 
+/// Encodes the metrics request frame payload.
+pub fn encode_metrics_request() -> Vec<u8> {
+    vec![REQ_METRICS]
+}
+
 /// Decodes a request frame payload.
 ///
 /// # Errors
@@ -492,6 +508,7 @@ pub fn decode_request(frame: &[u8]) -> Result<WireRequest, ServerError> {
         REQ_EVENT => WireRequest::Event(decode_event(frame, &mut pos)?),
         REQ_AGGREGATE => WireRequest::Aggregate,
         REQ_DRAIN => WireRequest::Drain,
+        REQ_METRICS => WireRequest::Metrics,
         other => {
             return Err(ServerError::Protocol(format!(
                 "unknown request tag {other:#x}"
@@ -531,6 +548,22 @@ pub(crate) fn decode_ack(frame: &[u8]) -> Result<Ack, ServerError> {
         status,
         reply: Reply { class, digest },
     })
+}
+
+pub(crate) fn encode_metrics_reply(text: &str) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(1 + text.len());
+    buf.push(REP_METRICS);
+    buf.extend_from_slice(text.as_bytes());
+    buf
+}
+
+pub(crate) fn decode_metrics_reply(frame: &[u8]) -> Result<String, ServerError> {
+    let mut pos = 0;
+    if get_u8(frame, &mut pos)? != REP_METRICS {
+        return Err(ServerError::Protocol("expected a metrics frame".into()));
+    }
+    String::from_utf8(frame[pos..].to_vec())
+        .map_err(|e| ServerError::Protocol(format!("metrics text is not UTF-8: {e}")))
 }
 
 pub(crate) fn encode_aggregate_reply(agg: &ServerAggregate) -> Vec<u8> {
@@ -714,6 +747,30 @@ pub fn serve_durable(
     window: usize,
     durability: Durability<'_>,
 ) -> Result<u64, ServerError> {
+    serve_observed(service, transport, window, durability, None)
+}
+
+/// [`serve_durable`] with optional observability: when `obs` is set, every
+/// ack bumps the shared reply counter and records server-side latency (the
+/// span from the event frame's decode to its ack's encode) into the reply
+/// histogram, and a [`WireRequest::Metrics`] frame answers with the
+/// rendered registry (an empty payload when `obs` is `None`, so probing an
+/// unobserved server is well-formed rather than an error).
+///
+/// Recording is counters-only — it never changes what is read, dispatched,
+/// or replied — so aggregates stay byte-identical with observability on
+/// and off (the determinism contract CI byte-diffs).
+///
+/// # Errors
+///
+/// As [`serve_durable`].
+pub fn serve_observed(
+    service: &dyn ProtocolService,
+    transport: &mut dyn Transport,
+    window: usize,
+    durability: Durability<'_>,
+    obs: Option<&ConnObs>,
+) -> Result<u64, ServerError> {
     let window = window.max(1);
     let (mut wal, sync_every, snapshot_every) = match durability {
         Durability::Off => (None, 0, 0),
@@ -725,6 +782,15 @@ pub fn serve_durable(
         } => (Some(wal), sync_every.max(1), snapshot_every.max(1)),
     };
     let mut pending: VecDeque<TypedFuture<Reply>> = VecDeque::with_capacity(window);
+    // Decode timestamps, index-parallel to `pending`; only maintained when
+    // observability is on (stamps stay empty otherwise).
+    let mut stamps: VecDeque<Instant> = VecDeque::new();
+    let record_ack = |stamps: &mut VecDeque<Instant>| {
+        if let (Some(obs), Some(stamp)) = (obs, stamps.pop_front()) {
+            let latency = stamp.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+            obs.reply(latency);
+        }
+    };
     let mut completed = 0u64;
     let mut answered = 0u64;
     loop {
@@ -748,11 +814,15 @@ pub fn serve_durable(
                         wal.sync().map_err(ServerError::Io)?;
                     }
                 }
+                if obs.is_some() {
+                    stamps.push_back(Instant::now());
+                }
                 pending.push_back(service.call(event));
                 debug_assert!(pending.len() <= window, "reply window overflowed");
                 if pending.len() >= window {
                     let fut = pending.pop_front().expect("window is non-empty");
                     let ack = resolve_ack(fut, &mut completed)?;
+                    record_ack(&mut stamps);
                     transport.send(&ack).map_err(ServerError::Io)?;
                     answered += 1;
                 }
@@ -771,14 +841,23 @@ pub fn serve_durable(
             WireRequest::Drain => {
                 while let Some(fut) = pending.pop_front() {
                     let ack = resolve_ack(fut, &mut completed)?;
+                    record_ack(&mut stamps);
                     transport.send(&ack).map_err(ServerError::Io)?;
                     answered += 1;
                 }
                 transport.flush().map_err(ServerError::Io)?;
             }
+            WireRequest::Metrics => {
+                let text = obs.map(ConnObs::render).unwrap_or_default();
+                transport
+                    .send(&encode_metrics_reply(&text))
+                    .map_err(ServerError::Io)?;
+                transport.flush().map_err(ServerError::Io)?;
+            }
             WireRequest::Aggregate => {
                 while let Some(fut) = pending.pop_front() {
                     let ack = resolve_ack(fut, &mut completed)?;
+                    record_ack(&mut stamps);
                     transport.send(&ack).map_err(ServerError::Io)?;
                     answered += 1;
                 }
@@ -990,6 +1069,25 @@ pub fn run_client_events(
         read_ack(transport, &mut expected, &mut sent_at, &mut report)?;
     }
     Ok(report)
+}
+
+/// Requests the server's metrics text in-band on an idle protocol
+/// connection and returns it. Send this only while no acks are outstanding
+/// (before streaming events, or after a drain): the metrics reply is not an
+/// ack frame, so an interleaved probe would desynchronise a windowed client.
+///
+/// # Errors
+///
+/// [`ServerError::Io`] on transport failure, [`ServerError::Protocol`] on a
+/// malformed reply or a server that closes instead of answering.
+pub fn run_metrics_probe(transport: &mut dyn Transport) -> Result<String, ServerError> {
+    transport
+        .send(&encode_metrics_request())
+        .map_err(ServerError::Io)?;
+    transport.flush().map_err(ServerError::Io)?;
+    let frame = recv_frame(transport)?
+        .ok_or_else(|| ServerError::Protocol("server closed before the metrics reply".into()))?;
+    decode_metrics_reply(&frame)
 }
 
 #[cfg(test)]

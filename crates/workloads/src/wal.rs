@@ -60,6 +60,7 @@ use std::sync::{Arc, Mutex, PoisonError};
 use pdq_core::executor::{Executor, ExecutorExt, SubmitBatch};
 use pdq_dsm::ProtocolEvent;
 
+use crate::metrics::WalMetrics;
 use crate::protocol_server::{ServerAggregate, ServerError, ServerState};
 use crate::service::{decode_request, encode_event_request, WireRequest};
 use crate::transport::{read_frame, write_frame};
@@ -322,6 +323,7 @@ pub struct WalWriter {
     synced_bytes: u64,
     crash_after: Option<u64>,
     crashed: bool,
+    metrics: Option<WalMetrics>,
 }
 
 impl std::fmt::Debug for WalWriter {
@@ -355,6 +357,7 @@ impl WalWriter {
             synced_bytes: 0,
             crash_after: None,
             crashed: false,
+            metrics: None,
         };
         let mut body = vec![REC_HEADER];
         body.extend_from_slice(&WAL_MAGIC);
@@ -383,6 +386,13 @@ impl WalWriter {
     /// point of the CI crash-recovery smoke test.
     pub fn arm_crash_after_events(&mut self, n: u64) {
         self.crash_after = Some(n);
+    }
+
+    /// Attaches observability: successful appends, sync barriers, and
+    /// snapshots bump the handles' shared counters (and the sync/snapshot
+    /// barriers land in the trace log, when one is attached).
+    pub fn set_metrics(&mut self, metrics: WalMetrics) {
+        self.metrics = Some(metrics);
     }
 
     /// Events appended so far.
@@ -450,6 +460,9 @@ impl WalWriter {
         }
         self.append_record(&body)?;
         self.events += 1;
+        if let Some(metrics) = &self.metrics {
+            metrics.appended();
+        }
         Ok(self.events)
     }
 
@@ -470,6 +483,9 @@ impl WalWriter {
         self.sink.persist()?;
         self.synced_events = self.events;
         self.synced_bytes = self.bytes;
+        if let Some(metrics) = &self.metrics {
+            metrics.synced(self.events);
+        }
         Ok(())
     }
 
@@ -509,6 +525,9 @@ impl WalWriter {
         body.extend_from_slice(&(json.len() as u64).to_le_bytes());
         body.extend_from_slice(json.as_bytes());
         self.append_record(&body)?;
+        if let Some(metrics) = &self.metrics {
+            metrics.snapshotted(self.events);
+        }
         self.sync()
     }
 }

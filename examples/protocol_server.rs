@@ -38,7 +38,10 @@
 //! `--recover` skips serving entirely: it loads the log(s) from `--wal DIR`
 //! (single log or `conn-NNNN` per-connection logs; latest valid snapshot
 //! plus the surviving suffix, torn tail truncated) and replays each through
-//! the selected executors, checking they agree.
+//! the selected executors, checking they agree. `--trace PATH` (with
+//! `--recover`) writes a JSONL recovery event log: one `recovery` event per
+//! replayed log, with its event count and whether a torn tail was
+//! truncated.
 
 use std::net::{TcpListener, TcpStream};
 use std::process::ExitCode;
@@ -48,8 +51,8 @@ use pdq_repro::workloads::serve_pool;
 use pdq_repro::workloads::{
     client_config, generate_events, loopback_pair, merged_reference_aggregate, recover_dir, replay,
     run_client, run_client_events, run_server, serve, serve_durable, ClientReport, Durability,
-    ExecutorService, PoolOptions, PoolWal, ProtocolService, ServerAggregate, ServerConfig,
-    ServerError, TcpTransport, WalWriter,
+    ExecutorService, Observability, PoolOptions, PoolWal, ProtocolService, ServerAggregate,
+    ServerConfig, ServerError, TcpTransport, WalWriter,
 };
 
 /// Queue capacity bound (per queue/shard): small enough that the intake loop
@@ -236,14 +239,14 @@ fn run_one(
     };
     let elapsed = start.elapsed();
     if let Ok(aggregate) = &outcome {
-        let stats = pool.stats();
+        // The shared `ExecutorStats` Display — the same rendering every
+        // driver uses, instead of ad-hoc per-example field formatting.
         println!(
-            "[{name}/{}] {} events in {elapsed:.2?} ({:.0} events/sec), {} executed, {} panicked",
+            "[{name}/{}] {} events in {elapsed:.2?} ({:.0} events/sec)\n    {}",
             transport.name(),
             aggregate.events,
             aggregate.events as f64 / elapsed.as_secs_f64().max(f64::EPSILON),
-            stats.executed,
-            stats.panicked,
+            pool.stats(),
         );
     }
     pool.shutdown();
@@ -279,9 +282,11 @@ fn run_recovery(
     names: &[&str],
     workers: usize,
     json_path: Option<&str>,
+    trace_path: Option<&str>,
 ) -> ExitCode {
+    let obs = trace_path.map(|_| Observability::with_default_trace());
     let conn_dirs = conn_log_dirs(dir);
-    if !conn_dirs.is_empty() {
+    let outcome = if !conn_dirs.is_empty() {
         println!(
             "recovering {} per-connection logs under {}\n",
             conn_dirs.len(),
@@ -294,15 +299,28 @@ fn run_recovery(
             );
             return ExitCode::from(2);
         }
+        let mut result = Ok(());
         for conn_dir in &conn_dirs {
-            if let Err(code) = recover_single(conn_dir, names, workers, None) {
-                return code;
+            if let Err(code) = recover_single(conn_dir, names, workers, None, obs.as_ref()) {
+                result = Err(code);
+                break;
             }
             println!();
         }
-        return ExitCode::SUCCESS;
+        result
+    } else {
+        recover_single(dir, names, workers, json_path, obs.as_ref())
+    };
+    if let (Some(path), Some(obs)) = (trace_path, &obs) {
+        let trace = obs.trace().expect("trace attached");
+        let text: String = trace.lines().iter().map(|l| format!("{l}\n")).collect();
+        if let Err(e) = std::fs::write(path, &text) {
+            eprintln!("could not write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
     }
-    match recover_single(dir, names, workers, json_path) {
+    match outcome {
         Ok(()) => ExitCode::SUCCESS,
         Err(code) => code,
     }
@@ -314,6 +332,7 @@ fn recover_single(
     names: &[&str],
     workers: usize,
     json_path: Option<&str>,
+    obs: Option<&Observability>,
 ) -> Result<(), ExitCode> {
     let recovery = match recover_dir(dir) {
         Ok(r) => r,
@@ -322,6 +341,13 @@ fn recover_single(
             return Err(ExitCode::FAILURE);
         }
     };
+    if let Some(obs) = obs {
+        obs.recovery(
+            &dir.display().to_string(),
+            recovery.total_events,
+            recovery.torn,
+        );
+    }
     println!(
         "recovered log: {} events over {} blocks ({} synced; {}; {})\n",
         recovery.total_events,
@@ -389,6 +415,7 @@ fn main() -> ExitCode {
     let mut snapshot_every = 4_096u64;
     let mut crash_after: Option<u64> = None;
     let mut recover = false;
+    let mut trace_path: Option<String> = None;
     let mut clients = 1usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -450,6 +477,13 @@ fn main() -> ExitCode {
                 }
             },
             "--recover" => recover = true,
+            "--trace" => match args.next() {
+                Some(path) => trace_path = Some(path),
+                None => {
+                    eprintln!("--trace needs a path");
+                    return ExitCode::from(2);
+                }
+            },
             "--clients" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
                 Some(n) if n > 0 => clients = n,
                 _ => {
@@ -462,7 +496,7 @@ fn main() -> ExitCode {
                     "usage: protocol_server [--executor NAME|all] \
                      [--transport inproc|loopback|tcp] [--clients N] [--events N] [--json PATH] \
                      [--wal DIR [--sync-every N] [--snapshot-every N] [--crash-after N]] \
-                     [--recover --wal DIR]\n\
+                     [--recover --wal DIR [--trace PATH]]\n\
                      NAME is one of {EXECUTOR_NAMES:?}. PDQ_WORKERS sets the worker count.\n\
                      --clients N serves N concurrent TCP clients through the pool server \
                      (per-client seeded streams, driver-side merged aggregate); with --wal \
@@ -507,7 +541,17 @@ fn main() -> ExitCode {
             eprintln!("--recover needs --wal DIR to know where the log lives");
             return ExitCode::from(2);
         };
-        return run_recovery(dir, &names, workers, json_path.as_deref());
+        return run_recovery(
+            dir,
+            &names,
+            workers,
+            json_path.as_deref(),
+            trace_path.as_deref(),
+        );
+    }
+    if trace_path.is_some() {
+        eprintln!("--trace records recovery events; it needs --recover");
+        return ExitCode::from(2);
     }
 
     if clients > 1 && transport != TransportKind::Tcp {

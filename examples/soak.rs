@@ -6,7 +6,8 @@
 //! ```text
 //! cargo run --release --example soak -- [--tier pool|poll] [--clients N] \
 //!     [--events TOTAL] [--executor NAME|all] [--json PATH] \
-//!     [--reference-json PATH]
+//!     [--reference-json PATH] [--metrics-addr ADDR] [--trace PATH] \
+//!     [--report-json PATH]
 //! ```
 //!
 //! Each client drives its own deterministic stream (per-client seeds derived
@@ -27,16 +28,35 @@
 //! tier, `PDQ_POLL_THREADS` the number of polling threads (default 4, max
 //! 8). `--json` writes the merged aggregate; `--reference-json` writes the
 //! reference fold — CI byte-diffs the two.
+//!
+//! # Observability
+//!
+//! `--metrics-addr ADDR` binds a sidecar scrape listener next to the
+//! server: any TCP connect gets the full rendered registry (reply-latency
+//! histogram, connection/admission/backpressure counters, executor and
+//! queue gauges refreshed per scrape) and the driver itself scrapes it
+//! mid-run to prove the endpoint is live under load. `--trace PATH` writes
+//! a JSONL event log (connection lifecycle, batch admission, backpressure
+//! transitions, WAL barriers) the driver validates before exiting.
+//! `--report-json PATH` writes a machine-readable run report including the
+//! client-vs-server latency percentile comparison and the final metrics
+//! snapshot. The aggregate `--json` output is byte-identical with and
+//! without any of these flags.
 
 use std::net::{TcpListener, TcpStream};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
-use pdq_repro::core::executor::{build_executor, ExecutorSpec, EXECUTOR_NAMES};
+use pdq_repro::core::executor::{
+    build_executor, Executor, ExecutorSpec, ExecutorStats, EXECUTOR_NAMES,
+};
+use pdq_repro::metrics::{bucket_index, validate_jsonl, HistogramSnapshot};
 use pdq_repro::workloads::{
-    client_config, generate_events, merged_reference_aggregate, run_client_events, serve_poll,
-    serve_pool, ClientReport, ExecutorService, PollOptions, PoolOptions, ProtocolService,
-    ServerAggregate, ServerConfig, ServerError, TcpTransport,
+    client_config, generate_events, merged_reference_aggregate, run_client_events, scrape_metrics,
+    serve_metrics, serve_poll_observed, serve_pool_observed, ClientReport, ExecutorService,
+    Observability, PollOptions, PoolOptions, ProtocolService, ServerAggregate, ServerConfig,
+    ServerError, TcpTransport,
 };
 
 /// Executor queue capacity per queue/shard — big enough to keep hundreds of
@@ -82,10 +102,18 @@ struct SoakOutcome {
     answered: u64,
     suspensions: u64,
     batches: u64,
+    /// Metrics text scraped from the sidecar endpoint while clients were
+    /// still streaming (proof the endpoint serves under load).
+    mid_scrape: Option<String>,
+    /// The executor's final stats snapshot, rendered into the run report
+    /// through the shared [`ExecutorStats`] stable-JSON form.
+    stats: ExecutorStats,
 }
 
 /// One soak run: `clients` concurrent TCP clients against one shared
-/// executor behind the selected tier.
+/// executor behind the selected tier. With `observe = Some((obs, addr))`,
+/// the tier records into `obs`; with `addr` too, a sidecar scrape listener
+/// serves the registry for the whole run and the driver scrapes it mid-run.
 fn run_soak(
     name: &str,
     workers: usize,
@@ -93,7 +121,10 @@ fn run_soak(
     tier: Tier,
     base: &ServerConfig,
     clients: usize,
+    observe: Option<(&Observability, Option<&str>)>,
 ) -> Option<Result<SoakOutcome, ServerError>> {
+    let obs = observe.map(|(obs, _)| obs);
+    let metrics_addr = observe.and_then(|(_, addr)| addr);
     let spec = ExecutorSpec::new(workers).capacity(CAPACITY);
     let mut pool = build_executor(name, &spec)?;
     let service = ExecutorService::new(&*pool, base.blocks);
@@ -105,55 +136,103 @@ fn run_soak(
         Ok(a) => a,
         Err(e) => return Some(Err(ServerError::Io(e))),
     };
+    let exporter_listener = match (obs, metrics_addr) {
+        (Some(_), Some(bind)) => match TcpListener::bind(bind) {
+            Ok(l) => Some(l),
+            Err(e) => return Some(Err(ServerError::Io(e))),
+        },
+        _ => None,
+    };
+    let stop_exporter = AtomicBool::new(false);
     let start = Instant::now();
     let outcome = std::thread::scope(|scope| {
         let service = &service;
-        let server = scope.spawn(move || match tier {
-            Tier::Pool => serve_pool(
-                &listener,
-                service,
-                &PoolOptions::new(clients, SERVICE_WINDOW),
-            )
-            .map(|r| (r.answered, 0, 0)),
-            Tier::Poll => serve_poll(
-                &listener,
-                service,
-                &PollOptions {
-                    workers: poll_threads,
-                    accept: clients,
-                    max_pending: MAX_PENDING,
-                },
-            )
-            .map(|r| (r.answered, r.suspensions, r.batches)),
+        let executor: &dyn Executor = &*pool;
+        let stop_exporter = &stop_exporter;
+        let exporter = exporter_listener.as_ref().map(|exporter_listener| {
+            let obs = obs.expect("exporter requires observability");
+            let refresh = move || obs.set_executor_stats(&executor.stats());
+            scope.spawn(move || serve_metrics(exporter_listener, obs, &refresh, stop_exporter))
         });
-        let mut joined = Vec::with_capacity(clients);
-        for client in 0..clients as u64 {
-            joined.push(scope.spawn(move || -> Result<ClientReport, ServerError> {
-                let events = generate_events(&client_config(base, client));
-                let stream = TcpStream::connect(addr).map_err(ServerError::Io)?;
-                stream.set_nodelay(true).map_err(ServerError::Io)?;
-                let mut transport = TcpTransport::new(stream).map_err(ServerError::Io)?;
-                run_client_events(&mut transport, &events, CLIENT_WINDOW, true)
-            }));
-        }
-        let mut latencies_ns = Vec::new();
-        let mut completed = 0u64;
-        let mut client_err: Option<ServerError> = None;
-        for handle in joined {
-            match handle.join().expect("client thread") {
-                Ok(report) => {
-                    completed += report.acked - report.panicked;
-                    latencies_ns.extend(report.latencies_ns);
+        // Any early error below must still stop the exporter before the
+        // scope exit joins its thread, so the serving half runs in an inner
+        // closure and the stop flag is set unconditionally afterwards.
+        let serve_run = || -> Result<_, ServerError> {
+            let server = scope.spawn(move || match tier {
+                Tier::Pool => serve_pool_observed(
+                    &listener,
+                    service,
+                    &PoolOptions::new(clients, SERVICE_WINDOW),
+                    obs,
+                )
+                .map(|r| (r.answered, 0, 0)),
+                Tier::Poll => serve_poll_observed(
+                    &listener,
+                    service,
+                    &PollOptions {
+                        workers: poll_threads,
+                        accept: clients,
+                        max_pending: MAX_PENDING,
+                    },
+                    obs,
+                )
+                .map(|r| (r.answered, r.suspensions, r.batches)),
+            });
+            let mut joined = Vec::with_capacity(clients);
+            for client in 0..clients as u64 {
+                joined.push(scope.spawn(move || -> Result<ClientReport, ServerError> {
+                    let events = generate_events(&client_config(base, client));
+                    let stream = TcpStream::connect(addr).map_err(ServerError::Io)?;
+                    stream.set_nodelay(true).map_err(ServerError::Io)?;
+                    let mut transport = TcpTransport::new(stream).map_err(ServerError::Io)?;
+                    run_client_events(&mut transport, &events, CLIENT_WINDOW, true)
+                }));
+            }
+            // Scrape the sidecar while the clients stream: the endpoint
+            // must be reachable and render the registry under live traffic.
+            let mid_scrape = match &exporter_listener {
+                Some(l) => {
+                    let scrape_addr = l.local_addr().map_err(ServerError::Io)?;
+                    Some(scrape_metrics(scrape_addr).map_err(ServerError::Io)?)
                 }
-                Err(e) => {
-                    client_err.get_or_insert(e);
+                None => None,
+            };
+            let mut latencies_ns = Vec::new();
+            let mut completed = 0u64;
+            let mut client_err: Option<ServerError> = None;
+            for handle in joined {
+                match handle.join().expect("client thread") {
+                    Ok(report) => {
+                        completed += report.acked - report.panicked;
+                        latencies_ns.extend(report.latencies_ns);
+                    }
+                    Err(e) => {
+                        client_err.get_or_insert(e);
+                    }
                 }
             }
+            let (answered, suspensions, batches) = server.join().expect("server thread")?;
+            if let Some(e) = client_err {
+                return Err(e);
+            }
+            Ok((
+                latencies_ns,
+                completed,
+                answered,
+                suspensions,
+                batches,
+                mid_scrape,
+            ))
+        };
+        let served = serve_run();
+        stop_exporter.store(true, Ordering::Release);
+        if let Some(exporter) = exporter {
+            exporter
+                .join()
+                .expect("exporter thread")
+                .map_err(ServerError::Io)?;
         }
-        let (answered, suspensions, batches) = server.join().expect("server thread")?;
-        if let Some(e) = client_err {
-            return Err(e);
-        }
+        let (latencies_ns, completed, answered, suspensions, batches, mid_scrape) = served?;
         let elapsed = start.elapsed();
         service.flush();
         Ok(SoakOutcome {
@@ -163,6 +242,8 @@ fn run_soak(
             answered,
             suspensions,
             batches,
+            mid_scrape,
+            stats: executor.stats(),
         })
     });
     pool.shutdown();
@@ -183,6 +264,59 @@ fn parse_env(name: &str, default: usize, range: std::ops::RangeInclusive<usize>)
     }
 }
 
+/// Escapes `text` as a JSON string literal body (used to embed the metrics
+/// snapshot and trace status in the `--report-json` output).
+fn json_escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 8);
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One percentile compared across the client-side capture (send → ack,
+/// network included) and the server-side histogram (decode → ack encode).
+/// Both samples are queue-dominated at soak intensity, so they must land
+/// in the same log2 latency bucket give or take one.
+struct PercentileAgreement {
+    label: &'static str,
+    client_ns: u64,
+    server_ns: u64,
+    client_bucket: usize,
+    server_bucket: usize,
+}
+
+impl PercentileAgreement {
+    fn compare(
+        label: &'static str,
+        sorted_client: &[u64],
+        server: &HistogramSnapshot,
+        p: f64,
+    ) -> Self {
+        let client_ns = percentile(sorted_client, p);
+        let server_bucket = server.quantile_bucket(p);
+        Self {
+            label,
+            client_ns,
+            server_ns: server.quantile(p),
+            client_bucket: bucket_index(client_ns),
+            server_bucket,
+        }
+    }
+
+    fn within_one_bucket(&self) -> bool {
+        self.client_bucket.abs_diff(self.server_bucket) <= 1
+    }
+}
+
 fn main() -> ExitCode {
     let mut tier = Tier::Poll;
     let mut clients = 256usize;
@@ -190,6 +324,9 @@ fn main() -> ExitCode {
     let mut executor = "sharded-pdq".to_string();
     let mut json_path: Option<String> = None;
     let mut reference_json_path: Option<String> = None;
+    let mut metrics_addr: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut report_json_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -236,12 +373,36 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--metrics-addr" => match args.next() {
+                Some(addr) => metrics_addr = Some(addr),
+                None => {
+                    eprintln!("--metrics-addr needs a bind address (e.g. 127.0.0.1:9464)");
+                    return ExitCode::from(2);
+                }
+            },
+            "--trace" => match args.next() {
+                Some(path) => trace_path = Some(path),
+                None => {
+                    eprintln!("--trace needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--report-json" => match args.next() {
+                Some(path) => report_json_path = Some(path),
+                None => {
+                    eprintln!("--report-json needs a path");
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => {
                 println!(
                     "usage: soak [--tier pool|poll] [--clients N] [--events TOTAL] \
-                     [--executor NAME|all] [--json PATH] [--reference-json PATH]\n\
+                     [--executor NAME|all] [--json PATH] [--reference-json PATH] \
+                     [--metrics-addr ADDR] [--trace PATH] [--report-json PATH]\n\
                      NAME is one of {EXECUTOR_NAMES:?}. PDQ_WORKERS sets the executor \
-                     worker count, PDQ_POLL_THREADS the poll tier's thread count (1..=8)."
+                     worker count, PDQ_POLL_THREADS the poll tier's thread count (1..=8).\n\
+                     --metrics-addr binds a sidecar scrape endpoint, --trace writes a \
+                     JSONL event log, --report-json writes the observability run report."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -277,10 +438,29 @@ fn main() -> ExitCode {
         }
     );
 
+    let observe = metrics_addr.is_some() || trace_path.is_some() || report_json_path.is_some();
     let reference = merged_reference_aggregate(&base, clients as u64);
     let mut merged: Vec<ServerAggregate> = Vec::new();
+    let mut report_runs: Vec<String> = Vec::new();
     for name in &names {
-        match run_soak(name, workers, poll_threads, tier, &base, clients) {
+        // A fresh registry per run: counters must reflect this executor's
+        // run alone, not accumulate across the `all` sweep.
+        let obs = observe.then(|| {
+            if trace_path.is_some() {
+                Observability::with_default_trace()
+            } else {
+                Observability::new()
+            }
+        });
+        match run_soak(
+            name,
+            workers,
+            poll_threads,
+            tier,
+            &base,
+            clients,
+            obs.as_ref().map(|o| (o, metrics_addr.as_deref())),
+        ) {
             Some(Ok(outcome)) => {
                 let mut lat = outcome.latencies_ns;
                 lat.sort_unstable();
@@ -300,6 +480,113 @@ fn main() -> ExitCode {
                     lat.len(),
                     outcome.answered,
                 );
+                if let Some(mid) = &outcome.mid_scrape {
+                    if !mid.contains("pdq_replies_total") {
+                        eprintln!("[{name}] mid-run scrape did not render the registry:\n{mid}");
+                        return ExitCode::FAILURE;
+                    }
+                    println!(
+                        "    metrics endpoint live mid-run ({} bytes scraped)",
+                        mid.len()
+                    );
+                }
+                if let Some(obs) = &obs {
+                    let snapshot = obs.reply_latency().snapshot();
+                    if snapshot.total() != outcome.answered {
+                        eprintln!(
+                            "[{name}] histogram recorded {} replies but the server acked {}",
+                            snapshot.total(),
+                            outcome.answered
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                    let agreements = [
+                        PercentileAgreement::compare("p50", &lat, &snapshot, 0.50),
+                        PercentileAgreement::compare("p95", &lat, &snapshot, 0.95),
+                        PercentileAgreement::compare("p99", &lat, &snapshot, 0.99),
+                    ];
+                    for a in &agreements {
+                        println!(
+                            "    {}: client {:.1} us (bucket {}), server histogram <= {:.1} us \
+                             (bucket {}){}",
+                            a.label,
+                            a.client_ns as f64 / 1e3,
+                            a.client_bucket,
+                            a.server_ns as f64 / 1e3,
+                            a.server_bucket,
+                            if a.within_one_bucket() {
+                                ""
+                            } else {
+                                "  ** DISAGREES by more than one bucket"
+                            },
+                        );
+                    }
+                    if agreements.iter().any(|a| !a.within_one_bucket()) {
+                        eprintln!(
+                            "[{name}] client and server latency percentiles disagree by more \
+                             than one log2 bucket"
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                    let mut trace_status = String::from("off");
+                    if let (Some(path), Some(trace)) = (&trace_path, obs.trace()) {
+                        let path = if names.len() > 1 {
+                            format!("{path}.{name}")
+                        } else {
+                            path.clone()
+                        };
+                        let text: String = trace.lines().iter().map(|l| format!("{l}\n")).collect();
+                        if let Err(e) = validate_jsonl(&text) {
+                            eprintln!("[{name}] trace log is not valid JSONL: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                        if let Err(e) = std::fs::write(&path, &text) {
+                            eprintln!("could not write {path}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                        trace_status = format!(
+                            "{} events, {} dropped, wrote {path}",
+                            trace.len(),
+                            trace.dropped()
+                        );
+                        eprintln!("wrote {path}");
+                    }
+                    if report_json_path.is_some() {
+                        let metrics_text = obs.render();
+                        let agreement_json: Vec<String> = agreements
+                            .iter()
+                            .map(|a| {
+                                format!(
+                                    "{{\"percentile\": \"{}\", \"client_ns\": {}, \
+                                     \"server_ns\": {}, \"client_bucket\": {}, \
+                                     \"server_bucket\": {}, \"within_one_bucket\": {}}}",
+                                    a.label,
+                                    a.client_ns,
+                                    a.server_ns,
+                                    a.client_bucket,
+                                    a.server_bucket,
+                                    a.within_one_bucket()
+                                )
+                            })
+                            .collect();
+                        report_runs.push(format!(
+                            "    {{\n      \"executor\": \"{}\",\n      \"tier\": \"{}\",\n      \
+                             \"clients\": {},\n      \"events\": {},\n      \
+                             \"throughput_events_per_sec\": {:.0},\n      \
+                             \"latency_agreement\": [{}],\n      \"trace\": \"{}\",\n      \
+                             \"executor_stats\": {},\n      \"metrics\": \"{}\"\n    }}",
+                            name,
+                            tier.name(),
+                            clients,
+                            total,
+                            throughput,
+                            agreement_json.join(", "),
+                            json_escape(&trace_status),
+                            outcome.stats.to_json_string().trim_end(),
+                            json_escape(&metrics_text)
+                        ));
+                    }
+                }
                 if tier == Tier::Poll {
                     println!(
                         "    admission: {} events over {} batch passes ({:.1} events/pass), \
@@ -345,6 +632,14 @@ fn main() -> ExitCode {
     }
     if let Some(path) = reference_json_path {
         if let Err(e) = std::fs::write(&path, reference.to_json_string()) {
+            eprintln!("could not write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = report_json_path {
+        let report = format!("{{\n  \"runs\": [\n{}\n  ]\n}}\n", report_runs.join(",\n"));
+        if let Err(e) = std::fs::write(&path, report) {
             eprintln!("could not write {path}: {e}");
             return ExitCode::FAILURE;
         }

@@ -10,6 +10,8 @@
 //!   (`pdq-dsm`);
 //! * [`hurricane`] — the machine models and cluster simulator
 //!   (`pdq-hurricane`);
+//! * [`metrics`] — the lock-free observability registry, latency
+//!   histograms, and bounded JSONL trace log (`pdq-metrics`);
 //! * [`workloads`] — the synthetic application models (`pdq-workloads`).
 //!
 //! ```
@@ -25,5 +27,6 @@
 pub use pdq_core as core;
 pub use pdq_dsm as dsm;
 pub use pdq_hurricane as hurricane;
+pub use pdq_metrics as metrics;
 pub use pdq_sim as sim;
 pub use pdq_workloads as workloads;
